@@ -1,0 +1,42 @@
+# Common development targets. Everything is pure-stdlib Go; no external
+# tools are required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every paper figure at full scale (~1 minute).
+figures:
+	$(GO) run ./cmd/paperfigs
+
+# Run every example program.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/heterogeneous
+	$(GO) run ./examples/vptradeoff
+	$(GO) run ./examples/closedloop
+	$(GO) run ./examples/tcpcluster
+
+clean:
+	$(GO) clean -testcache

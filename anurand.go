@@ -1,0 +1,337 @@
+// Package anurand is a load-management library for heterogeneous
+// clusters based on adaptive, non-uniform (ANU) randomization, a
+// reproduction of "Achieving Performance Consistency in Heterogeneous
+// Clusters" (Wu and Burns, HPDC 2004).
+//
+// The core abstraction is the Balancer: workload units (file sets, shard
+// keys, queue partitions — anything with a stable name) are hashed onto
+// a unit interval, and servers own tunable regions of that interval
+// summing to exactly half of it. Lookup is a pure hash computation with
+// no I/O; balancing is done by scaling region sizes from periodic
+// latency reports, so the only replicated state is the O(servers) region
+// table. The scheme adapts to server heterogeneity, workload skew,
+// failures, recoveries and commissioning without configuration or
+// a-priori capacity knowledge.
+//
+// A minimal use:
+//
+//	b, err := anurand.New([]anurand.ServerID{0, 1, 2})
+//	...
+//	owner, ok := b.Lookup("/home/alice") // route the request
+//	...
+//	// every couple of minutes, feed back observed latencies:
+//	b.Tune([]anurand.Report{
+//		{Server: 0, Requests: 1200, LatencySeconds: 0.9},
+//		{Server: 1, Requests: 800, LatencySeconds: 2.1},
+//		{Server: 2, Requests: 150, LatencySeconds: 0.4},
+//	})
+//
+// The repository also contains the paper's full evaluation apparatus: a
+// discrete-event cluster simulator, the synthetic and trace-like
+// workload generators, the three comparison systems (simple
+// randomization, dynamic prescient, virtual processors), and a harness
+// that regenerates every figure of the paper (cmd/paperfigs).
+package anurand
+
+import (
+	"fmt"
+	"sync"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+)
+
+// ServerID identifies a server. IDs are assigned by the caller, must be
+// non-negative, and stay stable across failure and recovery.
+type ServerID int32
+
+// Report is one server's performance sample for a tuning interval.
+type Report struct {
+	// Server is the reporting server.
+	Server ServerID
+	// Requests is the number of requests completed in the interval.
+	Requests uint64
+	// LatencySeconds is their mean response time. Ignored when
+	// Requests is zero.
+	LatencySeconds float64
+	// Failed marks the server as down; its region is released to the
+	// survivors.
+	Failed bool
+}
+
+// Tuning exposes the delegate controller's knobs. The zero value means
+// "use the defaults from the paper reproduction"; see DefaultTuning.
+type Tuning struct {
+	// Gamma is the feedback exponent applied to the latency ratio.
+	Gamma float64
+	// MaxStep bounds per-round region growth; MaxShrink bounds
+	// per-round shrinking.
+	MaxStep, MaxShrink float64
+	// DeadBand suppresses scaling for servers within this relative
+	// distance of the system average latency.
+	DeadBand float64
+	// MinWeight keeps every live server addressable with at least this
+	// fraction of the mean region weight.
+	MinWeight float64
+	// Smoothing is the EWMA coefficient on reported latencies.
+	Smoothing float64
+}
+
+// DefaultTuning returns the controller configuration used throughout
+// the paper reproduction.
+func DefaultTuning() Tuning {
+	c := anu.DefaultControllerConfig()
+	return Tuning{
+		Gamma:     c.Gamma,
+		MaxStep:   c.MaxStep,
+		MaxShrink: c.MaxShrink,
+		DeadBand:  c.DeadBand,
+		MinWeight: c.MinWeight,
+		Smoothing: c.Smoothing,
+	}
+}
+
+func (t Tuning) toConfig() anu.ControllerConfig {
+	def := anu.DefaultControllerConfig()
+	cfg := anu.ControllerConfig{
+		Gamma:      pick(t.Gamma, def.Gamma),
+		MaxStep:    pick(t.MaxStep, def.MaxStep),
+		MaxShrink:  pick(t.MaxShrink, def.MaxShrink),
+		DeadBand:   pick(t.DeadBand, def.DeadBand),
+		MinWeight:  pick(t.MinWeight, def.MinWeight),
+		Smoothing:  pick(t.Smoothing, def.Smoothing),
+		IdleGrowth: def.IdleGrowth,
+	}
+	return cfg
+}
+
+func pick(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Options configures a Balancer.
+type Options struct {
+	// HashSeed seeds the agreed-upon hash family. All nodes that share
+	// a placement must use the same seed.
+	HashSeed uint64
+	// Tuning overrides controller parameters; zero fields keep
+	// defaults.
+	Tuning Tuning
+}
+
+// Balancer is a thread-safe ANU placement map with its feedback
+// controller — the embeddable form of the paper's load-management
+// system. Lookups take a read lock and are cheap (a couple of hash
+// probes in expectation); tuning and membership changes serialize behind
+// a write lock.
+type Balancer struct {
+	mu  sync.RWMutex
+	m   *anu.Map
+	ctl *anu.Controller
+}
+
+// New creates a Balancer over the given servers with equal initial
+// regions and default options.
+func New(servers []ServerID) (*Balancer, error) {
+	return NewWithOptions(servers, Options{})
+}
+
+// NewWithOptions creates a Balancer with explicit options.
+func NewWithOptions(servers []ServerID, opts Options) (*Balancer, error) {
+	ids := make([]anu.ServerID, len(servers))
+	for i, s := range servers {
+		ids[i] = anu.ServerID(s)
+	}
+	m, err := anu.New(hashx.NewFamily(opts.HashSeed), ids)
+	if err != nil {
+		return nil, fmt.Errorf("anurand: %w", err)
+	}
+	cfg := opts.Tuning.toConfig()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("anurand: %w", err)
+	}
+	return &Balancer{m: m, ctl: anu.NewController(cfg)}, nil
+}
+
+// Restore reconstructs a Balancer from a Snapshot, as a node would on
+// receiving the delegate's replicated state.
+func Restore(snapshot []byte, opts Options) (*Balancer, error) {
+	m, err := anu.Decode(snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("anurand: %w", err)
+	}
+	cfg := opts.Tuning.toConfig()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("anurand: %w", err)
+	}
+	return &Balancer{m: m, ctl: anu.NewController(cfg)}, nil
+}
+
+// Lookup returns the server responsible for key. The boolean is false
+// only when every server has failed.
+func (b *Balancer) Lookup(key string) (ServerID, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	id, _ := b.m.Lookup(key)
+	if id == anu.NoServer {
+		return 0, false
+	}
+	return ServerID(id), true
+}
+
+// LookupProbes returns the placement along with the number of hash
+// probes used (expected two under half occupancy).
+func (b *Balancer) LookupProbes(key string) (ServerID, int, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	id, probes := b.m.Lookup(key)
+	if id == anu.NoServer {
+		return 0, probes, false
+	}
+	return ServerID(id), probes, true
+}
+
+// Tune applies one feedback round from per-server latency reports and
+// reports whether any region changed. It is the delegate's operation;
+// in a cluster, distribute Snapshot() to the other nodes afterwards.
+func (b *Balancer) Tune(reports []Report) (bool, error) {
+	rs := make([]anu.Report, len(reports))
+	for i, r := range reports {
+		rs[i] = anu.Report{
+			Server:   anu.ServerID(r.Server),
+			Requests: r.Requests,
+			Latency:  r.LatencySeconds,
+			Failed:   r.Failed,
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	changed, err := b.ctl.Tune(b.m, rs)
+	if err != nil {
+		return changed, fmt.Errorf("anurand: %w", err)
+	}
+	return changed, nil
+}
+
+// AddServer commissions a new server with an equal share of the mapped
+// interval, repartitioning if needed.
+func (b *Balancer) AddServer(id ServerID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m.AddServer(anu.ServerID(id))
+}
+
+// RemoveServer decommissions a server; its load fails over to the
+// survivors.
+func (b *Balancer) RemoveServer(id ServerID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m.RemoveServer(anu.ServerID(id))
+}
+
+// Fail records a server failure; only its file sets move.
+func (b *Balancer) Fail(id ServerID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m.Fail(anu.ServerID(id))
+}
+
+// Recover re-admits a failed server with an equal share.
+func (b *Balancer) Recover(id ServerID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m.Recover(anu.ServerID(id))
+}
+
+// Advisory flags a server the controller considers incompetent for this
+// cluster: pinned at the minimum region floor for several consecutive
+// tuning rounds while others carry the load (the paper's
+// administrator notification).
+type Advisory struct {
+	Server ServerID
+	Rounds int
+}
+
+// Advisories lists servers currently flagged as incompetent.
+func (b *Balancer) Advisories() []Advisory {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	advs := b.ctl.Advisories()
+	out := make([]Advisory, len(advs))
+	for i, a := range advs {
+		out[i] = Advisory{Server: ServerID(a.Server), Rounds: a.Rounds}
+	}
+	return out
+}
+
+// Servers returns the member ids in ascending order (including failed,
+// zero-share members).
+func (b *Balancer) Servers() []ServerID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ids := b.m.Servers()
+	out := make([]ServerID, len(ids))
+	for i, id := range ids {
+		out[i] = ServerID(id)
+	}
+	return out
+}
+
+// Shares returns each server's fraction of the mapped interval
+// (fractions sum to 1 across live servers; failed servers report 0).
+func (b *Balancer) Shares() map[ServerID]float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	total := float64(b.m.TotalMapped())
+	out := make(map[ServerID]float64, b.m.K())
+	for id, l := range b.m.Lengths() {
+		if total == 0 {
+			out[ServerID(id)] = 0
+		} else {
+			out[ServerID(id)] = float64(l) / total
+		}
+	}
+	return out
+}
+
+// Snapshot serializes the placement map — the only state a delegate
+// replicates to the cluster. Its size is O(servers).
+func (b *Balancer) Snapshot() []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.m.Encode()
+}
+
+// SharedStateSize returns len(Snapshot()).
+func (b *Balancer) SharedStateSize() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.m.SharedStateSize()
+}
+
+// Partitions returns the current partition count of the unit interval,
+// 2^(ceil(lg k)+1) for k servers.
+func (b *Balancer) Partitions() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.m.Partitions()
+}
+
+// K returns the number of member servers.
+func (b *Balancer) K() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.m.K()
+}
+
+// Render draws the unit interval as an ASCII bar (one digit per cell
+// for the owning server, '.' for unmapped space) — the picture of the
+// paper's Figure 2, for logs and operator tooling.
+func (b *Balancer) Render(width int) string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.m.Render(width)
+}

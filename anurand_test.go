@@ -1,0 +1,259 @@
+package anurand
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func newBalancer(t *testing.T, k int) *Balancer {
+	t.Helper()
+	ids := make([]ServerID, k)
+	for i := range ids {
+		ids[i] = ServerID(i)
+	}
+	b, err := New(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewAndLookup(t *testing.T) {
+	b := newBalancer(t, 5)
+	if b.K() != 5 {
+		t.Fatalf("K = %d", b.K())
+	}
+	if b.Partitions() != 16 {
+		t.Fatalf("Partitions = %d, want 16 for k=5", b.Partitions())
+	}
+	counts := map[ServerID]int{}
+	for i := 0; i < 5000; i++ {
+		id, ok := b.Lookup(fmt.Sprintf("key-%d", i))
+		if !ok {
+			t.Fatal("lookup failed on a healthy balancer")
+		}
+		counts[id]++
+	}
+	for _, id := range b.Servers() {
+		if counts[id] == 0 {
+			t.Errorf("server %d received no keys", id)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New with no servers accepted")
+	}
+	if _, err := New([]ServerID{1, 1}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := NewWithOptions([]ServerID{0}, Options{Tuning: Tuning{Gamma: -1}}); err == nil {
+		t.Error("invalid tuning accepted")
+	}
+}
+
+func TestTuneShiftsShares(t *testing.T) {
+	b := newBalancer(t, 2)
+	for i := 0; i < 30; i++ {
+		if _, err := b.Tune([]Report{
+			{Server: 0, Requests: 100, LatencySeconds: 5},
+			{Server: 1, Requests: 100, LatencySeconds: 0.5},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shares := b.Shares()
+	if shares[1] <= shares[0] {
+		t.Fatalf("fast server share %.3f not above slow server's %.3f", shares[1], shares[0])
+	}
+	sum := shares[0] + shares[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %g", sum)
+	}
+}
+
+func TestFailRecoverCycle(t *testing.T) {
+	b := newBalancer(t, 3)
+	if err := b.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Shares()[1]; s != 0 {
+		t.Fatalf("failed server share %g", s)
+	}
+	for i := 0; i < 1000; i++ {
+		if id, ok := b.Lookup(fmt.Sprintf("k%d", i)); !ok || id == 1 {
+			t.Fatalf("lookup routed to failed server (id=%d ok=%v)", id, ok)
+		}
+	}
+	if err := b.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Shares()[1]; s == 0 {
+		t.Fatal("recovered server got no share")
+	}
+}
+
+func TestAddRemoveServer(t *testing.T) {
+	b := newBalancer(t, 4)
+	if err := b.AddServer(4); err != nil {
+		t.Fatal(err)
+	}
+	if b.K() != 5 || b.Partitions() != 16 {
+		t.Fatalf("after add: K=%d partitions=%d", b.K(), b.Partitions())
+	}
+	if err := b.AddServer(4); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if err := b.RemoveServer(2); err != nil {
+		t.Fatal(err)
+	}
+	if b.K() != 4 {
+		t.Fatalf("after remove: K=%d", b.K())
+	}
+	for i := 0; i < 500; i++ {
+		if id, _ := b.Lookup(fmt.Sprintf("k%d", i)); id == 2 {
+			t.Fatal("lookup routed to removed server")
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	b := newBalancer(t, 5)
+	if _, err := b.Tune([]Report{
+		{Server: 0, Requests: 10, LatencySeconds: 9},
+		{Server: 4, Requests: 10, LatencySeconds: 0.1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Snapshot()
+	if len(snap) != b.SharedStateSize() {
+		t.Fatalf("SharedStateSize %d != len(Snapshot) %d", b.SharedStateSize(), len(snap))
+	}
+	c, err := Restore(snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("fileset/%d", i)
+		a, _ := b.Lookup(key)
+		d, _ := c.Lookup(key)
+		if a != d {
+			t.Fatalf("restored balancer disagrees on %q: %d vs %d", key, a, d)
+		}
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore([]byte("junk"), Options{}); err == nil {
+		t.Fatal("Restore accepted garbage")
+	}
+}
+
+func TestLookupProbes(t *testing.T) {
+	b := newBalancer(t, 5)
+	total, n := 0, 2000
+	for i := 0; i < n; i++ {
+		_, probes, ok := b.LookupProbes(fmt.Sprintf("p%d", i))
+		if !ok || probes < 1 {
+			t.Fatal("bad probe count")
+		}
+		total += probes
+	}
+	if mean := float64(total) / float64(n); mean < 1.5 || mean > 2.5 {
+		t.Fatalf("mean probes %.2f, want ~2", mean)
+	}
+}
+
+func TestDefaultTuningRoundTrips(t *testing.T) {
+	cfg := DefaultTuning().toConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultTuning invalid: %v", err)
+	}
+	// Zero-value Tuning resolves to defaults.
+	if got := (Tuning{}).toConfig(); got != cfg {
+		t.Fatalf("zero Tuning != defaults: %+v vs %+v", got, cfg)
+	}
+}
+
+func TestConcurrentLookupsDuringTuning(t *testing.T) {
+	b := newBalancer(t, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := b.Lookup(fmt.Sprintf("g%d-%d", g, i)); !ok {
+					t.Error("lookup failed mid-tune")
+					return
+				}
+				i++
+			}
+		}(g)
+	}
+	for round := 0; round < 200; round++ {
+		reports := make([]Report, 0, 8)
+		for _, id := range b.Servers() {
+			reports = append(reports, Report{
+				Server:         id,
+				Requests:       100,
+				LatencySeconds: 1 + float64(id)*0.3,
+			})
+		}
+		if _, err := b.Tune(reports); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestAllFailedLookupReturnsFalse(t *testing.T) {
+	b := newBalancer(t, 2)
+	if err := b.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Lookup("anything"); ok {
+		t.Fatal("lookup succeeded with every server failed")
+	}
+}
+
+func TestAdvisoriesSurfaceThroughFacade(t *testing.T) {
+	b, err := NewWithOptions([]ServerID{0, 1}, Options{Tuning: Tuning{MinWeight: 0.01, Smoothing: 0.001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := b.Tune([]Report{
+			{Server: 0, Requests: 50, LatencySeconds: 500},
+			{Server: 1, Requests: 500, LatencySeconds: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	advs := b.Advisories()
+	if len(advs) != 1 || advs[0].Server != 0 {
+		t.Fatalf("advisories = %+v, want server 0", advs)
+	}
+}
+
+func TestRenderThroughFacade(t *testing.T) {
+	b := newBalancer(t, 3)
+	out := b.Render(40)
+	if len(out) == 0 || out[0] != '[' {
+		t.Fatalf("Render output %q", out)
+	}
+}

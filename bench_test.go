@@ -1,0 +1,234 @@
+package anurand
+
+// Benchmarks that regenerate every results figure of the paper
+// (Figures 4-8). Each benchmark runs the corresponding experiment and
+// reports the figure's headline quantities through b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the evaluation end to end.
+//
+// The benchmarks run the experiments on the Quick workload scale
+// (~10x smaller than the paper's, same shapes) so the whole suite
+// finishes in tens of seconds; `cmd/paperfigs` runs the full-scale
+// versions, whose numbers EXPERIMENTS.md records.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"anurand/internal/clustersim"
+	"anurand/internal/experiment"
+)
+
+// newQuickSuite builds a fresh scaled-down suite. Each benchmark
+// iteration pays for its own simulations.
+func newQuickSuite() *experiment.Suite {
+	cfg := experiment.DefaultConfig()
+	cfg.Quick = true
+	return experiment.NewSuite(cfg)
+}
+
+// BenchmarkFig4DFSTraceLatency regenerates Figure 4: per-server latency
+// under the DFSTrace-like workload for all four systems. Reported
+// metrics are each system's aggregate mean latency in milliseconds.
+func BenchmarkFig4DFSTraceLatency(b *testing.B) {
+	var last map[experiment.PolicyName]*clustersim.Result
+	for i := 0; i < b.N; i++ {
+		s := newQuickSuite()
+		res, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for name, res := range last {
+		b.ReportMetric(res.MeanLatency()*1e3, fmt.Sprintf("ms-mean-%s", name))
+	}
+}
+
+// BenchmarkFig5SyntheticLatency regenerates Figure 5: per-server
+// latency under the synthetic workload for all four systems.
+func BenchmarkFig5SyntheticLatency(b *testing.B) {
+	var last map[experiment.PolicyName]*clustersim.Result
+	for i := 0; i < b.N; i++ {
+		s := newQuickSuite()
+		res, err := s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for name, res := range last {
+		b.ReportMetric(res.MeanLatency()*1e3, fmt.Sprintf("ms-mean-%s", name))
+	}
+}
+
+// BenchmarkFig6aAggregateLatency regenerates Figure 6(a): aggregate
+// mean latency and standard deviation per system.
+func BenchmarkFig6aAggregateLatency(b *testing.B) {
+	var rows []experiment.Fig6Row
+	for i := 0; i < b.N; i++ {
+		s := newQuickSuite()
+		var err error
+		rows, err = s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.MeanLatency*1e3, fmt.Sprintf("ms-mean-%s", row.Policy))
+		b.ReportMetric(row.StdDev*1e3, fmt.Sprintf("ms-sd-%s", row.Policy))
+	}
+}
+
+// BenchmarkFig6bPerServerLatency regenerates Figure 6(b): per-server
+// mean latency under ANU — the consistency result. The reported spread
+// is max/min mean latency across servers that did real work.
+func BenchmarkFig6bPerServerLatency(b *testing.B) {
+	var rows []experiment.Fig6Row
+	for i := 0; i < b.N; i++ {
+		s := newQuickSuite()
+		var err error
+		rows, err = s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		if row.Policy != experiment.ANU {
+			continue
+		}
+		lo, hi := 0.0, 0.0
+		first := true
+		for id, m := range row.PerServerMean {
+			if row.PerServerCount[id] < 200 || id == 0 {
+				continue
+			}
+			if first {
+				lo, hi = m, m
+				first = false
+				continue
+			}
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		if lo > 0 {
+			b.ReportMetric(hi/lo, "x-consistency-spread")
+		}
+	}
+}
+
+// BenchmarkFig7LoadMovement regenerates Figure 7: ANU's file-set
+// movement over the run.
+func BenchmarkFig7LoadMovement(b *testing.B) {
+	var moves []clustersim.MoveRecord
+	for i := 0; i < b.N; i++ {
+		s := newQuickSuite()
+		var err error
+		moves, err = s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := 0
+	var work float64
+	for _, m := range moves {
+		total += m.FileSetsMoved
+		work += m.WorkMovedFrac
+	}
+	b.ReportMetric(float64(total), "filesets-moved")
+	b.ReportMetric(100*work, "pct-work-moved")
+	b.ReportMetric(float64(len(moves)), "rounds")
+}
+
+// BenchmarkFig8VPTradeoff regenerates Figure 8: the VP count sweep with
+// ANU and prescient references, plus the shared-state sizes.
+func BenchmarkFig8VPTradeoff(b *testing.B) {
+	counts := []int{5, 15, 30, 50}
+	var res *experiment.Fig8Result
+	for i := 0; i < b.N; i++ {
+		s := newQuickSuite()
+		var err error
+		res, err = s.Fig8(counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, pt := range res.Hot {
+		b.ReportMetric(pt.MeanLatency*1e3, fmt.Sprintf("ms-mean-vp%d", pt.NumVP))
+		b.ReportMetric(float64(pt.SharedStateBytes), fmt.Sprintf("B-state-vp%d", pt.NumVP))
+	}
+	b.ReportMetric(res.HotRefs.ANULatency*1e3, "ms-mean-anu")
+	b.ReportMetric(float64(res.HotRefs.ANUSharedState), "B-state-anu")
+	b.ReportMetric(res.HotRefs.PrescientLatency*1e3, "ms-mean-prescient")
+}
+
+// sharedBalancer serves the micro-benchmarks below.
+var (
+	benchOnce sync.Once
+	benchBal  *Balancer
+)
+
+func sharedBalancer(b *testing.B) *Balancer {
+	benchOnce.Do(func() {
+		ids := make([]ServerID, 16)
+		for i := range ids {
+			ids[i] = ServerID(i)
+		}
+		var err error
+		benchBal, err = New(ids)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if benchBal == nil {
+		b.Fatal("balancer init failed")
+	}
+	return benchBal
+}
+
+// BenchmarkBalancerLookup measures the addressing cost: a placement is
+// a couple of hash probes, no I/O and no table walk.
+func BenchmarkBalancerLookup(b *testing.B) {
+	bal := sharedBalancer(b)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fileset/%04d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := bal.Lookup(keys[i&1023]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkBalancerTune measures one delegate feedback round over 16
+// servers.
+func BenchmarkBalancerTune(b *testing.B) {
+	bal := sharedBalancer(b)
+	reports := make([]Report, 16)
+	for i := range reports {
+		reports[i] = Report{Server: ServerID(i), Requests: 100, LatencySeconds: 1 + float64(i%5)*0.2}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bal.Tune(reports); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBalancerSnapshot measures serializing the replicated state.
+func BenchmarkBalancerSnapshot(b *testing.B) {
+	bal := sharedBalancer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(bal.Snapshot()) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

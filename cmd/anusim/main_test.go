@@ -1,0 +1,105 @@
+package main
+
+import (
+	"testing"
+
+	"anurand/internal/clustersim"
+)
+
+func TestParseSpeeds(t *testing.T) {
+	got, err := parseSpeeds("1, 3,5 ,7,9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseSpeeds("1,banana"); err == nil {
+		t.Fatal("bad speed accepted")
+	}
+}
+
+func TestParseEvents(t *testing.T) {
+	evs, err := parseEvents("fail:600:2, recover:1200:2,commission:900:5:6.5,decommission:1500:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != clustersim.Fail || evs[0].Time != 600 || evs[0].Server != 2 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[2].Kind != clustersim.Commission || evs[2].Speed != 6.5 {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+	if evs[3].Kind != clustersim.Decommission {
+		t.Fatalf("event 3 = %+v", evs[3])
+	}
+}
+
+func TestParseEventsErrors(t *testing.T) {
+	cases := []string{
+		"explode:1:2",     // unknown kind
+		"fail:abc:2",      // bad time
+		"fail:1:xyz",      // bad server
+		"commission:1:2",  // missing speed
+		"fail:1",          // too few fields
+		"commission:1:2:", // empty speed
+	}
+	for _, c := range cases {
+		if _, err := parseEvents(c); err == nil {
+			t.Errorf("parseEvents(%q) accepted", c)
+		}
+	}
+	if evs, err := parseEvents(""); err != nil || evs != nil {
+		t.Errorf("empty spec: %v, %v", evs, err)
+	}
+}
+
+func TestLoadTraceGenerators(t *testing.T) {
+	for _, wl := range []string{"synthetic", "dfslike", "hotspot"} {
+		tr, err := loadTrace(wl, "", 1, 0.5)
+		if err != nil {
+			t.Fatalf("loadTrace(%s): %v", wl, err)
+		}
+		if len(tr.Requests) == 0 {
+			t.Fatalf("loadTrace(%s): empty trace", wl)
+		}
+		if tr.Requests[0].Demand != 0.5 {
+			t.Fatalf("loadTrace(%s): demand override not applied", wl)
+		}
+	}
+	if _, err := loadTrace("bogus", "", 1, 0); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := loadTrace("synthetic", "/nonexistent/file", 1, 0); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestBuildPolicyNames(t *testing.T) {
+	tr, err := loadTrace("synthetic", "", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := []float64{1, 3, 5, 7, 9}
+	for _, name := range []string{"simple", "anu", "prescient", "vp"} {
+		p, err := buildPolicy(name, tr, speeds, 10)
+		if err != nil {
+			t.Fatalf("buildPolicy(%s): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports %q", name, p.Name())
+		}
+	}
+	if _, err := buildPolicy("bogus", tr, speeds, 10); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Command tracegen generates, inspects and converts workload trace
+// files in the repository's binary trace format.
+//
+// Usage:
+//
+//	tracegen -workload synthetic -o synthetic.anut   # generate
+//	tracegen -inspect synthetic.anut                 # summarize
+//	tracegen -workload dfslike -seed 7 -o t.anut
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"anurand/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		wl       = flag.String("workload", "synthetic", "generator: synthetic | dfslike")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("o", "", "output trace file (required unless -inspect)")
+		inspect  = flag.String("inspect", "", "summarize an existing trace file")
+		fileSets = flag.Int("filesets", 0, "override file set count")
+		duration = flag.Float64("duration", 0, "override duration in seconds")
+		requests = flag.Int("requests", 0, "override target request count")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		log.Fatal("need -o output path (or -inspect)")
+	}
+	trace, err := generate(*wl, *seed, *fileSets, *duration, *requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	s := trace.Stats()
+	fmt.Printf("wrote %s: %d requests over %d file sets, %.0fs, offered load %.2f unit-speed\n",
+		*out, s.Requests, s.FileSets, s.Duration, s.OfferedLoad)
+}
+
+func generate(wl string, seed uint64, fileSets int, duration float64, requests int) (*workload.Trace, error) {
+	switch wl {
+	case "synthetic":
+		cfg := workload.DefaultSynthetic()
+		cfg.Seed = seed
+		if fileSets > 0 {
+			cfg.NumFileSets = fileSets
+		}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		if requests > 0 {
+			cfg.TargetRequests = requests
+		}
+		return cfg.Generate()
+	case "dfslike":
+		cfg := workload.DefaultDFSLike()
+		cfg.Seed = seed
+		if fileSets > 0 {
+			cfg.NumFileSets = fileSets
+		}
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		if requests > 0 {
+			cfg.TargetRequests = requests
+		}
+		return cfg.Generate()
+	default:
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+}
+
+func inspectTrace(path string) error {
+	trace, err := workload.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s := trace.Stats()
+	fmt.Printf("label        %s\n", trace.Label)
+	fmt.Printf("duration     %.0f s\n", s.Duration)
+	fmt.Printf("requests     %d (%.2f/s)\n", s.Requests, s.MeanRate)
+	fmt.Printf("file sets    %d\n", s.FileSets)
+	fmt.Printf("total work   %.0f unit-speed seconds (offered load %.2f)\n", s.TotalDemand, s.OfferedLoad)
+	fmt.Printf("max fs share %.1f%%\n", 100*s.MaxShare)
+
+	type fsRow struct {
+		idx   int
+		count int
+		work  float64
+	}
+	rows := make([]fsRow, len(s.PerFileSet))
+	for i := range rows {
+		rows[i] = fsRow{i, s.PerFileSet[i], s.FileSetWork[i]}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].work > rows[j].work })
+	n := len(rows)
+	if n > 10 {
+		n = 10
+	}
+	fmt.Printf("\ntop %d file sets by work:\n", n)
+	fmt.Printf("%-24s %-10s %-12s %-8s\n", "name", "requests", "work (s)", "share")
+	for _, r := range rows[:n] {
+		fmt.Printf("%-24s %-10d %-12.0f %-8.2f%%\n",
+			trace.FileSets[r.idx].Name, r.count, r.work, 100*r.work/s.TotalDemand)
+	}
+
+	// Burstiness profile: index of dispersion of per-second counts.
+	counts := trace.WindowCounts(1)
+	var sum, sumSq float64
+	for _, c := range counts {
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	mean := sum / float64(len(counts))
+	if mean > 0 {
+		variance := sumSq/float64(len(counts)) - mean*mean
+		fmt.Printf("\nburstiness: index of dispersion %.2f (Poisson ~1)\n", variance/mean)
+	}
+	return nil
+}

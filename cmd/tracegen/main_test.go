@@ -1,0 +1,55 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"anurand/internal/workload"
+)
+
+func TestGenerateOverrides(t *testing.T) {
+	tr, err := generate("synthetic", 5, 7, 300, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.FileSets) != 7 {
+		t.Fatalf("file sets = %d, want override 7", len(tr.FileSets))
+	}
+	if tr.Duration != 300 {
+		t.Fatalf("duration = %g", tr.Duration)
+	}
+	tr2, err := generate("dfslike", 5, 0, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.FileSets) != 21 {
+		t.Fatalf("dfslike default file sets = %d", len(tr2.FileSets))
+	}
+	if _, err := generate("bogus", 1, 0, 0, 0); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestInspectTraceRoundTrip(t *testing.T) {
+	tr, err := generate("synthetic", 3, 5, 200, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.anut")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspectTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := workload.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(tr.Requests) {
+		t.Fatal("round trip lost requests")
+	}
+	if err := inspectTrace(filepath.Join(t.TempDir(), "missing.anut")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package anurand_test
+
+import (
+	"fmt"
+
+	"anurand"
+)
+
+// The basic lifecycle: create a balancer, route keys, feed latency back.
+func Example() {
+	b, err := anurand.New([]anurand.ServerID{0, 1, 2})
+	if err != nil {
+		panic(err)
+	}
+
+	// Route a key. Placement is a pure hash computation.
+	owner, ok := b.Lookup("/projects/apollo")
+	fmt.Println("placed:", ok, owner >= 0 && owner <= 2)
+
+	// Feed back a tuning interval's observations: server 0 is slow.
+	changed, err := b.Tune([]anurand.Report{
+		{Server: 0, Requests: 900, LatencySeconds: 4.0},
+		{Server: 1, Requests: 900, LatencySeconds: 1.0},
+		{Server: 2, Requests: 900, LatencySeconds: 1.0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rebalanced:", changed)
+	// Output:
+	// placed: true true
+	// rebalanced: true
+}
+
+// Failing a server moves only its keys; recovery grants an equal share
+// back.
+func ExampleBalancer_Fail() {
+	b, _ := anurand.New([]anurand.ServerID{0, 1, 2, 3})
+	if err := b.Fail(2); err != nil {
+		panic(err)
+	}
+	fmt.Printf("failed server share: %.0f%%\n", 100*b.Shares()[2])
+	if err := b.Recover(2); err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered share: %.0f%%\n", 100*b.Shares()[2])
+	// Output:
+	// failed server share: 0%
+	// recovered share: 25%
+}
+
+// The snapshot is the only state a delegate replicates; any node can
+// reconstruct an identical balancer from it.
+func ExampleBalancer_Snapshot() {
+	b, _ := anurand.New([]anurand.ServerID{0, 1, 2})
+	snap := b.Snapshot()
+	peer, err := anurand.Restore(snap, anurand.Options{})
+	if err != nil {
+		panic(err)
+	}
+	a, _ := b.Lookup("/home/ada")
+	c, _ := peer.Lookup("/home/ada")
+	fmt.Println("agree:", a == c)
+	fmt.Println("state is small:", len(snap) < 256)
+	// Output:
+	// agree: true
+	// state is small: true
+}
+
+// Commissioning a new server repartitions the interval when k crosses a
+// power of two; repartitioning itself moves nothing.
+func ExampleBalancer_AddServer() {
+	b, _ := anurand.New([]anurand.ServerID{0, 1, 2, 3})
+	fmt.Println("partitions before:", b.Partitions())
+	if err := b.AddServer(4); err != nil {
+		panic(err)
+	}
+	fmt.Println("partitions after:", b.Partitions())
+	fmt.Printf("newcomer share: %.0f%%\n", 100*b.Shares()[4])
+	// Output:
+	// partitions before: 8
+	// partitions after: 16
+	// newcomer share: 20%
+}

@@ -1,0 +1,128 @@
+// Failover: ANU's behaviour under failure, recovery and commissioning.
+//
+// The example walks the Balancer through the cluster lifecycle of
+// Section 4: a server fails (its region collapses, survivors absorb the
+// space, only its file sets move), recovers (it gets an equal share
+// back), and a brand-new server is commissioned (the unit interval
+// repartitions — which moves nothing by itself — and the newcomer takes
+// a share). At each step the example measures exactly how many keys
+// moved, demonstrating load locality.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anurand"
+)
+
+const keys = 10000
+
+func main() {
+	log.SetFlags(0)
+
+	b, err := anurand.New([]anurand.ServerID{0, 1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster of %d servers, %d partitions, %d B shared state\n",
+		b.K(), b.Partitions(), b.SharedStateSize())
+
+	before := placements(b)
+	show(b, "initial")
+
+	// --- failure -----------------------------------------------------
+	if err := b.Fail(2); err != nil {
+		log.Fatal(err)
+	}
+	after := placements(b)
+	fmt.Printf("\nserver 2 fails:\n")
+	fmt.Printf("  keys moved: %d of %d (%.1f%%) — only server 2's keys relocate\n",
+		moved(before, after), keys, 100*float64(moved(before, after))/keys)
+	fromFailed, others := 0, 0
+	for k, owner := range before {
+		if after[k] != owner {
+			if owner == 2 {
+				fromFailed++
+			} else {
+				others++
+			}
+		}
+	}
+	fmt.Printf("  of those, %d were on the failed server; %d elsewhere (boundary growth)\n", fromFailed, others)
+	show(b, "after failure")
+
+	// --- recovery ----------------------------------------------------
+	before = placements(b)
+	if err := b.Recover(2); err != nil {
+		log.Fatal(err)
+	}
+	after = placements(b)
+	fmt.Printf("\nserver 2 recovers:\n")
+	fmt.Printf("  keys moved: %d (%.1f%%) — survivors scale back to make room\n",
+		moved(before, after), 100*float64(moved(before, after))/keys)
+	show(b, "after recovery")
+
+	// --- commissioning ------------------------------------------------
+	before = placements(b)
+	parts := b.Partitions()
+	if err := b.AddServer(4); err != nil {
+		log.Fatal(err)
+	}
+	after = placements(b)
+	fmt.Printf("\nserver 4 commissioned:\n")
+	if b.Partitions() != parts {
+		fmt.Printf("  interval repartitioned %d -> %d partitions (repartitioning itself moves nothing)\n",
+			parts, b.Partitions())
+	}
+	fmt.Printf("  keys moved: %d (%.1f%%) — roughly the newcomer's 1/%d share\n",
+		moved(before, after), 100*float64(moved(before, after))/keys, b.K())
+	show(b, "after commissioning")
+
+	// --- the snapshot other nodes replicate ---------------------------
+	snap := b.Snapshot()
+	c, err := anurand.Restore(snap, anurand.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	disagree := 0
+	orig, rest := placements(b), placements(c)
+	for k := range orig {
+		if orig[k] != rest[k] {
+			disagree++
+		}
+	}
+	fmt.Printf("\nreplicated state: %d bytes; restored node disagrees on %d of %d keys\n",
+		len(snap), disagree, keys)
+}
+
+func placements(b *anurand.Balancer) map[string]anurand.ServerID {
+	out := make(map[string]anurand.ServerID, keys)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fileset/%05d", i)
+		if id, ok := b.Lookup(key); ok {
+			out[key] = id
+		}
+	}
+	return out
+}
+
+func moved(a, b map[string]anurand.ServerID) int {
+	n := 0
+	for k, owner := range a {
+		if b[k] != owner {
+			n++
+		}
+	}
+	return n
+}
+
+func show(b *anurand.Balancer, label string) {
+	fmt.Printf("  shares %-18s", label+":")
+	for _, id := range b.Servers() {
+		fmt.Printf("  s%d=%5.1f%%", id, 100*b.Shares()[id])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,76 @@
+// Quickstart: embed the ANU balancer in an application.
+//
+// Three servers of very different capability serve a keyed workload.
+// The balancer starts with equal shares (it knows nothing about the
+// servers), observes per-interval latencies, and converges to shares
+// proportional to capacity — the paper's core behaviour, in ~60 lines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anurand"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A slow, a medium and a fast server.
+	speeds := map[anurand.ServerID]float64{0: 1, 1: 4, 2: 8}
+	b, err := anurand.New([]anurand.ServerID{0, 1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("initial shares (no knowledge of capacity):")
+	printShares(b)
+
+	// Simulate tuning intervals: each server's observed latency grows
+	// with the load it holds and shrinks with its speed.
+	for round := 1; round <= 40; round++ {
+		shares := b.Shares()
+		var reports []anurand.Report
+		for id, speed := range speeds {
+			load := shares[id] // fraction of the keyed workload
+			reports = append(reports, anurand.Report{
+				Server:         id,
+				Requests:       uint64(1 + 1000*load),
+				LatencySeconds: 0.002 + load/speed,
+			})
+		}
+		if _, err := b.Tune(reports); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nafter 40 tuning rounds (shares follow capacity):")
+	printShares(b)
+
+	// Route some keys; placement is a pure hash computation.
+	fmt.Println("\nplacements:")
+	for _, key := range []string{"/home/alice", "/var/log", "/data/warehouse", "/tmp/scratch"} {
+		owner, probes, ok := b.LookupProbes(key)
+		if !ok {
+			log.Fatal("no live servers")
+		}
+		fmt.Printf("  %-16s -> server %d (%d probe(s))\n", key, owner, probes)
+	}
+
+	// The replicated state is tiny: this is everything another node
+	// needs to route identically.
+	fmt.Printf("\nshared state: %d bytes for %d servers\n", b.SharedStateSize(), b.K())
+
+	// The unit interval itself (Figure 2 of the paper): digits are
+	// server regions, dots are unmapped space that re-hashes onward.
+	fmt.Println("\nunit interval:")
+	fmt.Print(b.Render(72))
+}
+
+func printShares(b *anurand.Balancer) {
+	for _, id := range b.Servers() {
+		fmt.Printf("  server %d: %5.1f%%\n", id, 100*b.Shares()[id])
+	}
+}

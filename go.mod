@@ -1,0 +1,3 @@
+module anurand
+
+go 1.23

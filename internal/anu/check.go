@@ -1,0 +1,180 @@
+package anu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckInvariants verifies the structural invariants of the map and
+// returns a descriptive error on the first violation. It is exported so
+// tests (including property-based tests over random operation sequences)
+// can assert the geometry after every mutation.
+//
+// Invariants checked:
+//  1. the partition count is a power of two and at least
+//     2^(ceil(lg k)+1) for the current k;
+//  2. every partition has at most one owner, occupancy is a prefix no
+//     longer than the width, and full/partial bookkeeping agrees with
+//     the partition table;
+//  3. every server has at most one prefix-partial partition;
+//  4. region length caches equal the measure of owned space;
+//  5. total mapped measure is exactly Half (or zero when every server
+//     has failed);
+//  6. at least one partition is free whenever the map is non-empty (the
+//     guarantee that a recovered or added server can always be placed).
+func (m *Map) CheckInvariants() error {
+	if len(m.parts) != 1<<m.partBits {
+		return fmt.Errorf("anu: partition table has %d entries, want 2^%d", len(m.parts), m.partBits)
+	}
+	if k := len(m.regions); k > 0 && m.partBits < partitionBits(k) {
+		return fmt.Errorf("anu: %d partitions too few for k=%d servers (want >= 2^%d)",
+			len(m.parts), k, partitionBits(k))
+	}
+	w := m.Width()
+
+	type seen struct {
+		full    int
+		partial int
+		measure Ticks
+	}
+	byServer := make(map[ServerID]*seen, len(m.regions))
+	free := 0
+	for i := range m.parts {
+		p := m.parts[i]
+		if p.owner == NoServer {
+			if p.occ != 0 {
+				return fmt.Errorf("anu: free partition %d has occupancy %d", i, p.occ)
+			}
+			free++
+			continue
+		}
+		r, ok := m.regions[p.owner]
+		if !ok {
+			return fmt.Errorf("anu: partition %d owned by unknown server %d", i, p.owner)
+		}
+		if p.occ == 0 || p.occ > w {
+			return fmt.Errorf("anu: partition %d has occupancy %d outside (0, %d]", i, p.occ, w)
+		}
+		s := byServer[p.owner]
+		if s == nil {
+			s = &seen{}
+			byServer[p.owner] = s
+		}
+		s.measure += p.occ
+		if p.occ == w {
+			s.full++
+			if !containsInt32(r.full, int32(i)) {
+				return fmt.Errorf("anu: full partition %d missing from server %d's full list", i, p.owner)
+			}
+		} else {
+			s.partial++
+			if r.partial != int32(i) {
+				return fmt.Errorf("anu: partial partition %d not recorded by server %d (records %d)", i, p.owner, r.partial)
+			}
+			if r.partialLen != p.occ {
+				return fmt.Errorf("anu: server %d partial length cache %d != partition occupancy %d", p.owner, r.partialLen, p.occ)
+			}
+		}
+	}
+
+	var total Ticks
+	for id, r := range m.regions {
+		s := byServer[id]
+		if s == nil {
+			s = &seen{}
+		}
+		if s.partial > 1 {
+			return fmt.Errorf("anu: server %d has %d partial partitions, invariant allows at most 1", id, s.partial)
+		}
+		if s.full != len(r.full) {
+			return fmt.Errorf("anu: server %d full list has %d entries, partition table shows %d", id, len(r.full), s.full)
+		}
+		if (r.partial >= 0) != (s.partial == 1) {
+			return fmt.Errorf("anu: server %d partial bookkeeping inconsistent", id)
+		}
+		if r.length != s.measure {
+			return fmt.Errorf("anu: server %d length cache %d != measured %d", id, r.length, s.measure)
+		}
+		total += r.length
+	}
+	for id := range byServer {
+		if _, ok := m.regions[id]; !ok {
+			return fmt.Errorf("anu: partitions owned by server %d which has no region", id)
+		}
+	}
+
+	if total != Half && total != 0 {
+		return fmt.Errorf("anu: total mapped measure %d violates half occupancy (want %d or 0)", total, Half)
+	}
+	if total == Half && free == 0 {
+		return fmt.Errorf("anu: no free partition available (recovery guarantee broken)")
+	}
+	if len(m.order) != len(m.regions) {
+		return fmt.Errorf("anu: order list has %d ids for %d regions", len(m.order), len(m.regions))
+	}
+	for i := 1; i < len(m.order); i++ {
+		if m.order[i-1] >= m.order[i] {
+			return fmt.Errorf("anu: order list not strictly ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+func containsInt32(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MovedMeasure returns the measure (in ticks) of the unit interval whose
+// owner differs between two maps, counting space that is mapped in
+// either map but serves different owners, plus space mapped in exactly
+// one of them. It quantifies load movement geometrically: the expected
+// fraction of a uniform hash's mass that changes servers between the two
+// configurations is MovedMeasure/Half (ignoring re-hash chains).
+func MovedMeasure(a, b *Map) Ticks {
+	cuts := breakpoints(a, b)
+	var moved Ticks
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		if hi == lo {
+			continue
+		}
+		oa, ob := a.OwnerAt(lo), b.OwnerAt(lo)
+		if oa != ob && (oa != NoServer || ob != NoServer) {
+			moved += hi - lo
+		}
+	}
+	return moved
+}
+
+// breakpoints returns the sorted union of ownership breakpoints of both
+// maps: every partition boundary and every partial-prefix end.
+func breakpoints(a, b *Map) []Ticks {
+	var cuts []Ticks
+	add := func(m *Map) {
+		w := m.Width()
+		for i := range m.parts {
+			start := Ticks(i) * w
+			cuts = append(cuts, start)
+			if p := m.parts[i]; p.owner != NoServer && p.occ < w {
+				cuts = append(cuts, start+p.occ)
+			}
+		}
+	}
+	add(a)
+	add(b)
+	cuts = append(cuts, Unit)
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	// Deduplicate in place.
+	out := cuts[:1]
+	for _, c := range cuts[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package anu_test
+
+import (
+	"fmt"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+)
+
+// The map's lifecycle: equal start, feedback tuning, failure handling.
+func Example() {
+	family := hashx.NewFamily(42)
+	m, err := anu.New(family, []anu.ServerID{0, 1, 2, 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("partitions:", m.Partitions())
+	fmt.Println("half occupancy:", m.TotalMapped() == anu.Half)
+
+	// The delegate scales regions from latency reports.
+	ctl := anu.NewController(anu.DefaultControllerConfig())
+	for i := 0; i < 30; i++ {
+		if _, err := ctl.Tune(m, []anu.Report{
+			{Server: 0, Requests: 100, Latency: 4.0}, // slow
+			{Server: 1, Requests: 100, Latency: 1.0},
+			{Server: 2, Requests: 100, Latency: 1.0},
+			{Server: 3, Requests: 100, Latency: 1.0},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("slow server shrank:", m.Length(0) < m.Length(1))
+	fmt.Println("still half occupancy:", m.TotalMapped() == anu.Half)
+	// Output:
+	// partitions: 8
+	// half occupancy: true
+	// slow server shrank: true
+	// still half occupancy: true
+}
+
+// Lookup re-hashes until an offset lands in a mapped region — two
+// probes in expectation under half occupancy.
+func ExampleMap_Lookup() {
+	m, _ := anu.New(hashx.NewFamily(1), []anu.ServerID{0, 1, 2})
+	owner, probes := m.Lookup("/var/data/fs-17")
+	fmt.Println("owned:", owner != anu.NoServer, "probes >= 1:", probes >= 1)
+	// The same name always resolves identically.
+	again, _ := m.Lookup("/var/data/fs-17")
+	fmt.Println("deterministic:", owner == again)
+	// Output:
+	// owned: true probes >= 1: true
+	// deterministic: true
+}
+
+// The wire encoding is the cluster's entire replicated state.
+func ExampleMap_Encode() {
+	m, _ := anu.New(hashx.NewFamily(9), []anu.ServerID{0, 1, 2, 3, 4})
+	data := m.Encode()
+	peer, err := anu.Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	a, _ := m.Lookup("some/file/set")
+	b, _ := peer.Lookup("some/file/set")
+	fmt.Println("replica agrees:", a == b)
+	fmt.Println("O(k) bytes:", len(data) < 256)
+	// Output:
+	// replica agrees: true
+	// O(k) bytes: true
+}
+
+// Adding a server repartitions without moving existing load.
+func ExampleMap_AddServer() {
+	m, _ := anu.New(hashx.NewFamily(4), []anu.ServerID{0, 1, 2, 3})
+	before, _ := m.Lookup("fs/alpha")
+	_ = before
+	fmt.Println("partitions:", m.Partitions())
+	if err := m.AddServer(4); err != nil {
+		panic(err)
+	}
+	fmt.Println("partitions:", m.Partitions())
+	fmt.Println("newcomer share ~1/5:", m.Length(4) > 0)
+	// Output:
+	// partitions: 8
+	// partitions: 16
+	// newcomer share ~1/5: true
+}

@@ -1,0 +1,55 @@
+package anu
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"anurand/internal/hashx"
+)
+
+// TestEncodeGolden pins the wire format: the encoded bytes of a fixed
+// map must never change, because every cluster node decodes what the
+// delegate replicates — a silent format change would split a cluster
+// mid-upgrade. If this test fails, the format changed: bump the magic
+// and add migration, do not update the golden value casually.
+func TestEncodeGolden(t *testing.T) {
+	m, err := New(hashx.NewFamily(7), []ServerID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetWeights(map[ServerID]float64{0: 1, 1: 2, 2: 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Encode()
+	const golden = "31554e4107000000000000000303000000000000000000000000" +
+		"00000056555555555555050100000001000000020000000300000095aaaa" +
+		"aaaaaaaa0202000000020000000400000005000000010000001500000000000000"
+	want, err := hex.DecodeString(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wire format changed:\n got  %x\n want %x", got, want)
+	}
+}
+
+// TestEncodeGoldenDecodes ensures the pinned bytes stay decodable.
+func TestEncodeGoldenDecodes(t *testing.T) {
+	m, err := New(hashx.NewFamily(7), []ServerID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetWeights(map[ServerID]float64{0: 1, 1: 2, 2: 3}); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range m.Servers() {
+		if dec.Length(id) != m.Length(id) {
+			t.Fatalf("server %d length mismatch after decode", id)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package anu
+
+// The multiple-choice heuristic from SIEVE (Brinkmann et al.), which
+// the paper cites as an ingredient of its m/n + 1 load bound ("a
+// multiple choice heuristic that we have not described"): instead of
+// placing a file set at the first probe that lands in a mapped region,
+// examine the first d distinct candidate servers along the probe chain
+// and keep the least-loaded one. The classic power-of-d-choices effect
+// collapses the O(lg n / lg lg n) imbalance of single-choice hashing to
+// O(lg lg n).
+//
+// The chosen placement depends on load, so it is not re-derivable from
+// the map alone: a cluster using it must remember the choice (one probe
+// index per file set) or re-run the choice deterministically from the
+// same load snapshot. LookupChoices exposes the candidate chain so
+// callers can manage that state; LookupD implements the common case.
+
+// Candidate is one distinct server encountered along a probe chain.
+type Candidate struct {
+	Server ServerID
+	// Probes is the number of hash probes consumed up to and including
+	// this candidate's hit (1-based). Re-probing the chain with this
+	// count reproduces the hit deterministically.
+	Probes int
+}
+
+// LookupChoices returns the first d distinct servers hit by name's probe
+// chain, in probe order. It spends at most the map's probe budget; if
+// fewer than d distinct servers are found within it, the shorter list is
+// returned (never empty while any region is mapped — the rank fallback
+// supplies a final candidate).
+func (m *Map) LookupChoices(name string, d int) []Candidate {
+	if d < 1 {
+		d = 1
+	}
+	var out []Candidate
+	seen := make(map[ServerID]bool, d)
+	var first Ticks
+	for r := 0; r < m.maxProbes && len(out) < d; r++ {
+		x := Ticks(m.family.Unit(name, r, uint64(Unit)))
+		if r == 0 {
+			first = x
+		}
+		owner := m.OwnerAt(x)
+		if owner == NoServer || seen[owner] {
+			continue
+		}
+		seen[owner] = true
+		out = append(out, Candidate{Server: owner, Probes: r + 1})
+	}
+	if len(out) == 0 {
+		if fb := m.rankFallback(first); fb != NoServer {
+			out = append(out, Candidate{Server: fb, Probes: m.maxProbes})
+		}
+	}
+	return out
+}
+
+// LookupD places name on the least-loaded of its first d candidate
+// servers, where load is the caller's metric (assigned file sets,
+// bytes, offered work). Ties keep the earliest candidate, so d=1
+// degenerates exactly to Lookup. The returned probe count reproduces
+// the decision chain.
+func (m *Map) LookupD(name string, d int, load func(ServerID) float64) (ServerID, int) {
+	cands := m.LookupChoices(name, d)
+	if len(cands) == 0 {
+		return NoServer, m.maxProbes
+	}
+	best := cands[0]
+	if load != nil {
+		bestLoad := load(best.Server)
+		for _, c := range cands[1:] {
+			if l := load(c.Server); l < bestLoad {
+				best, bestLoad = c, l
+			}
+		}
+	}
+	return best.Server, best.Probes
+}

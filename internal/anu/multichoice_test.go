@@ -1,0 +1,149 @@
+package anu
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLookupChoicesDistinctAndOrdered(t *testing.T) {
+	m := newTestMap(t, 5)
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("fs-%d", i)
+		cands := m.LookupChoices(name, 3)
+		if len(cands) == 0 {
+			t.Fatalf("no candidates for %q", name)
+		}
+		seen := map[ServerID]bool{}
+		prev := 0
+		for _, c := range cands {
+			if seen[c.Server] {
+				t.Fatalf("duplicate candidate server %d", c.Server)
+			}
+			seen[c.Server] = true
+			if c.Probes <= prev {
+				t.Fatalf("probe counts not increasing: %+v", cands)
+			}
+			prev = c.Probes
+		}
+	}
+}
+
+func TestLookupChoicesFirstMatchesLookup(t *testing.T) {
+	m := newTestMap(t, 5)
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("key-%d", i)
+		id, probes := m.Lookup(name)
+		cands := m.LookupChoices(name, 4)
+		if cands[0].Server != id || cands[0].Probes != probes {
+			t.Fatalf("first candidate (%d,%d) != Lookup (%d,%d)",
+				cands[0].Server, cands[0].Probes, id, probes)
+		}
+	}
+}
+
+func TestLookupDOneChoiceEqualsLookup(t *testing.T) {
+	m := newTestMap(t, 7)
+	counter := map[ServerID]float64{}
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("n-%d", i)
+		a, pa := m.Lookup(name)
+		b, pb := m.LookupD(name, 1, func(id ServerID) float64 { return counter[id] })
+		if a != b || pa != pb {
+			t.Fatalf("d=1 diverges from Lookup for %q", name)
+		}
+	}
+}
+
+func TestLookupDNilLoadKeepsFirst(t *testing.T) {
+	m := newTestMap(t, 5)
+	a, _ := m.Lookup("some-key")
+	b, _ := m.LookupD("some-key", 3, nil)
+	if a != b {
+		t.Fatalf("nil load should keep the first candidate: %d vs %d", a, b)
+	}
+}
+
+// TestPowerOfTwoChoicesReducesImbalance places many keys with d=1 and
+// d=2 and checks the classic effect: the most-loaded server's excess
+// over the mean shrinks substantially with two choices.
+func TestPowerOfTwoChoicesReducesImbalance(t *testing.T) {
+	const keys = 20000
+	imbalance := func(d int) float64 {
+		m := newTestMap(t, 8)
+		counts := map[ServerID]float64{}
+		for i := 0; i < keys; i++ {
+			id, _ := m.LookupD(fmt.Sprintf("k-%d", i), d, func(s ServerID) float64 { return counts[s] })
+			counts[id]++
+		}
+		mean := float64(keys) / 8
+		worst := 0.0
+		for _, c := range counts {
+			if over := c - mean; over > worst {
+				worst = over
+			}
+		}
+		return worst
+	}
+	one, two := imbalance(1), imbalance(2)
+	if two >= one {
+		t.Fatalf("two choices (excess %.0f) not better than one (excess %.0f)", two, one)
+	}
+	if two > one/2 {
+		t.Fatalf("two choices should at least halve the excess: %.0f vs %.0f", two, one)
+	}
+}
+
+func TestLookupDRespectsRegionSkew(t *testing.T) {
+	// Even with d choices, only mapped servers are candidates: a failed
+	// server must never be selected.
+	m := newTestMap(t, 4)
+	if err := m.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ServerID]float64{}
+	for i := 0; i < 2000; i++ {
+		id, _ := m.LookupD(fmt.Sprintf("x-%d", i), 3, func(s ServerID) float64 { return counts[s] })
+		if id == ServerID(2) {
+			t.Fatal("failed server chosen")
+		}
+		counts[id]++
+	}
+}
+
+func TestLookupChoicesEmptyMap(t *testing.T) {
+	m := newTestMap(t, 2)
+	if err := m.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	m.SetMaxProbes(4)
+	if cands := m.LookupChoices("anything", 2); len(cands) != 0 {
+		t.Fatalf("candidates on empty map: %+v", cands)
+	}
+	if id, _ := m.LookupD("anything", 2, nil); id != NoServer {
+		t.Fatalf("LookupD on empty map returned %d", id)
+	}
+}
+
+func BenchmarkLookupD2(b *testing.B) {
+	ids := make([]ServerID, 16)
+	for i := range ids {
+		ids[i] = ServerID(i)
+	}
+	m, err := New(testFamily(), ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := make(map[ServerID]float64, 16)
+	names := make([]string, 1024)
+	for i := range names {
+		names[i] = fmt.Sprintf("fileset-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, _ := m.LookupD(names[i&1023], 2, func(s ServerID) float64 { return loads[s] })
+		loads[id]++
+	}
+}

@@ -1,0 +1,227 @@
+package anu
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"anurand/internal/hashx"
+	"anurand/internal/rng"
+)
+
+// opScript drives a map through a random sequence of mutations and
+// checks every invariant after every step. This is the load-bearing
+// property test for the geometry engine.
+func TestPropertyRandomOperationSequences(t *testing.T) {
+	prop := func(seed uint64, kRaw uint8, steps uint8) bool {
+		k := int(kRaw%10) + 1
+		src := rng.New(seed)
+		ids := make([]ServerID, k)
+		for i := range ids {
+			ids[i] = ServerID(i)
+		}
+		m, err := New(hashx.NewFamily(seed), ids)
+		if err != nil {
+			t.Logf("New: %v", err)
+			return false
+		}
+		next := ServerID(k)
+		for step := 0; step < int(steps%64)+1; step++ {
+			switch src.Intn(6) {
+			case 0: // random retune
+				weights := make(map[ServerID]float64, m.K())
+				for _, id := range m.Servers() {
+					weights[id] = src.Float64()
+				}
+				weights[m.Servers()[0]] += 0.01 // keep at least one positive
+				if err := m.SetWeights(weights); err != nil {
+					t.Logf("step %d SetWeights: %v", step, err)
+					return false
+				}
+			case 1: // fail a random server
+				ids := m.Servers()
+				if err := m.Fail(ids[src.Intn(len(ids))]); err != nil {
+					t.Logf("step %d Fail: %v", step, err)
+					return false
+				}
+			case 2: // recover a random server
+				ids := m.Servers()
+				if err := m.Recover(ids[src.Intn(len(ids))]); err != nil {
+					t.Logf("step %d Recover: %v", step, err)
+					return false
+				}
+			case 3: // add
+				if m.K() < 24 {
+					if err := m.AddServer(next); err != nil {
+						t.Logf("step %d Add: %v", step, err)
+						return false
+					}
+					next++
+				}
+			case 4: // remove
+				if m.K() > 1 {
+					ids := m.Servers()
+					if err := m.RemoveServer(ids[src.Intn(len(ids))]); err != nil {
+						t.Logf("step %d Remove: %v", step, err)
+						return false
+					}
+				}
+			case 5: // repartition explicitly
+				if m.Partitions() < 1<<12 {
+					if err := m.Repartition(); err != nil {
+						t.Logf("step %d Repartition: %v", step, err)
+						return false
+					}
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Logf("step %d invariants: %v", step, err)
+				return false
+			}
+			if total := m.TotalMapped(); total != Half && total != 0 {
+				t.Logf("step %d: total %d", step, total)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLookupTotalOnLiveMaps verifies lookup totality: whenever
+// any server has a nonzero region, every name resolves to a live server.
+func TestPropertyLookupTotalOnLiveMaps(t *testing.T) {
+	prop := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		src := rng.New(seed)
+		ids := make([]ServerID, k)
+		for i := range ids {
+			ids[i] = ServerID(i)
+		}
+		m, err := New(hashx.NewFamily(seed^0xabc), ids)
+		if err != nil {
+			return false
+		}
+		weights := make(map[ServerID]float64, k)
+		for _, id := range ids {
+			weights[id] = src.Float64() * src.Float64() // skewed
+		}
+		weights[ids[src.Intn(k)]] += 0.5
+		if err := m.SetWeights(weights); err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			id, probes := m.Lookup(fmt.Sprintf("name-%d-%d", seed, i))
+			if id == NoServer {
+				t.Logf("lookup miss with mapped measure %d", m.TotalMapped())
+				return false
+			}
+			if m.Length(id) == 0 {
+				t.Logf("lookup returned zero-length server %d", id)
+				return false
+			}
+			if probes < 1 || probes > m.maxProbes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMovementBounded asserts the minimal-movement guarantee
+// across random retunes: the interval measure that changes owner is
+// bounded by the total length change requested.
+func TestPropertyMovementBounded(t *testing.T) {
+	prop := func(seed uint64) bool {
+		src := rng.New(seed)
+		k := 2 + src.Intn(9)
+		ids := make([]ServerID, k)
+		for i := range ids {
+			ids[i] = ServerID(i)
+		}
+		m, err := New(hashx.NewFamily(seed), ids)
+		if err != nil {
+			return false
+		}
+		for round := 0; round < 10; round++ {
+			before := m.Clone()
+			weights := make(map[ServerID]float64, k)
+			for _, id := range ids {
+				weights[id] = 0.05 + src.Float64()
+			}
+			if err := m.SetWeights(weights); err != nil {
+				return false
+			}
+			var delta Ticks
+			for _, id := range ids {
+				a, b := before.Length(id), m.Length(id)
+				if a > b {
+					delta += a - b
+				} else {
+					delta += b - a
+				}
+			}
+			if MovedMeasure(before, m) > delta {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEncodeDecodeRoundTrip checks that the wire format is
+// lossless over random map states.
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		src := rng.New(seed)
+		k := 1 + src.Intn(12)
+		ids := make([]ServerID, k)
+		for i := range ids {
+			ids[i] = ServerID(i * 3) // non-contiguous ids
+		}
+		m, err := New(hashx.NewFamily(seed), ids)
+		if err != nil {
+			return false
+		}
+		weights := make(map[ServerID]float64, k)
+		for _, id := range ids {
+			weights[id] = 0.01 + src.Float64()
+		}
+		if err := m.SetWeights(weights); err != nil {
+			return false
+		}
+		dec, err := Decode(m.Encode())
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		if dec.Partitions() != m.Partitions() || dec.K() != m.K() {
+			return false
+		}
+		if MovedMeasure(m, dec) != 0 {
+			t.Log("decoded map has different geometry")
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			name := fmt.Sprintf("fs-%d", i)
+			a, _ := m.Lookup(name)
+			b, _ := dec.Lookup(name)
+			if a != b {
+				t.Logf("lookup diverged for %q", name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

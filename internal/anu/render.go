@@ -1,0 +1,49 @@
+package anu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the unit interval as a fixed-width ASCII bar, one
+// character per interval cell: a server's cells show the last decimal
+// digit of its id, unmapped space shows '.'. Partition boundaries are
+// marked on a ruler line below when they are at least two cells apart.
+// It is a debugging and teaching aid used by the examples; Figure 2 of
+// the paper is exactly this picture.
+func (m *Map) Render(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	cells := make([]byte, width)
+	for i := range cells {
+		x := Ticks(uint64(i) * (uint64(Unit) / uint64(width)))
+		if owner := m.OwnerAt(x); owner != NoServer {
+			cells[i] = byte('0' + int(owner)%10)
+		} else {
+			cells[i] = '.'
+		}
+	}
+	var b strings.Builder
+	b.WriteString("[")
+	b.Write(cells)
+	b.WriteString("]\n")
+
+	// Ruler with partition boundaries.
+	cellsPerPart := width / m.Partitions()
+	if cellsPerPart >= 2 {
+		ruler := make([]byte, width)
+		for i := range ruler {
+			ruler[i] = ' '
+		}
+		for p := 0; p < m.Partitions(); p++ {
+			ruler[p*cellsPerPart] = '|'
+		}
+		b.WriteString(" ")
+		b.Write(ruler)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, " k=%d partitions=%d mapped=%.0f%%\n",
+		m.K(), m.Partitions(), 100*m.TotalMapped().Float())
+	return b.String()
+}

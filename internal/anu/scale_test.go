@@ -1,0 +1,409 @@
+package anu
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"anurand/internal/rng"
+)
+
+func TestSetWeightsProportions(t *testing.T) {
+	m := newTestMap(t, 5)
+	weights := map[ServerID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
+	if err := m.SetWeights(weights); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for id, w := range weights {
+		got := m.Length(ServerID(id)).Float()
+		want := w / 25 * 0.5
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("server %d: length %.6f of interval, want %.6f", id, got, want)
+		}
+	}
+}
+
+func TestSetWeightsErrors(t *testing.T) {
+	m := newTestMap(t, 3)
+	cases := map[string]map[ServerID]float64{
+		"negative":      {0: 1, 1: -1, 2: 1},
+		"NaN":           {0: 1, 1: math.NaN(), 2: 1},
+		"all zero":      {0: 0, 1: 0, 2: 0},
+		"missing id":    {0: 1, 1: 1},
+		"unknown id":    {0: 1, 1: 1, 9: 1},
+		"extra entries": {0: 1, 1: 1, 2: 1, 3: 1},
+	}
+	for name, w := range cases {
+		if err := m.SetWeights(w); err == nil {
+			t.Errorf("SetWeights(%s) succeeded", name)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("failed SetWeights corrupted the map: %v", err)
+	}
+}
+
+func TestSetLengthsRejectsBadSum(t *testing.T) {
+	m := newTestMap(t, 2)
+	if err := m.SetLengths(map[ServerID]Ticks{0: Half, 1: 1}); err == nil {
+		t.Fatal("SetLengths with sum != Half succeeded")
+	}
+}
+
+func TestLengthsFromWeightsExactTotal(t *testing.T) {
+	src := rng.New(5)
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + src.Intn(20)
+		weights := make(map[ServerID]float64, k)
+		for i := 0; i < k; i++ {
+			weights[ServerID(i)] = src.Float64() * 100
+		}
+		// Ensure at least one positive weight.
+		weights[0] += 1
+		lengths, err := LengthsFromWeights(weights, Half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum Ticks
+		for _, l := range lengths {
+			sum += l
+		}
+		if sum != Half {
+			t.Fatalf("trial %d: lengths sum to %d, want %d", trial, sum, Half)
+		}
+	}
+}
+
+func TestScalingPreservesUntouchedOwners(t *testing.T) {
+	m := newTestMap(t, 5)
+	before := m.Clone()
+	// A modest retune: server 0 sheds ~20% to server 4.
+	l := m.Lengths()
+	delta := l[0] / 5
+	l[0] -= delta
+	l[4] += delta
+	if err := m.SetLengths(l); err != nil {
+		t.Fatal(err)
+	}
+	// A transfer of delta touches at most 2*delta of measure: the
+	// prefix-partial geometry means the grower cannot always claim the
+	// exact slivers the shrinker released mid-partition.
+	moved := MovedMeasure(before, m)
+	if moved > 2*delta {
+		t.Fatalf("moved measure %d exceeds 2x the length change %d (not minimal movement)", moved, delta)
+	}
+	if moved == 0 {
+		t.Fatal("expected some movement")
+	}
+	// Locality: the shrinking server's new region is a subset of its
+	// old one (it shrank in place, nothing relocated), and the growing
+	// server kept everything it had.
+	for _, s := range m.Segments() {
+		if s.Owner != ServerID(0) {
+			continue
+		}
+		for _, x := range []Ticks{s.Start, (s.Start + s.End) / 2, s.End - 1} {
+			if before.OwnerAt(x) != ServerID(0) {
+				t.Fatalf("shrinking server gained tick %d it did not own before", x)
+			}
+		}
+	}
+	for _, s := range before.Segments() {
+		if s.Owner != ServerID(4) {
+			continue
+		}
+		for _, x := range []Ticks{s.Start, (s.Start + s.End) / 2, s.End - 1} {
+			if m.OwnerAt(x) != ServerID(4) {
+				t.Fatalf("growing server lost tick %d it owned before", x)
+			}
+		}
+	}
+}
+
+func TestScalingMovedMeasureBound(t *testing.T) {
+	// Movement is at most the total absolute length change: shrinkers
+	// release exactly their decrease and growers claim only free or
+	// released space.
+	src := rng.New(7)
+	m := newTestMap(t, 8)
+	for round := 0; round < 50; round++ {
+		before := m.Clone()
+		weights := make(map[ServerID]float64, 8)
+		for _, id := range m.Servers() {
+			weights[id] = 0.1 + src.Float64()
+		}
+		if err := m.SetWeights(weights); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		var totalDelta Ticks
+		for _, id := range m.Servers() {
+			a, b := before.Length(id), m.Length(id)
+			if a > b {
+				totalDelta += a - b
+			} else {
+				totalDelta += b - a
+			}
+		}
+		if moved := MovedMeasure(before, m); moved > totalDelta {
+			t.Fatalf("round %d: moved %d > total length change %d", round, moved, totalDelta)
+		}
+	}
+}
+
+func TestRepartitionMovesNothing(t *testing.T) {
+	m := newTestMap(t, 5)
+	if err := m.SetWeights(map[ServerID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Clone()
+	if err := m.Repartition(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Partitions() != 2*before.Partitions() {
+		t.Fatalf("partitions %d, want doubled %d", m.Partitions(), 2*before.Partitions())
+	}
+	if moved := MovedMeasure(before, m); moved != 0 {
+		t.Fatalf("repartition moved %d ticks, want 0", moved)
+	}
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("fs-%d", i)
+		a, _ := before.Lookup(name)
+		b, _ := m.Lookup(name)
+		if a != b {
+			t.Fatalf("repartition changed Lookup(%q): %d -> %d", name, a, b)
+		}
+	}
+}
+
+func TestAddServerGrowsPartitionsWhenNeeded(t *testing.T) {
+	m := newTestMap(t, 4) // 8 partitions
+	if err := m.AddServer(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Partitions() != 16 {
+		t.Fatalf("partitions after add = %d, want 16 (k=5 needs 2^4)", m.Partitions())
+	}
+	if m.K() != 5 {
+		t.Fatalf("K = %d, want 5", m.K())
+	}
+	// The newcomer gets an equal 1/5 share of the half.
+	want := float64(Half) / 5
+	if got := float64(m.Length(4)); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("new server length %g, want %g", got, want)
+	}
+}
+
+func TestAddServerPreservesProportions(t *testing.T) {
+	m := newTestMap(t, 5)
+	if err := m.SetWeights(map[ServerID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddServer(5); err != nil {
+		t.Fatal(err)
+	}
+	// Old servers keep their relative order and ratios (scaled back).
+	r10 := float64(m.Length(1)) / float64(m.Length(0))
+	if math.Abs(r10-3) > 0.01 {
+		t.Errorf("ratio length(1)/length(0) = %g, want ~3 after scale-back", r10)
+	}
+	if m.TotalMapped() != Half {
+		t.Errorf("total mapped %d after add, want %d", m.TotalMapped(), Half)
+	}
+}
+
+func TestAddServerErrors(t *testing.T) {
+	m := newTestMap(t, 3)
+	if err := m.AddServer(1); err == nil {
+		t.Error("adding duplicate id succeeded")
+	}
+	if err := m.AddServer(-1); err == nil {
+		t.Error("adding negative id succeeded")
+	}
+}
+
+func TestFailRedistributesToSurvivors(t *testing.T) {
+	m := newTestMap(t, 5)
+	before := m.Clone()
+	if err := m.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Length(2) != 0 {
+		t.Fatalf("failed server keeps length %d", m.Length(2))
+	}
+	if m.TotalMapped() != Half {
+		t.Fatalf("total mapped %d after failure, want %d", m.TotalMapped(), Half)
+	}
+	// Only file sets served by the failed server should move.
+	movedOthers := 0
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("fs-%d", i)
+		a, _ := before.Lookup(name)
+		b, _ := m.Lookup(name)
+		if a != ServerID(2) && a != b {
+			movedOthers++
+		}
+		if b == ServerID(2) {
+			t.Fatalf("Lookup(%q) still routes to the failed server", name)
+		}
+	}
+	// Survivors grow, so some of their boundary mass can shift; the
+	// paper's claim is locality, not literal zero. Keep it small.
+	if frac := float64(movedOthers) / 2000; frac > 0.30 {
+		t.Fatalf("%.1f%% of surviving file sets moved on failure, want small", frac*100)
+	}
+}
+
+func TestFailUnknownAndIdempotent(t *testing.T) {
+	m := newTestMap(t, 3)
+	if err := m.Fail(99); err == nil {
+		t.Error("Fail(unknown) succeeded")
+	}
+	if err := m.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fail(1); err != nil {
+		t.Fatalf("second Fail errored: %v", err)
+	}
+}
+
+func TestFailAllThenRecover(t *testing.T) {
+	m := newTestMap(t, 3)
+	for _, id := range m.Servers() {
+		if err := m.Fail(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.TotalMapped() != 0 {
+		t.Fatalf("all failed but mapped measure = %d", m.TotalMapped())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Length(1) != Half {
+		t.Fatalf("sole survivor length %d, want the whole half %d", m.Length(1), Half)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverAfterFail(t *testing.T) {
+	m := newTestMap(t, 5)
+	if err := m.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(Half) / 5
+	if got := float64(m.Length(0)); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("recovered length %g, want equal share %g", got, want)
+	}
+	// Recover on a live server is a no-op.
+	before := m.Lengths()
+	if err := m.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if changed(before, m.Lengths()) {
+		t.Fatal("Recover on a live server changed lengths")
+	}
+}
+
+func TestRemoveServerForgetsID(t *testing.T) {
+	m := newTestMap(t, 5)
+	if err := m.RemoveServer(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Has(3) {
+		t.Fatal("removed server still present")
+	}
+	if m.K() != 4 {
+		t.Fatalf("K = %d after removal, want 4", m.K())
+	}
+	if m.TotalMapped() != Half {
+		t.Fatalf("total mapped %d after removal, want %d", m.TotalMapped(), Half)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveServer(3); err == nil {
+		t.Fatal("removing twice succeeded")
+	}
+}
+
+func TestCommissionDecommissionCycle(t *testing.T) {
+	// The paper's "clusters on demand": servers come and go repeatedly;
+	// geometry must stay valid throughout.
+	m := newTestMap(t, 3)
+	next := ServerID(3)
+	src := rng.New(11)
+	for round := 0; round < 100; round++ {
+		if src.Float64() < 0.5 && m.K() < 20 {
+			if err := m.AddServer(next); err != nil {
+				t.Fatalf("round %d add: %v", round, err)
+			}
+			next++
+		} else if m.K() > 1 {
+			ids := m.Servers()
+			if err := m.RemoveServer(ids[src.Intn(len(ids))]); err != nil {
+				t.Fatalf("round %d remove: %v", round, err)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if m.TotalMapped() != Half {
+			t.Fatalf("round %d: total %d", round, m.TotalMapped())
+		}
+	}
+}
+
+// TestFigure3Scenario reproduces the paper's Figure 3: four servers in
+// eight partitions with a highly skewed assignment (server 0 holding
+// almost all the mapped half), then a fifth server is added, which
+// repartitions the interval and still finds a free partition.
+func TestFigure3Scenario(t *testing.T) {
+	m := newTestMap(t, 4)
+	if m.Partitions() != 8 {
+		t.Fatalf("k=4 gives %d partitions, want 8", m.Partitions())
+	}
+	if err := m.SetWeights(map[ServerID]float64{0: 97, 1: 1, 2: 1, 3: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddServer(4); err != nil {
+		t.Fatalf("adding the fifth server: %v", err)
+	}
+	if m.Partitions() != 16 {
+		t.Fatalf("partitions after add = %d, want 16", m.Partitions())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Length(4) == 0 {
+		t.Fatal("added server got no region")
+	}
+}

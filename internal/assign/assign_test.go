@@ -1,0 +1,292 @@
+package assign
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"anurand/internal/rng"
+)
+
+func paperBins() []Bin {
+	return []Bin{{0, 1}, {1, 3}, {2, 5}, {3, 7}, {4, 9}}
+}
+
+func TestGreedyAssignsEverything(t *testing.T) {
+	items := []Item{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}
+	bins := paperBins()
+	a := Greedy(items, bins)
+	if err := Validate(items, bins, a); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range a {
+		if b < 0 {
+			t.Fatalf("item %d unassigned", i)
+		}
+	}
+}
+
+func TestGreedySkipsZeroCapacityBins(t *testing.T) {
+	items := []Item{{0, 1}, {1, 2}}
+	bins := []Bin{{0, 0}, {1, 5}}
+	a := Greedy(items, bins)
+	for i, b := range a {
+		if b != 1 {
+			t.Fatalf("item %d assigned to bin %d, want 1", i, b)
+		}
+	}
+}
+
+func TestGreedyNoUsableBins(t *testing.T) {
+	items := []Item{{0, 1}}
+	bins := []Bin{{0, 0}}
+	a := Greedy(items, bins)
+	if a[0] != -1 {
+		t.Fatalf("item assigned to zero-capacity bin")
+	}
+	if err := Validate(items, bins, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	src := rng.New(4)
+	items := make([]Item, 30)
+	for i := range items {
+		items[i] = Item{ID: i, Load: src.Float64() * 3}
+	}
+	bins := paperBins()
+	a := Greedy(items, bins)
+	b := Greedy(items, bins)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("greedy not deterministic at item %d", i)
+		}
+	}
+}
+
+func TestMeanLatencyEmptyAndOverload(t *testing.T) {
+	bins := []Bin{{0, 1}}
+	if got := MeanLatency(nil, bins, nil); got != 0 {
+		t.Fatalf("empty MeanLatency = %g", got)
+	}
+	items := []Item{{0, 2}} // load 2 into capacity 1
+	a := Assignment{0}
+	if got := MeanLatency(items, bins, a); got < overloadPenalty {
+		t.Fatalf("overloaded bin latency %g below penalty", got)
+	}
+}
+
+func TestMeanLatencyPrefersBalanced(t *testing.T) {
+	items := []Item{{0, 1}, {1, 1}}
+	bins := []Bin{{0, 2}, {1, 2}}
+	balanced := Assignment{0, 1}
+	lopsided := Assignment{0, 0}
+	if MeanLatency(items, bins, balanced) >= MeanLatency(items, bins, lopsided) {
+		t.Fatal("balanced assignment not preferred")
+	}
+}
+
+func TestLocalSearchImprovesBadSeed(t *testing.T) {
+	items := []Item{{0, 1}, {1, 1}, {2, 1}, {3, 1}}
+	bins := []Bin{{0, 2}, {1, 2}}
+	bad := Assignment{0, 0, 0, 0} // everything on bin 0: overloaded
+	before := MeanLatency(items, bins, bad)
+	got, steps := LocalSearch(items, bins, bad, 10)
+	after := MeanLatency(items, bins, got)
+	if steps == 0 || after >= before {
+		t.Fatalf("local search did not improve: %g -> %g in %d steps", before, after, steps)
+	}
+	loads := binLoads(items, bins, got)
+	if loads[0] != 2 || loads[1] != 2 {
+		t.Fatalf("final loads %v, want [2 2]", loads)
+	}
+}
+
+func TestOptimizeBeatsProportionalSplit(t *testing.T) {
+	// Many equal items across the paper's heterogeneous bins: the
+	// latency-minimizing split is NOT proportional-to-capacity — it
+	// shifts load toward fast servers and may idle the slowest one
+	// (exactly the paper's observation that extremely weak servers sit
+	// idle). The optimizer must do at least as well as the
+	// proportional split and must not overload anyone.
+	items := make([]Item, 100)
+	for i := range items {
+		items[i] = Item{ID: i, Load: 0.1}
+	}
+	bins := paperBins()
+	a := Optimize(items, bins)
+	if err := Validate(items, bins, a); err != nil {
+		t.Fatal(err)
+	}
+	utils := Utilizations(items, bins, a)
+	for b, u := range utils {
+		if u >= 1 {
+			t.Errorf("bin %d overloaded at utilization %.3f", b, u)
+		}
+	}
+	// Build the proportional assignment for comparison.
+	prop := make(Assignment, len(items))
+	next, acc := 0, 0.0
+	quota := []float64{0.4, 1.2, 2.0, 2.8, 3.6} // 10 total load, prop to capacity
+	for i := range items {
+		for next < len(bins)-1 && acc+items[i].Load > quota[next]+1e-9 {
+			next++
+			acc = 0
+		}
+		prop[i] = next
+		acc += items[i].Load
+	}
+	if MeanLatency(items, bins, a) > MeanLatency(items, bins, prop)+1e-12 {
+		t.Fatalf("optimizer (%.4f) worse than proportional split (%.4f)",
+			MeanLatency(items, bins, a), MeanLatency(items, bins, prop))
+	}
+	// The fastest server must carry more load than the slowest.
+	loads := binLoads(items, bins, a)
+	if loads[4] <= loads[0] {
+		t.Fatalf("fastest bin carries %.2f, slowest %.2f", loads[4], loads[0])
+	}
+}
+
+func TestOptimizeHandlesSingleHugeItem(t *testing.T) {
+	items := []Item{{0, 10}, {1, 0.1}, {2, 0.1}}
+	bins := paperBins()
+	a := Optimize(items, bins)
+	if a[0] != 4 {
+		t.Fatalf("huge item on bin %d, want the fastest bin 4", a[0])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	items := []Item{{0, 1}}
+	bins := []Bin{{0, 0}, {1, 1}}
+	if err := Validate(items, bins, Assignment{}); err == nil {
+		t.Error("wrong-length assignment validated")
+	}
+	if err := Validate(items, bins, Assignment{5}); err == nil {
+		t.Error("out-of-range bin validated")
+	}
+	if err := Validate(items, bins, Assignment{0}); err == nil {
+		t.Error("zero-capacity bin assignment validated")
+	}
+	if err := Validate(items, bins, Assignment{1}); err != nil {
+		t.Errorf("good assignment rejected: %v", err)
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	items := []Item{{0, 2}, {1, 3}}
+	bins := []Bin{{0, 4}, {1, 0}}
+	a := Assignment{0, 0}
+	u := Utilizations(items, bins, a)
+	if u[0] != 1.25 {
+		t.Errorf("u[0] = %g, want 1.25", u[0])
+	}
+	if !math.IsNaN(u[1]) {
+		t.Errorf("u[1] = %g, want NaN for idle zero-capacity bin", u[1])
+	}
+}
+
+// fluidBound computes the true lower bound on MeanLatency if load were
+// infinitely divisible: minimize sum(load_b/(c_b-load_b)) subject to
+// sum(load_b)=L. The KKT conditions give the square-root water-filling
+// rule load_b = max(0, c_b - sqrt(c_b/lambda)); lambda is found by
+// bisection.
+func fluidBound(total float64, bins []Bin) float64 {
+	loadAt := func(lambda float64) float64 {
+		var sum float64
+		for _, b := range bins {
+			l := b.Capacity - math.Sqrt(b.Capacity/lambda)
+			if l > 0 {
+				sum += l
+			}
+		}
+		return sum
+	}
+	lo, hi := 1e-12, 1e12
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		if loadAt(mid) < total {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := math.Sqrt(lo * hi)
+	var num float64
+	for _, b := range bins {
+		l := b.Capacity - math.Sqrt(b.Capacity/lambda)
+		if l > 0 {
+			num += l / (b.Capacity - l)
+		}
+	}
+	return num / total
+}
+
+// TestOptimizeNearLowerBound compares the optimizer against the fluid
+// (infinitely divisible) water-filling optimum: it can never beat it and
+// should land close above it.
+func TestOptimizeNearLowerBound(t *testing.T) {
+	src := rng.New(7)
+	items := make([]Item, 50)
+	var total float64
+	for i := range items {
+		items[i] = Item{ID: i, Load: 0.05 + 0.3*src.Float64()}
+		total += items[i].Load
+	}
+	bins := paperBins()
+	if total >= 25 {
+		t.Fatalf("test workload overloads the cluster (total=%g)", total)
+	}
+	bound := fluidBound(total, bins)
+	a := Optimize(items, bins)
+	got := MeanLatency(items, bins, a)
+	if got < bound-1e-9 {
+		t.Fatalf("optimizer beat the fluid lower bound: %g < %g (model bug)", got, bound)
+	}
+	if got > bound*1.5 {
+		t.Fatalf("optimizer %g more than 50%% above fluid bound %g", got, bound)
+	}
+}
+
+func TestOptimizePropertyFeasibleAndStable(t *testing.T) {
+	prop := func(seed uint64, nRaw, kRaw uint8) bool {
+		src := rng.New(seed)
+		n := int(nRaw%40) + 1
+		k := int(kRaw%6) + 1
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: i, Load: src.Float64()}
+		}
+		bins := make([]Bin, k)
+		for b := range bins {
+			bins[b] = Bin{ID: b, Capacity: 1 + src.Float64()*8}
+		}
+		a := Optimize(items, bins)
+		if Validate(items, bins, a) != nil {
+			return false
+		}
+		// Re-running local search must not find further improvement
+		// (local optimum reached).
+		before := MeanLatency(items, bins, a)
+		_, steps := LocalSearch(items, bins, a, 5)
+		after := MeanLatency(items, bins, a)
+		return steps == 0 && math.Abs(before-after) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOptimize50x5(b *testing.B) {
+	src := rng.New(1)
+	items := make([]Item, 50)
+	for i := range items {
+		items[i] = Item{ID: i, Load: 0.05 + src.Float64()*0.3}
+	}
+	bins := paperBins()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(items, bins)
+	}
+}

@@ -1,0 +1,272 @@
+// Package chordring implements the Chord-style alternative addressing
+// scheme the paper's footnote 1 mentions for virtual-processor systems:
+// instead of replicating the full VP-to-server table at every node, the
+// address information "could also be implemented in the Chord-style
+// ring to avoid replication at the expense of log(n) probes to the data
+// structure".
+//
+// This is a single-process model of that data structure — a consistent-
+// hash ring of nodes with successor pointers and finger tables — built
+// to quantify the trade-off: per-node state drops from O(V) table
+// entries to O(log n) fingers, while each lookup walks O(log n) hops
+// instead of one table index. cmd/ablate's vpaddr sweep and the package
+// benchmarks measure both sides.
+//
+// The ring is an addressing substrate, not a placement policy: keys
+// (virtual processors, file sets) map to the node whose ring point is
+// their successor. Load balance on a bare ring therefore follows the
+// node points, which is exactly the weakness the paper's ANU map fixes
+// with tunable regions.
+package chordring
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"anurand/internal/hashx"
+)
+
+// NodeID identifies a ring member.
+type NodeID int32
+
+// ringBits is the identifier-space width. 64-bit points make collisions
+// between distinct nodes negligible.
+const ringBits = 64
+
+// point is a position on the 2^64 identifier circle.
+type point = uint64
+
+// Ring is a Chord-style consistent-hash ring with finger tables. It is
+// a static model: Join and Leave rebuild the affected routing state
+// directly rather than running the iterative stabilization protocol,
+// which the paper's comparison does not depend on.
+type Ring struct {
+	family hashx.Family
+	// members, sorted by ring point.
+	points []point
+	ids    []NodeID
+	byID   map[NodeID]point
+	// fingers[i] holds node indices for member i's finger table.
+	fingers [][]int
+}
+
+// New builds a ring over the given nodes. Node points are derived by
+// hashing the node id with the shared family, so every cluster member
+// computes the same ring.
+func New(family hashx.Family, nodes []NodeID) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("chordring: no nodes")
+	}
+	r := &Ring{family: family, byID: make(map[NodeID]point, len(nodes))}
+	for _, id := range nodes {
+		if _, dup := r.byID[id]; dup {
+			return nil, fmt.Errorf("chordring: duplicate node %d", id)
+		}
+		r.byID[id] = r.nodePoint(id)
+	}
+	r.rebuild()
+	return r, nil
+}
+
+// nodePoint hashes a node id onto the circle.
+func (r *Ring) nodePoint(id NodeID) point {
+	return r.family.Hash(fmt.Sprintf("node/%d", id), 0)
+}
+
+// rebuild re-sorts the membership and recomputes every finger table.
+func (r *Ring) rebuild() {
+	type member struct {
+		p  point
+		id NodeID
+	}
+	ms := make([]member, 0, len(r.byID))
+	for id, p := range r.byID {
+		ms = append(ms, member{p, id})
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].p != ms[j].p {
+			return ms[i].p < ms[j].p
+		}
+		return ms[i].id < ms[j].id
+	})
+	r.points = r.points[:0]
+	r.ids = r.ids[:0]
+	for _, m := range ms {
+		r.points = append(r.points, m.p)
+		r.ids = append(r.ids, m.id)
+	}
+	// Finger i of node n points at successor(n.point + 2^i).
+	r.fingers = make([][]int, len(r.ids))
+	for i := range r.ids {
+		table := make([]int, 0, ringBits)
+		prev := -1
+		for b := 0; b < ringBits; b++ {
+			target := r.points[i] + 1<<uint(b) // wraps mod 2^64
+			idx := r.successorIndex(target)
+			if idx != prev {
+				table = append(table, idx)
+				prev = idx
+			}
+		}
+		r.fingers[i] = table
+	}
+}
+
+// successorIndex returns the index of the first member at or after p on
+// the circle.
+func (r *Ring) successorIndex(p point) int {
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= p })
+	if idx == len(r.points) {
+		return 0 // wrap
+	}
+	return idx
+}
+
+// N returns the member count.
+func (r *Ring) N() int { return len(r.ids) }
+
+// Nodes returns the member ids in ring order.
+func (r *Ring) Nodes() []NodeID {
+	return append([]NodeID(nil), r.ids...)
+}
+
+// Join adds a node. Routing state is rebuilt; keys between the new
+// node's predecessor and its point move to it (standard consistent
+// hashing: ~1/n of the keys).
+func (r *Ring) Join(id NodeID) error {
+	if _, dup := r.byID[id]; dup {
+		return fmt.Errorf("chordring: node %d already present", id)
+	}
+	r.byID[id] = r.nodePoint(id)
+	r.rebuild()
+	return nil
+}
+
+// Leave removes a node; its keys fall to its successor.
+func (r *Ring) Leave(id NodeID) error {
+	if _, ok := r.byID[id]; !ok {
+		return fmt.Errorf("chordring: node %d not present", id)
+	}
+	if len(r.byID) == 1 {
+		return fmt.Errorf("chordring: cannot remove the last node")
+	}
+	delete(r.byID, id)
+	r.rebuild()
+	return nil
+}
+
+// Owner returns the node responsible for key: the successor of the
+// key's ring point. This is the O(1) oracle answer; Route walks the
+// finger tables the way a distributed lookup would.
+func (r *Ring) Owner(key string) NodeID {
+	return r.ids[r.successorIndex(r.keyPoint(key))]
+}
+
+func (r *Ring) keyPoint(key string) point {
+	return r.family.Hash(key, 1)
+}
+
+// Route resolves key starting from the given node, following fingers as
+// a distributed Chord lookup would, and returns the owner along with
+// the number of hops taken (0 when the start node already owns the
+// key). Hops are the paper's "log(n) probes to the data structure".
+func (r *Ring) Route(from NodeID, key string) (NodeID, int, error) {
+	p, ok := r.byID[from]
+	if !ok {
+		return 0, 0, fmt.Errorf("chordring: unknown start node %d", from)
+	}
+	target := r.keyPoint(key)
+	cur := r.successorIndex(p)
+	// The start node may not own its own point if ids collide; align to
+	// the member whose point equals p.
+	for r.points[cur] != p {
+		cur = (cur + 1) % len(r.points)
+	}
+	hops := 0
+	for hops <= len(r.points) {
+		// Does cur own the target? Owner is successor(target): cur owns
+		// keys in (pred(cur), cur].
+		pred := (cur - 1 + len(r.points)) % len(r.points)
+		if inRangeIncl(r.points[pred], r.points[cur], target, len(r.points) == 1) {
+			return r.ids[cur], hops, nil
+		}
+		// Jump along the farthest finger that does not pass the target.
+		next := r.closestPreceding(cur, target)
+		if next == cur {
+			next = r.successorIndex(r.points[cur] + 1) // fall back to successor
+		}
+		cur = next
+		hops++
+	}
+	return 0, hops, fmt.Errorf("chordring: routing loop for key %q", key)
+}
+
+// closestPreceding returns the finger of cur that most closely precedes
+// target without reaching it.
+func (r *Ring) closestPreceding(cur int, target point) int {
+	best := cur
+	bestDist := distance(r.points[cur], target)
+	for _, f := range r.fingers[cur] {
+		if f == cur {
+			continue
+		}
+		// A usable finger lies strictly between cur and target.
+		d := distance(r.points[f], target)
+		if d < bestDist && d > 0 {
+			best = f
+			bestDist = d
+		}
+	}
+	return best
+}
+
+// distance is the clockwise distance from a to b on the circle.
+func distance(a, b point) point { return b - a }
+
+// inRangeIncl reports whether x lies in the clockwise interval (lo, hi]
+// on the circle. When single is true (a one-node ring) everything is in
+// range.
+func inRangeIncl(lo, hi, x point, single bool) bool {
+	if single || lo == hi {
+		return true
+	}
+	if lo < hi {
+		return x > lo && x <= hi
+	}
+	return x > lo || x <= hi // interval wraps zero
+}
+
+// StateBytes estimates the per-node routing state in bytes: successor +
+// fingers, each one (point, id) pair of 12 bytes. Averaged over nodes,
+// since finger tables dedupe to distinct entries.
+func (r *Ring) StateBytes() int {
+	total := 0
+	for _, f := range r.fingers {
+		total += (len(f) + 1) * 12
+	}
+	if len(r.fingers) == 0 {
+		return 0
+	}
+	return total / len(r.fingers)
+}
+
+// MaxFingerEntries returns the largest finger table on the ring; it is
+// O(log n) with high probability.
+func (r *Ring) MaxFingerEntries() int {
+	max := 0
+	for _, f := range r.fingers {
+		if len(f) > max {
+			max = len(f)
+		}
+	}
+	return max
+}
+
+// TheoreticalHops returns ceil(log2 n), the expected hop bound.
+func (r *Ring) TheoreticalHops() int {
+	if len(r.ids) <= 1 {
+		return 0
+	}
+	return bits.Len(uint(len(r.ids) - 1))
+}

@@ -1,0 +1,154 @@
+package clustersim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+	"anurand/internal/policy"
+	"anurand/internal/rng"
+	"anurand/internal/workload"
+)
+
+// TestChaosRandomEventSchedules drives full simulations under random
+// failure/recovery/commission/decommission schedules and asserts the
+// accounting invariants that must hold whatever happens:
+//
+//   - the run completes without error or panic;
+//   - every request is either completed or dropped, exactly once;
+//   - per-server served counts sum to the completed count;
+//   - latencies are non-negative and finite;
+//   - the ANU map inside the policy still satisfies its invariants.
+func TestChaosRandomEventSchedules(t *testing.T) {
+	prop := func(seed uint64, nEventsRaw uint8) bool {
+		src := rng.New(seed)
+		wcfg := workload.SyntheticConfig{
+			Seed:           seed,
+			NumFileSets:    15,
+			Duration:       1200,
+			TargetRequests: 3000,
+			ParetoAlpha:    1.6,
+			WeightLow:      1,
+			WeightHigh:     10,
+			BaseDemand:     2.0,
+		}
+		trace, err := wcfg.Generate()
+		if err != nil {
+			t.Logf("generate: %v", err)
+			return false
+		}
+		placer, err := policy.NewANU(hashx.NewFamily(seed), trace.FileSets,
+			[]policy.ServerID{0, 1, 2, 3, 4}, anu.DefaultControllerConfig())
+		if err != nil {
+			t.Logf("policy: %v", err)
+			return false
+		}
+		cfg := DefaultConfig(trace, placer)
+
+		// Random event schedule. Track which servers are plausibly up
+		// so recover/fail pairs make sense; the simulator must tolerate
+		// redundant events anyway.
+		up := map[ServerID]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+		next := ServerID(5)
+		nEvents := int(nEventsRaw % 12)
+		for i := 0; i < nEvents; i++ {
+			at := src.Float64() * wcfg.Duration
+			switch src.Intn(4) {
+			case 0:
+				id := ServerID(src.Intn(int(next)))
+				cfg.Events = append(cfg.Events, Event{Time: at, Kind: Fail, Server: id})
+				up[id] = false
+			case 1:
+				id := ServerID(src.Intn(int(next)))
+				cfg.Events = append(cfg.Events, Event{Time: at, Kind: Recover, Server: id})
+				up[id] = true
+			case 2:
+				cfg.Events = append(cfg.Events, Event{Time: at, Kind: Commission, Server: next, Speed: 1 + src.Float64()*8})
+				up[next] = true
+				next++
+			case 3:
+				id := ServerID(src.Intn(int(next)))
+				cfg.Events = append(cfg.Events, Event{Time: at, Kind: Decommission, Server: id})
+				up[id] = false
+			}
+		}
+
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if res.Completed+res.Dropped != uint64(len(trace.Requests)) {
+			t.Logf("accounting: %d completed + %d dropped != %d requests",
+				res.Completed, res.Dropped, len(trace.Requests))
+			return false
+		}
+		var served uint64
+		for _, s := range res.Servers {
+			served += s.Served
+		}
+		if served != res.Completed {
+			t.Logf("served %d != completed %d", served, res.Completed)
+			return false
+		}
+		if res.Aggregate.N() > 0 && (res.Aggregate.Min() < 0 || res.Aggregate.Max() != res.Aggregate.Max()) {
+			t.Logf("latency range invalid: min=%g max=%g", res.Aggregate.Min(), res.Aggregate.Max())
+			return false
+		}
+		if err := placer.Map().CheckInvariants(); err != nil {
+			t.Logf("map invariants after chaos: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosAllPoliciesSurvive runs a fixed adversarial schedule under
+// every policy: mass failure, staggered recovery, mid-run commission.
+func TestChaosAllPoliciesSurvive(t *testing.T) {
+	tr := smallTrace(t, 99)
+	events := []Event{
+		{Time: 200, Kind: Fail, Server: 0},
+		{Time: 250, Kind: Fail, Server: 1},
+		{Time: 300, Kind: Fail, Server: 2},
+		{Time: 350, Kind: Fail, Server: 3},
+		{Time: 600, Kind: Recover, Server: 0},
+		{Time: 650, Kind: Recover, Server: 2},
+		{Time: 700, Kind: Commission, Server: 5, Speed: 6},
+		{Time: 900, Kind: Decommission, Server: 4},
+		{Time: 1000, Kind: Recover, Server: 1},
+	}
+	builders := map[string]func() policy.Placer{
+		"simple":    func() policy.Placer { return newSimplePolicy(t, tr) },
+		"anu":       func() policy.Placer { return newANUPolicy(t, tr) },
+		"prescient": func() policy.Placer { return newPrescientPolicy(t, tr) },
+		"vp": func() policy.Placer {
+			p, err := policy.NewVirtualProcessor(hashx.NewFamily(42), tr.FileSets, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig(tr, build())
+			cfg.Events = events
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed+res.Dropped != uint64(len(tr.Requests)) {
+				t.Fatalf("accounting broken: %d + %d != %d", res.Completed, res.Dropped, len(tr.Requests))
+			}
+			// With at least one server always alive, nothing drops.
+			if res.Dropped != 0 {
+				t.Fatalf("dropped %d with server 4 alive until 900 and 0/2 back at 600/650", res.Dropped)
+			}
+		})
+	}
+}

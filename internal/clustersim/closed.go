@@ -1,0 +1,246 @@
+package clustersim
+
+import (
+	"fmt"
+	"math"
+
+	"anurand/internal/anu"
+	"anurand/internal/metrics"
+	"anurand/internal/policy"
+	"anurand/internal/rng"
+	"anurand/internal/sim"
+	"anurand/internal/workload"
+)
+
+// ClosedConfig describes a closed-loop simulation: instead of replaying
+// an open trace, a fixed population of clients each cycles through
+// think -> metadata request -> data transfer -> think, exactly the
+// client behaviour of the paper's Figure 1 architecture. Closed-loop
+// clients make Section 3's motivation structural: a client stuck in a
+// slow metadata queue stops offering load entirely, so metadata
+// imbalance throttles whole-cluster throughput rather than just
+// stretching latencies.
+type ClosedConfig struct {
+	// Seed drives think times and file-set choices.
+	Seed uint64
+
+	// Speeds gives each server's capacity (ids are indices).
+	Speeds []float64
+
+	// Policy places file sets on servers.
+	Policy policy.Placer
+
+	// FileSets is the namespace; Weight biases which file set a client
+	// touches each cycle.
+	FileSets []workload.FileSet
+
+	// Clients is the population size.
+	Clients int
+
+	// ThinkTime is the mean think time between cycles (exponential).
+	ThinkTime float64
+
+	// MetadataDemand is the metadata service requirement in unit-speed
+	// seconds.
+	MetadataDemand float64
+
+	// SAN optionally adds the data-transfer phase after metadata.
+	SAN SANConfig
+
+	// TuneInterval is the load-placement tuning period.
+	TuneInterval float64
+
+	// Duration is the measured run length in seconds.
+	Duration float64
+}
+
+// Validate reports the first nonsensical parameter.
+func (c *ClosedConfig) Validate() error {
+	switch {
+	case len(c.Speeds) == 0:
+		return fmt.Errorf("clustersim: closed: no servers")
+	case c.Policy == nil:
+		return fmt.Errorf("clustersim: closed: nil policy")
+	case len(c.FileSets) == 0:
+		return fmt.Errorf("clustersim: closed: no file sets")
+	case c.Clients <= 0:
+		return fmt.Errorf("clustersim: closed: %d clients", c.Clients)
+	case !(c.ThinkTime >= 0) || math.IsInf(c.ThinkTime, 0):
+		return fmt.Errorf("clustersim: closed: invalid think time %g", c.ThinkTime)
+	case !(c.MetadataDemand > 0):
+		return fmt.Errorf("clustersim: closed: invalid metadata demand %g", c.MetadataDemand)
+	case !(c.TuneInterval > 0):
+		return fmt.Errorf("clustersim: closed: invalid tune interval %g", c.TuneInterval)
+	case !(c.Duration > 0):
+		return fmt.Errorf("clustersim: closed: invalid duration %g", c.Duration)
+	}
+	for i, s := range c.Speeds {
+		if s <= 0 || math.IsNaN(s) {
+			return fmt.Errorf("clustersim: closed: server %d speed %g", i, s)
+		}
+	}
+	return c.SAN.Validate()
+}
+
+// ClosedResult is the outcome of a closed-loop run.
+type ClosedResult struct {
+	// Cycles counts completed client cycles within the run.
+	Cycles uint64
+	// Throughput is Cycles / Duration.
+	Throughput float64
+	// MetadataLatency summarizes the metadata phase.
+	MetadataLatency metrics.Summary
+	// CycleLatency summarizes full request cycles (metadata plus data
+	// transfer when the SAN is enabled).
+	CycleLatency metrics.Summary
+	// SANUtilization is the disks' busy fraction over the run (zero
+	// when the SAN is disabled).
+	SANUtilization float64
+	// TuningRounds counts tuning rounds executed.
+	TuningRounds int
+}
+
+// RunClosed executes a closed-loop simulation.
+func RunClosed(cfg ClosedConfig) (*ClosedResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var eng sim.Engine
+	src := rng.New(cfg.Seed)
+	thinkSrc := src.Stream("think")
+	pickSrc := src.Stream("pick")
+
+	weights := make([]float64, len(cfg.FileSets))
+	for i, fs := range cfg.FileSets {
+		w := fs.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+	}
+	pick := rng.NewCategorical(weights)
+	think := rng.NewExponential(1 / math.Max(cfg.ThinkTime, 1e-9))
+
+	type server struct {
+		res *sim.Resource
+		up  bool
+		// interval accumulators for latency reports
+		n   uint64
+		sum float64
+	}
+	servers := make([]*server, len(cfg.Speeds))
+	for i, speed := range cfg.Speeds {
+		servers[i] = &server{res: sim.NewResource(&eng, fmt.Sprintf("server-%d", i), speed), up: true}
+	}
+
+	var sanPool *san
+	if cfg.SAN.Enabled {
+		sanPool = newSAN(&eng, cfg.SAN)
+	}
+
+	res := &ClosedResult{}
+	var retuneErr error
+
+	route := func(fs int) *server {
+		if id := cfg.Policy.Place(fs); id != policy.NoServer {
+			if int(id) < len(servers) && servers[id].up {
+				return servers[id]
+			}
+		}
+		return servers[fs%len(servers)]
+	}
+
+	// Each client is a self-rescheduling cycle.
+	var cycle func()
+	cycle = func() {
+		start := eng.Now()
+		fs := pick.Sample(pickSrc)
+		s := route(fs)
+		s.res.Submit(&sim.Job{
+			Demand: cfg.MetadataDemand,
+			Done: func(j *sim.Job) {
+				mdLatency := eng.Now() - start
+				if eng.Now() <= cfg.Duration {
+					res.MetadataLatency.Add(mdLatency)
+				}
+				s.n++
+				s.sum += mdLatency
+				finish := func() {
+					if eng.Now() <= cfg.Duration {
+						res.Cycles++
+						res.CycleLatency.Add(eng.Now() - start)
+					}
+					if eng.Now() < cfg.Duration {
+						eng.Schedule(think.Sample(thinkSrc), cycle)
+					}
+				}
+				if sanPool == nil {
+					finish()
+					return
+				}
+				disk := sanPool.disks[sanPool.family.Hash(fmt.Sprintf("%d/%d", fs, sanPool.seq), 0)%uint64(len(sanPool.disks))]
+				sanPool.seq++
+				disk.Submit(&sim.Job{Demand: cfg.SAN.TransferDemand, Done: func(*sim.Job) { finish() }})
+			},
+		})
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		eng.Schedule(think.Sample(thinkSrc)*thinkSrc.Float64(), cycle) // random initial phase
+	}
+
+	// Tuning loop: report per-server interval latencies to the policy.
+	ticker := eng.NewTicker(cfg.TuneInterval, func() {
+		if eng.Now() > cfg.Duration {
+			return
+		}
+		res.TuningRounds++
+		env := policy.Env{Now: eng.Now(), FileSetLoads: make([]float64, len(cfg.FileSets))}
+		for i, s := range servers {
+			env.Servers = append(env.Servers, policy.ServerInfo{ID: policy.ServerID(i), Speed: cfg.Speeds[i], Up: s.up})
+			rep := anu.Report{Server: policy.ServerID(i), Requests: s.n}
+			if s.n > 0 {
+				rep.Latency = s.sum / float64(s.n)
+			}
+			env.Reports = append(env.Reports, rep)
+			s.n, s.sum = 0, 0
+		}
+		// Closed-loop ground truth for prescient-class policies: the
+		// long-run offered load per file set under the pick weights.
+		var totalW float64
+		for _, w := range weights {
+			totalW += w
+		}
+		offered := float64(cfg.Clients) / math.Max(cfg.ThinkTime, 1e-9) * cfg.MetadataDemand
+		for i, w := range weights {
+			env.FileSetLoads[i] = offered * w / totalW
+		}
+		if err := cfg.Policy.Retune(&env); err != nil {
+			retuneErr = fmt.Errorf("clustersim: closed retune at t=%.0f: %w", eng.Now(), err)
+			eng.Stop()
+		}
+	})
+
+	// Snapshot SAN busy time exactly at the measurement horizon, before
+	// the post-run drain inflates it.
+	var busyInWindow float64
+	if sanPool != nil {
+		eng.ScheduleAt(cfg.Duration, func() {
+			for _, d := range sanPool.disks {
+				busyInWindow += d.BusyTime()
+			}
+		})
+	}
+
+	eng.Run(cfg.Duration)
+	ticker.Stop()
+	eng.RunAll()
+	if retuneErr != nil {
+		return nil, retuneErr
+	}
+
+	res.Throughput = float64(res.Cycles) / cfg.Duration
+	if sanPool != nil {
+		res.SANUtilization = busyInWindow / (float64(len(sanPool.disks)) * cfg.Duration)
+	}
+	return res, nil
+}

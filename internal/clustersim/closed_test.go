@@ -1,0 +1,164 @@
+package clustersim
+
+import (
+	"fmt"
+	"testing"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+	"anurand/internal/policy"
+	"anurand/internal/workload"
+)
+
+func closedFileSets(n int) []workload.FileSet {
+	fs := make([]workload.FileSet, n)
+	for i := range fs {
+		fs[i] = workload.FileSet{Name: fmt.Sprintf("fs/closed/%02d", i), Weight: float64(i%5) + 1}
+	}
+	return fs
+}
+
+func closedConfig(t *testing.T, build func(fs []workload.FileSet) policy.Placer) ClosedConfig {
+	t.Helper()
+	fs := closedFileSets(20)
+	return ClosedConfig{
+		Seed:           1,
+		Speeds:         []float64{1, 3, 5, 7, 9},
+		Policy:         build(fs),
+		FileSets:       fs,
+		Clients:        60,
+		ThinkTime:      2.0,
+		MetadataDemand: 1.0,
+		TuneInterval:   60,
+		Duration:       3600,
+	}
+}
+
+func buildClosedANU(t *testing.T) func(fs []workload.FileSet) policy.Placer {
+	return func(fs []workload.FileSet) policy.Placer {
+		p, err := policy.NewANU(hashx.NewFamily(42), fs, fiveServers(), anu.DefaultControllerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+}
+
+func buildClosedSimple(t *testing.T) func(fs []workload.FileSet) policy.Placer {
+	return func(fs []workload.FileSet) policy.Placer {
+		p, err := policy.NewSimple(hashx.NewFamily(42), fs, fiveServers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+}
+
+func TestClosedValidate(t *testing.T) {
+	cases := map[string]func(*ClosedConfig){
+		"no servers":    func(c *ClosedConfig) { c.Speeds = nil },
+		"nil policy":    func(c *ClosedConfig) { c.Policy = nil },
+		"no file sets":  func(c *ClosedConfig) { c.FileSets = nil },
+		"no clients":    func(c *ClosedConfig) { c.Clients = 0 },
+		"neg think":     func(c *ClosedConfig) { c.ThinkTime = -1 },
+		"zero demand":   func(c *ClosedConfig) { c.MetadataDemand = 0 },
+		"zero interval": func(c *ClosedConfig) { c.TuneInterval = 0 },
+		"zero duration": func(c *ClosedConfig) { c.Duration = 0 },
+		"zero speed":    func(c *ClosedConfig) { c.Speeds = []float64{0} },
+		"bad san":       func(c *ClosedConfig) { c.SAN = SANConfig{Enabled: true} },
+	}
+	for name, corrupt := range cases {
+		cfg := closedConfig(t, buildClosedSimple(t))
+		corrupt(&cfg)
+		if _, err := RunClosed(cfg); err == nil {
+			t.Errorf("RunClosed accepted config with %s", name)
+		}
+	}
+}
+
+func TestClosedRunBasics(t *testing.T) {
+	cfg := closedConfig(t, buildClosedANU(t))
+	res, err := RunClosed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles completed")
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+	// Throughput cannot exceed the zero-latency bound
+	// clients/thinkTime, nor the cluster's service capacity.
+	maxByThink := float64(cfg.Clients) / cfg.ThinkTime
+	if res.Throughput > maxByThink {
+		t.Fatalf("throughput %.2f exceeds think-time bound %.2f", res.Throughput, maxByThink)
+	}
+	if res.MetadataLatency.N() == 0 {
+		t.Fatal("no metadata latencies recorded")
+	}
+	if res.CycleLatency.Mean() < res.MetadataLatency.Mean() {
+		t.Fatal("cycle latency below metadata latency")
+	}
+	if res.TuningRounds == 0 {
+		t.Fatal("no tuning rounds")
+	}
+	if res.SANUtilization != 0 {
+		t.Fatal("SAN utilization reported with SAN disabled")
+	}
+}
+
+func TestClosedDeterministic(t *testing.T) {
+	a, err := RunClosed(closedConfig(t, buildClosedANU(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClosed(closedConfig(t, buildClosedANU(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.MetadataLatency.Mean() != b.MetadataLatency.Mean() {
+		t.Fatalf("closed-loop run not deterministic: %d/%g vs %d/%g",
+			a.Cycles, a.MetadataLatency.Mean(), b.Cycles, b.MetadataLatency.Mean())
+	}
+}
+
+// TestClosedThroughputANUBeatsSimple is the structural version of
+// Section 3's motivation: with closed-loop clients, metadata imbalance
+// throttles cluster throughput, and ANU recovers it.
+func TestClosedThroughputANUBeatsSimple(t *testing.T) {
+	mkCfg := func(build func(fs []workload.FileSet) policy.Placer) ClosedConfig {
+		cfg := closedConfig(t, build)
+		cfg.Clients = 100
+		cfg.ThinkTime = 1.0
+		cfg.MetadataDemand = 0.15 // offered ~15 unit-speed on capacity 25 if unblocked
+		return cfg
+	}
+	anuRes, err := RunClosed(mkCfg(buildClosedANU(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simpleRes, err := RunClosed(mkCfg(buildClosedSimple(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anuRes.Throughput <= simpleRes.Throughput {
+		t.Fatalf("ANU throughput %.2f not above simple's %.2f",
+			anuRes.Throughput, simpleRes.Throughput)
+	}
+}
+
+func TestClosedWithSAN(t *testing.T) {
+	cfg := closedConfig(t, buildClosedANU(t))
+	cfg.SAN = SANConfig{Enabled: true, Disks: 8, TransferDemand: 0.5}
+	res, err := RunClosed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SANUtilization <= 0 || res.SANUtilization > 1 {
+		t.Fatalf("SAN utilization %.3f out of range", res.SANUtilization)
+	}
+	if res.CycleLatency.Mean() <= res.MetadataLatency.Mean() {
+		t.Fatal("cycle latency should include the data transfer")
+	}
+}

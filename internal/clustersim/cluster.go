@@ -1,0 +1,449 @@
+package clustersim
+
+import (
+	"fmt"
+	"sort"
+
+	"anurand/internal/anu"
+	"anurand/internal/metrics"
+	"anurand/internal/policy"
+	"anurand/internal/sim"
+)
+
+// Run simulates the configured cluster over the whole trace and returns
+// the collected results. Runs are deterministic: the same configuration
+// (including the policy's construction seed) always produces the same
+// result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRunner(&cfg)
+	return r.run()
+}
+
+// serverState is one server's live simulation state.
+type serverState struct {
+	id    ServerID
+	speed float64
+	res   *sim.Resource
+	up    bool
+	gone  bool // decommissioned: excluded from policy snapshots
+
+	// requests counts real trace requests completed here (the
+	// resource's own Served() also counts injected cache-flush work).
+	requests uint64
+
+	// Interval accumulators for the next latency report.
+	intervalCount uint64
+	intervalSum   float64
+
+	stats *ServerStats
+}
+
+// pendingRequest is the payload carried through a server queue.
+type pendingRequest struct {
+	fs     int32
+	arrive float64
+}
+
+type runner struct {
+	cfg    *Config
+	eng    sim.Engine
+	trace  traceView
+	policy policy.Placer
+
+	servers map[ServerID]*serverState
+	order   []ServerID
+
+	assignment []ServerID // file set -> placed server
+	cold       []int      // remaining cold-penalty requests per file set
+
+	fsWork    []float64 // total demand per file set (move accounting)
+	totalWork float64
+	fsLoads   []float64 // whole-trace offered load per file set (prescient env)
+
+	window      float64
+	steadyAfter float64
+	san         *san
+	result      *Result
+	round       int
+	err         error // first policy/harness error, aborts the run
+}
+
+// traceView caches the trace fields the hot path touches.
+type traceView struct {
+	duration float64
+	requests int
+}
+
+func newRunner(cfg *Config) *runner {
+	window := cfg.ReportWindow
+	if window == 0 {
+		window = cfg.TuneInterval
+	}
+	r := &runner{
+		cfg:        cfg,
+		policy:     cfg.Policy,
+		servers:    make(map[ServerID]*serverState, len(cfg.Speeds)),
+		assignment: make([]ServerID, len(cfg.Trace.FileSets)),
+		cold:       make([]int, len(cfg.Trace.FileSets)),
+		window:     window,
+		trace:      traceView{duration: cfg.Trace.Duration, requests: len(cfg.Trace.Requests)},
+		result: &Result{
+			Policy:   cfg.Policy.Name(),
+			Servers:  make(map[ServerID]*ServerStats),
+			Duration: cfg.Trace.Duration,
+		},
+	}
+	frac := cfg.SteadyAfterFrac
+	if frac == 0 {
+		frac = 0.25
+	}
+	r.steadyAfter = frac * cfg.Trace.Duration
+	for i, speed := range cfg.Speeds {
+		r.addServer(ServerID(i), speed)
+	}
+	if cfg.SAN.Enabled {
+		r.san = newSAN(&r.eng, cfg.SAN)
+	}
+	r.precomputeLoads()
+	return r
+}
+
+func (r *runner) addServer(id ServerID, speed float64) {
+	s := &serverState{
+		id:    id,
+		speed: speed,
+		res:   sim.NewResource(&r.eng, fmt.Sprintf("server-%d", id), speed),
+		up:    true,
+		stats: &ServerStats{ID: id, Speed: speed, Series: metrics.NewSeries(r.window)},
+	}
+	r.servers[id] = s
+	r.order = append(r.order, id)
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i] < r.order[j] })
+	r.result.Servers[id] = s.stats
+}
+
+// precomputeLoads builds the ground-truth per-file-set offered loads —
+// the "perfect knowledge of workload properties" the prescient-class
+// policies are entitled to (the workload's stationary rates, not the
+// realized per-interval noise).
+func (r *runner) precomputeLoads() {
+	r.fsWork = make([]float64, len(r.cfg.Trace.FileSets))
+	for _, req := range r.cfg.Trace.Requests {
+		r.fsWork[req.FileSet] += req.Demand
+		r.totalWork += req.Demand
+	}
+	r.fsLoads = make([]float64, len(r.fsWork))
+	for i, w := range r.fsWork {
+		r.fsLoads[i] = w / r.trace.duration
+	}
+}
+
+func (r *runner) run() (*Result, error) {
+	// Initial placement at t=0. Prescient-class policies receive their
+	// perfect knowledge here, so they are balanced "from the very
+	// beginning" as in the paper; ANU and simple start uniform.
+	if err := r.retunePolicy(); err != nil {
+		return nil, err
+	}
+	for fs := range r.assignment {
+		r.assignment[fs] = r.policy.Place(fs)
+	}
+
+	// Arrival events, chained one at a time to keep the calendar small.
+	if r.trace.requests > 0 {
+		first := r.cfg.Trace.Requests[0].Time
+		r.eng.ScheduleAt(first, func() { r.arrive(0) })
+	}
+
+	// The tuning ticker runs for the trace duration.
+	ticker := r.eng.NewTicker(r.cfg.TuneInterval, func() {
+		if r.err != nil || r.eng.Now() > r.trace.duration {
+			return
+		}
+		r.tuningRound()
+	})
+
+	// Configuration events.
+	for _, ev := range r.cfg.Events {
+		ev := ev
+		r.eng.ScheduleAt(ev.Time, func() { r.applyEvent(ev) })
+	}
+
+	// Snapshot the SAN's in-window utilization exactly at the trace
+	// end, before drain.
+	if r.san != nil {
+		r.eng.ScheduleAt(r.trace.duration, func() { r.san.snapshotWindow(r.trace.duration) })
+	}
+
+	runPast := r.cfg.RunPast
+	if runPast == 0 {
+		runPast = 10 * r.cfg.TuneInterval
+	}
+	end := r.trace.duration
+	for _, ev := range r.cfg.Events {
+		if ev.Time > end {
+			end = ev.Time
+		}
+	}
+	r.eng.Run(end + runPast)
+	ticker.Stop()
+	r.eng.RunAll() // drain remaining queued work
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	for _, s := range r.servers {
+		s.stats.BusyTime = s.res.BusyTime()
+		s.stats.Served = s.requests
+	}
+	r.result.SharedStateBytes = r.policy.SharedStateSize()
+	if r.san != nil {
+		stats := r.san.stats
+		r.result.SAN = &stats
+	}
+	return r.result, nil
+}
+
+// arrive routes and submits trace request i, then schedules request i+1.
+func (r *runner) arrive(i int) {
+	if r.err != nil {
+		return
+	}
+	req := r.cfg.Trace.Requests[i]
+	r.dispatch(req.FileSet, req.Demand, req.Time)
+	if next := i + 1; next < r.trace.requests {
+		r.eng.ScheduleAt(r.cfg.Trace.Requests[next].Time, func() { r.arrive(next) })
+	}
+}
+
+// dispatch routes one request (fresh or re-routed after failure) to a
+// live server and submits it.
+func (r *runner) dispatch(fs int32, demand, arrive float64) {
+	target := r.route(int(fs))
+	if target == policy.NoServer {
+		r.result.Dropped++
+		return
+	}
+	s := r.servers[target]
+	if r.cold[fs] > 0 && r.cfg.ColdPenalty > 1 {
+		demand *= r.cfg.ColdPenalty
+		r.cold[fs]--
+	}
+	s.res.Submit(&sim.Job{
+		Demand:  demand,
+		Payload: pendingRequest{fs: fs, arrive: arrive},
+		Done:    func(j *sim.Job) { r.complete(s, j) },
+	})
+}
+
+// route returns the live server for a file set: the policy's placement
+// when it is up, otherwise a deterministic fallback over live servers.
+func (r *runner) route(fs int) ServerID {
+	if fs >= 0 && fs < len(r.assignment) {
+		if id := r.assignment[fs]; id != policy.NoServer {
+			if s, ok := r.servers[id]; ok && s.up {
+				return id
+			}
+		}
+	}
+	// Fallback: spread over live servers by file-set index.
+	var live []ServerID
+	for _, id := range r.order {
+		if s := r.servers[id]; s.up && !s.gone {
+			live = append(live, id)
+		}
+	}
+	if len(live) == 0 {
+		return policy.NoServer
+	}
+	r.result.Rerouted++
+	return live[fs%len(live)]
+}
+
+// complete records a finished request and, when the SAN is modelled,
+// releases the client's data transfer to the shared disks.
+func (r *runner) complete(s *serverState, j *sim.Job) {
+	req := j.Payload.(pendingRequest)
+	latency := r.eng.Now() - req.arrive
+	r.result.Completed++
+	r.result.Aggregate.Add(latency)
+	if r.eng.Now() >= r.steadyAfter {
+		r.result.SteadyAggregate.Add(latency)
+	}
+	s.requests++
+	s.stats.Latency.Add(latency)
+	s.stats.Series.Add(r.eng.Now(), latency)
+	s.intervalCount++
+	s.intervalSum += latency
+	if r.san != nil {
+		r.san.transfer(r, req.fs, req.arrive)
+	}
+}
+
+// tuningRound runs one periodic load-placement tuning round.
+func (r *runner) tuningRound() {
+	r.round++
+	r.result.TuningRounds++
+	if err := r.retunePolicy(); err != nil {
+		r.err = err
+		r.eng.Stop()
+		return
+	}
+	r.applyPlacement(true)
+}
+
+// retunePolicy snapshots the environment and retunes the policy.
+func (r *runner) retunePolicy() error {
+	env := policy.Env{Now: r.eng.Now()}
+	for _, id := range r.order {
+		s := r.servers[id]
+		if s.gone {
+			continue
+		}
+		env.Servers = append(env.Servers, policy.ServerInfo{ID: id, Speed: s.speed, Up: s.up})
+		if s.up {
+			rep := anu.Report{Server: id, Requests: s.intervalCount}
+			if s.intervalCount > 0 {
+				rep.Latency = s.intervalSum / float64(s.intervalCount)
+				if r.cfg.BacklogAwareReports {
+					rep.Latency += s.res.Backlog() / s.speed
+				}
+			}
+			env.Reports = append(env.Reports, rep)
+		}
+		s.intervalCount, s.intervalSum = 0, 0
+	}
+	env.FileSetLoads = r.fsLoads
+	if err := r.policy.Retune(&env); err != nil {
+		return fmt.Errorf("clustersim: retune at t=%.0f: %w", r.eng.Now(), err)
+	}
+	return nil
+}
+
+// applyPlacement recomputes every file set's placement, applies movement
+// costs, and records the round's movement.
+func (r *runner) applyPlacement(record bool) {
+	moved := 0
+	var movedWork float64
+	for fs := range r.assignment {
+		next := r.policy.Place(fs)
+		prev := r.assignment[fs]
+		if next == prev || next == policy.NoServer {
+			continue
+		}
+		r.assignment[fs] = next
+		if prev == policy.NoServer {
+			continue // initial placement, not a move
+		}
+		moved++
+		movedWork += r.fsWork[fs]
+		// The shedding server flushes its cache for the departing file
+		// set; the acquiring server starts cold.
+		if old, ok := r.servers[prev]; ok && old.up {
+			if r.cfg.MoveFlushTime > 0 {
+				old.res.InjectBusy(r.cfg.MoveFlushTime)
+			}
+			if r.cfg.RedirectOnMove {
+				fs32 := int32(fs)
+				redirected := old.res.DrainQueue(func(j *sim.Job) bool {
+					req, isReq := j.Payload.(pendingRequest)
+					return !isReq || req.fs != fs32
+				})
+				for _, j := range redirected {
+					req := j.Payload.(pendingRequest)
+					r.dispatch(req.fs, j.Demand, req.arrive)
+				}
+			}
+		}
+		r.cold[fs] = r.cfg.ColdRequests
+	}
+	if !record {
+		return
+	}
+	frac := 0.0
+	if r.totalWork > 0 {
+		frac = movedWork / r.totalWork
+	}
+	r.result.Moves = append(r.result.Moves, MoveRecord{
+		Round:         r.round,
+		Time:          r.eng.Now(),
+		FileSetsMoved: moved,
+		WorkMovedFrac: frac,
+	})
+	r.result.TotalMoved += moved
+	r.result.TotalWorkMovedFrac += frac
+}
+
+// applyEvent executes a scheduled configuration change.
+func (r *runner) applyEvent(ev Event) {
+	if r.err != nil {
+		return
+	}
+	switch ev.Kind {
+	case Fail:
+		s, ok := r.servers[ev.Server]
+		if !ok || !s.up {
+			return
+		}
+		orphans := s.res.Fail()
+		s.up = false
+		r.reactToEvent()
+		// Re-route the failed server's queued work; latency keeps
+		// counting from the original arrival, as a client retry would
+		// observe.
+		for _, j := range orphans {
+			req, ok := j.Payload.(pendingRequest)
+			if !ok {
+				continue // injected flush work dies with the server
+			}
+			r.dispatch(req.fs, j.Demand, req.arrive)
+		}
+	case Recover:
+		s, ok := r.servers[ev.Server]
+		if !ok || s.up || s.gone {
+			return
+		}
+		s.res.Recover()
+		s.up = true
+		r.reactToEvent()
+	case Commission:
+		if _, dup := r.servers[ev.Server]; dup {
+			return
+		}
+		r.addServer(ev.Server, ev.Speed)
+		r.reactToEvent()
+	case Decommission:
+		s, ok := r.servers[ev.Server]
+		if !ok || s.gone {
+			return
+		}
+		orphans := s.res.Fail()
+		s.up = false
+		s.gone = true
+		r.reactToEvent()
+		for _, j := range orphans {
+			req, ok := j.Payload.(pendingRequest)
+			if !ok {
+				continue
+			}
+			r.dispatch(req.fs, j.Demand, req.arrive)
+		}
+	}
+}
+
+// reactToEvent retunes immediately if configured, so placement reflects
+// the new topology without waiting for the next interval.
+func (r *runner) reactToEvent() {
+	if !r.cfg.RetuneOnEvents {
+		return
+	}
+	if err := r.retunePolicy(); err != nil {
+		r.err = err
+		r.eng.Stop()
+		return
+	}
+	r.applyPlacement(false)
+}

@@ -1,0 +1,449 @@
+package clustersim
+
+import (
+	"math"
+	"testing"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+	"anurand/internal/policy"
+	"anurand/internal/workload"
+)
+
+// smallTrace generates a fast synthetic trace for integration tests.
+func smallTrace(t *testing.T, seed uint64) *workload.Trace {
+	t.Helper()
+	cfg := workload.DefaultSynthetic()
+	cfg.Seed = seed
+	cfg.NumFileSets = 20
+	cfg.Duration = 1800 // 15 tuning rounds
+	cfg.TargetRequests = 8000
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func fiveServers() []policy.ServerID { return []policy.ServerID{0, 1, 2, 3, 4} }
+
+func newANUPolicy(t *testing.T, tr *workload.Trace) *policy.ANU {
+	t.Helper()
+	p, err := policy.NewANU(hashx.NewFamily(42), tr.FileSets, fiveServers(), anu.DefaultControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newSimplePolicy(t *testing.T, tr *workload.Trace) *policy.Simple {
+	t.Helper()
+	p, err := policy.NewSimple(hashx.NewFamily(42), tr.FileSets, fiveServers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newPrescientPolicy(t *testing.T, tr *workload.Trace) *policy.Prescient {
+	t.Helper()
+	p, err := policy.NewPrescient(tr.FileSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr := smallTrace(t, 1)
+	good := DefaultConfig(tr, newSimplePolicy(t, tr))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(*Config){
+		"no servers":      func(c *Config) { c.Speeds = nil },
+		"zero speed":      func(c *Config) { c.Speeds = []float64{0} },
+		"NaN speed":       func(c *Config) { c.Speeds = []float64{math.NaN()} },
+		"nil trace":       func(c *Config) { c.Trace = nil },
+		"nil policy":      func(c *Config) { c.Policy = nil },
+		"zero interval":   func(c *Config) { c.TuneInterval = 0 },
+		"neg window":      func(c *Config) { c.ReportWindow = -1 },
+		"neg flush":       func(c *Config) { c.MoveFlushTime = -1 },
+		"neg cold":        func(c *Config) { c.ColdRequests = -1 },
+		"neg runpast":     func(c *Config) { c.RunPast = -1 },
+		"neg event time":  func(c *Config) { c.Events = []Event{{Time: -1, Kind: Fail}} },
+		"bad event kind":  func(c *Config) { c.Events = []Event{{Time: 1, Kind: EventKind(99)}} },
+		"comm zero speed": func(c *Config) { c.Events = []Event{{Time: 1, Kind: Commission, Server: 9}} },
+	}
+	for name, corrupt := range cases {
+		cfg := DefaultConfig(tr, newSimplePolicy(t, tr))
+		corrupt(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run accepted config with %s", name)
+		}
+	}
+}
+
+func TestRunCompletesAllRequests(t *testing.T) {
+	tr := smallTrace(t, 2)
+	cfg := DefaultConfig(tr, newSimplePolicy(t, tr))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != uint64(len(tr.Requests)) {
+		t.Fatalf("completed %d of %d requests", res.Completed, len(tr.Requests))
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d requests with all servers up", res.Dropped)
+	}
+	var served uint64
+	for _, s := range res.Servers {
+		served += s.Served
+	}
+	if served != res.Completed {
+		t.Fatalf("per-server served %d != completed %d", served, res.Completed)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		build func(t *testing.T, tr *workload.Trace) policy.Placer
+	}{
+		{"simple", func(t *testing.T, tr *workload.Trace) policy.Placer { return newSimplePolicy(t, tr) }},
+		{"anu", func(t *testing.T, tr *workload.Trace) policy.Placer { return newANUPolicy(t, tr) }},
+		{"prescient", func(t *testing.T, tr *workload.Trace) policy.Placer { return newPrescientPolicy(t, tr) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			tr := smallTrace(t, 3)
+			a, err := Run(DefaultConfig(tr, mk.build(t, tr)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(DefaultConfig(tr, mk.build(t, tr)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.MeanLatency() != b.MeanLatency() || a.Completed != b.Completed || a.TotalMoved != b.TotalMoved {
+				t.Fatalf("non-deterministic run: %v vs %v", a, b)
+			}
+		})
+	}
+}
+
+func TestTuningRoundCount(t *testing.T) {
+	tr := smallTrace(t, 4)
+	cfg := DefaultConfig(tr, newANUPolicy(t, tr))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(tr.Duration / cfg.TuneInterval)
+	if res.TuningRounds != want {
+		t.Fatalf("tuning rounds %d, want %d", res.TuningRounds, want)
+	}
+	if len(res.Moves) != want {
+		t.Fatalf("move records %d, want %d", len(res.Moves), want)
+	}
+}
+
+func TestSimpleNeverMoves(t *testing.T) {
+	tr := smallTrace(t, 5)
+	res, err := Run(DefaultConfig(tr, newSimplePolicy(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMoved != 0 {
+		t.Fatalf("simple randomization moved %d file sets", res.TotalMoved)
+	}
+}
+
+func TestANUMovesFrontLoaded(t *testing.T) {
+	tr := smallTrace(t, 6)
+	res, err := Run(DefaultConfig(tr, newANUPolicy(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMoved == 0 {
+		t.Fatal("ANU never moved anything on a heterogeneous cluster")
+	}
+	// The first third of the rounds should carry more movement than
+	// the last third (Figure 7's front-loading).
+	third := len(res.Moves) / 3
+	early, late := 0, 0
+	for i, m := range res.Moves {
+		if i < third {
+			early += m.FileSetsMoved
+		}
+		if i >= 2*third {
+			late += m.FileSetsMoved
+		}
+	}
+	if early <= late {
+		t.Fatalf("movement not front-loaded: first third %d, last third %d", early, late)
+	}
+}
+
+func TestPolicyOrderingOnHeterogeneousCluster(t *testing.T) {
+	// The paper's headline: prescient <= anu << simple in mean latency.
+	tr := smallTrace(t, 7)
+	run := func(p policy.Placer) float64 {
+		res, err := Run(DefaultConfig(tr, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency()
+	}
+	simple := run(newSimplePolicy(t, tr))
+	anuLat := run(newANUPolicy(t, tr))
+	prescient := run(newPrescientPolicy(t, tr))
+	if !(prescient < anuLat) {
+		t.Errorf("prescient (%.3f) should beat ANU (%.3f)", prescient, anuLat)
+	}
+	if !(anuLat < simple/3) {
+		t.Errorf("ANU (%.3f) should beat simple (%.3f) by a wide margin", anuLat, simple)
+	}
+}
+
+func TestFailureReroutesQueuedWork(t *testing.T) {
+	tr := smallTrace(t, 8)
+	cfg := DefaultConfig(tr, newANUPolicy(t, tr))
+	cfg.Events = []Event{{Time: 600, Kind: Fail, Server: 4}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != uint64(len(tr.Requests)) {
+		t.Fatalf("completed %d of %d after failure", res.Completed, len(tr.Requests))
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d requests despite four live servers", res.Dropped)
+	}
+	// The failed server must serve nothing after t=600: its series is
+	// empty in later windows.
+	s := res.Servers[4]
+	for w := 7; w < s.Series.Len(); w++ {
+		if s.Series.At(w).N() > 0 {
+			t.Fatalf("failed server completed requests in window %d", w)
+		}
+	}
+}
+
+func TestFailureAndRecovery(t *testing.T) {
+	tr := smallTrace(t, 9)
+	cfg := DefaultConfig(tr, newANUPolicy(t, tr))
+	cfg.Events = []Event{
+		{Time: 400, Kind: Fail, Server: 3},
+		{Time: 1000, Kind: Recover, Server: 3},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != uint64(len(tr.Requests)) {
+		t.Fatalf("completed %d of %d", res.Completed, len(tr.Requests))
+	}
+	s := res.Servers[3]
+	lateServed := uint64(0)
+	for w := 9; w < s.Series.Len(); w++ {
+		lateServed += s.Series.At(w).N()
+	}
+	if lateServed == 0 {
+		t.Fatal("recovered server never served again")
+	}
+}
+
+func TestCommissionAddsCapacity(t *testing.T) {
+	tr := smallTrace(t, 10)
+	cfg := DefaultConfig(tr, newANUPolicy(t, tr))
+	cfg.Events = []Event{{Time: 600, Kind: Commission, Server: 5, Speed: 9}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := res.Servers[5]
+	if !ok {
+		t.Fatal("commissioned server missing from results")
+	}
+	if s.Served == 0 {
+		t.Fatal("commissioned server never served")
+	}
+}
+
+func TestDecommissionRemovesServer(t *testing.T) {
+	tr := smallTrace(t, 11)
+	cfg := DefaultConfig(tr, newANUPolicy(t, tr))
+	cfg.Events = []Event{{Time: 600, Kind: Decommission, Server: 2}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != uint64(len(tr.Requests)) {
+		t.Fatalf("completed %d of %d after decommission", res.Completed, len(tr.Requests))
+	}
+	s := res.Servers[2]
+	for w := 7; w < s.Series.Len(); w++ {
+		if s.Series.At(w).N() > 0 {
+			t.Fatalf("decommissioned server served in window %d", w)
+		}
+	}
+}
+
+func TestAllServersFailDropsRequests(t *testing.T) {
+	tr := smallTrace(t, 12)
+	cfg := DefaultConfig(tr, newANUPolicy(t, tr))
+	for i := 0; i < 5; i++ {
+		cfg.Events = append(cfg.Events, Event{Time: 300, Kind: Fail, Server: ServerID(i)})
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("no drops with every server down")
+	}
+	if res.Completed+res.Dropped != uint64(len(tr.Requests)) {
+		t.Fatalf("completed %d + dropped %d != %d", res.Completed, res.Dropped, len(tr.Requests))
+	}
+}
+
+func TestMoveCostsSlowTheCluster(t *testing.T) {
+	tr := smallTrace(t, 13)
+	base := DefaultConfig(tr, newANUPolicy(t, tr))
+	base.MoveFlushTime = 0
+	base.ColdPenalty = 1
+	cheap, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear := DefaultConfig(tr, newANUPolicy(t, tr))
+	dear.MoveFlushTime = 20
+	dear.ColdPenalty = 10
+	dear.ColdRequests = 20
+	costly, err := Run(dear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.MeanLatency() <= cheap.MeanLatency() {
+		t.Fatalf("movement costs had no effect: %.3f vs %.3f", costly.MeanLatency(), cheap.MeanLatency())
+	}
+}
+
+func TestRedirectOnMoveHelpsTransient(t *testing.T) {
+	tr := smallTrace(t, 14)
+	on := DefaultConfig(tr, newANUPolicy(t, tr))
+	resOn, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := DefaultConfig(tr, newANUPolicy(t, tr))
+	off.RedirectOnMove = false
+	resOff, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redirecting queued work away from overloaded shedding servers
+	// should not hurt, and usually helps the convergence transient.
+	if resOn.MeanLatency() > resOff.MeanLatency()*1.2 {
+		t.Fatalf("redirect-on-move hurt badly: %.3f vs %.3f", resOn.MeanLatency(), resOff.MeanLatency())
+	}
+}
+
+func TestConsistencySpread(t *testing.T) {
+	tr := smallTrace(t, 15)
+	res, err := Run(DefaultConfig(tr, newPrescientPolicy(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := res.ConsistencySpread(50)
+	if spread == 0 {
+		t.Fatal("spread = 0: no servers qualified")
+	}
+	if spread > 8 {
+		t.Fatalf("prescient spread %.2f implausibly wide", spread)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	tr := smallTrace(t, 16)
+	res, err := Run(DefaultConfig(tr, newSimplePolicy(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.ServerIDs()
+	if len(ids) != 5 {
+		t.Fatalf("ServerIDs = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("ServerIDs not ascending")
+		}
+	}
+	means := res.PerServerMeans()
+	if len(means) != 5 {
+		t.Fatalf("PerServerMeans has %d entries", len(means))
+	}
+	if res.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if res.SharedStateBytes <= 0 {
+		t.Fatal("missing shared state size")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		Fail: "fail", Recover: "recover", Commission: "commission",
+		Decommission: "decommission", EventKind(42): "EventKind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestVPGranularityEndToEnd(t *testing.T) {
+	// Figure 8's direction on a small run: very coarse VPs must not
+	// beat fine VPs.
+	tr := smallTrace(t, 17)
+	run := func(numVP int) float64 {
+		p, err := policy.NewVirtualProcessor(hashx.NewFamily(42), tr.FileSets, numVP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(DefaultConfig(tr, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency()
+	}
+	coarse, fine := run(3), run(20)
+	if fine > coarse*1.25 {
+		t.Fatalf("fine-grained VPs (%.3f) much worse than coarse (%.3f)", fine, coarse)
+	}
+}
+
+func TestBacklogAwareReportsChangeTuning(t *testing.T) {
+	tr := smallTrace(t, 40)
+	plain := DefaultConfig(tr, newANUPolicy(t, tr))
+	a, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := DefaultConfig(tr, newANUPolicy(t, tr))
+	aware.BacklogAwareReports = true
+	b, err := Run(aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leading indicator must actually change the feedback loop's
+	// trajectory (identical results would mean the flag is dead).
+	if a.TotalMoved == b.TotalMoved && a.MeanLatency() == b.MeanLatency() {
+		t.Fatal("backlog-aware reports had no effect")
+	}
+	// And both runs stay sane.
+	if b.Completed != uint64(len(tr.Requests)) {
+		t.Fatalf("aware run completed %d of %d", b.Completed, len(tr.Requests))
+	}
+}

@@ -1,0 +1,207 @@
+// Package clustersim simulates a heterogeneous, shared-disk file-server
+// cluster under a load-management policy — the trace-driven simulator of
+// the paper's Section 5 (built on package sim, our YACSIM substitute).
+//
+// The cluster routes each trace request to the server its policy places
+// the request's file set on, serves it through a FIFO queueing station
+// with the server's speed, and retunes the policy on a fixed interval
+// (the paper's two minutes). Moving a file set costs: the shedding
+// server flushes its cache (injected busy time) and the acquiring server
+// starts cold (a service-demand multiplier for the first requests), so
+// policies that churn placement pay for it, as in a real shared-disk
+// cluster (Section 5.3).
+package clustersim
+
+import (
+	"fmt"
+	"math"
+
+	"anurand/internal/policy"
+	"anurand/internal/workload"
+)
+
+// ServerID aliases the policy/anu identifier space.
+type ServerID = policy.ServerID
+
+// EventKind enumerates scheduled configuration changes.
+type EventKind int
+
+// Configuration change kinds.
+const (
+	// Fail takes a server down; queued work is re-routed.
+	Fail EventKind = iota
+	// Recover brings a failed server back up.
+	Recover
+	// Commission adds a brand-new server to the cluster.
+	Commission
+	// Decommission removes a server permanently.
+	Decommission
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case Fail:
+		return "fail"
+	case Recover:
+		return "recover"
+	case Commission:
+		return "commission"
+	case Decommission:
+		return "decommission"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a scheduled cluster configuration change.
+type Event struct {
+	Time   float64
+	Kind   EventKind
+	Server ServerID
+	// Speed is the capacity of a commissioned server (ignored
+	// otherwise).
+	Speed float64
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Speeds gives each initial server's capacity; server IDs are the
+	// indices (the paper's five-server cluster is {1, 3, 5, 7, 9}).
+	Speeds []float64
+
+	// Trace is the request stream to replay.
+	Trace *workload.Trace
+
+	// Policy places file sets on servers. The caller constructs it over
+	// the same file sets and server ids.
+	Policy policy.Placer
+
+	// TuneInterval is the load-placement tuning period in seconds
+	// (paper: two minutes).
+	TuneInterval float64
+
+	// ReportWindow is the time-series bucket width for the
+	// latency-over-time figures; zero defaults to TuneInterval.
+	ReportWindow float64
+
+	// MoveFlushTime is the busy time in seconds injected into a
+	// shedding server per moved file set (cache flush to stable
+	// storage). Zero disables.
+	MoveFlushTime float64
+
+	// ColdPenalty multiplies the service demand of the first
+	// ColdRequests requests a server serves for a newly acquired file
+	// set (cold cache). Values <= 1 disable.
+	ColdPenalty float64
+
+	// ColdRequests is how many requests pay ColdPenalty after a move.
+	ColdRequests int
+
+	// Events are scheduled failures/recoveries/commissionings.
+	Events []Event
+
+	// RetuneOnEvents triggers an immediate tuning round when a
+	// configuration event fires, as the paper's system reacts to
+	// failure and recovery without waiting for the next interval.
+	RetuneOnEvents bool
+
+	// BacklogAwareReports adds each server's queue-drain estimate
+	// (backlog / speed) to its reported latency, turning the report
+	// into a leading indicator. The paper reports plain completed-
+	// request latency; this extension damps feedback lag at high
+	// utilization (see the ablation in cmd/ablate).
+	BacklogAwareReports bool
+
+	// RedirectOnMove re-dispatches requests still queued at the
+	// shedding server when their file set moves; the paper's shedding
+	// protocol notifies the acquiring server, so waiting clients are
+	// redirected rather than left behind an overloaded queue.
+	RedirectOnMove bool
+
+	// RunPast extends the simulation beyond the trace end so queued
+	// work drains; zero defaults to 10 tuning intervals.
+	RunPast float64
+
+	// SAN optionally models the shared-disk data path behind the
+	// metadata tier (see SANConfig).
+	SAN SANConfig
+
+	// SteadyAfterFrac marks the start of the steady-state measurement
+	// window as a fraction of the trace duration (default 0.25):
+	// requests completing after that instant also feed
+	// Result.SteadyAggregate, separating converged behaviour from the
+	// adaptation transient.
+	SteadyAfterFrac float64
+}
+
+// DefaultConfig returns the paper's simulation parameters over the given
+// trace and policy: the 1/3/5/7/9 five-server cluster, two-minute
+// tuning, and modest movement costs.
+func DefaultConfig(trace *workload.Trace, placer policy.Placer) Config {
+	return Config{
+		Speeds:         []float64{1, 3, 5, 7, 9},
+		Trace:          trace,
+		Policy:         placer,
+		TuneInterval:   120,
+		MoveFlushTime:  0.25,
+		ColdPenalty:    2.0,
+		ColdRequests:   3,
+		RetuneOnEvents: true,
+		RedirectOnMove: true,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c *Config) Validate() error {
+	if len(c.Speeds) == 0 {
+		return fmt.Errorf("clustersim: no servers")
+	}
+	for i, s := range c.Speeds {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("clustersim: server %d has invalid speed %g", i, s)
+		}
+	}
+	if c.Trace == nil {
+		return fmt.Errorf("clustersim: nil trace")
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return fmt.Errorf("clustersim: %w", err)
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("clustersim: nil policy")
+	}
+	if c.TuneInterval <= 0 || math.IsNaN(c.TuneInterval) {
+		return fmt.Errorf("clustersim: invalid tune interval %g", c.TuneInterval)
+	}
+	if c.ReportWindow < 0 {
+		return fmt.Errorf("clustersim: negative report window")
+	}
+	if c.MoveFlushTime < 0 {
+		return fmt.Errorf("clustersim: negative flush time")
+	}
+	if c.ColdRequests < 0 {
+		return fmt.Errorf("clustersim: negative cold request count")
+	}
+	if c.RunPast < 0 {
+		return fmt.Errorf("clustersim: negative RunPast")
+	}
+	if c.SteadyAfterFrac < 0 || c.SteadyAfterFrac >= 1 {
+		return fmt.Errorf("clustersim: SteadyAfterFrac %g outside [0, 1)", c.SteadyAfterFrac)
+	}
+	if err := c.SAN.Validate(); err != nil {
+		return err
+	}
+	for i, ev := range c.Events {
+		if ev.Time < 0 || math.IsNaN(ev.Time) {
+			return fmt.Errorf("clustersim: event %d has invalid time %g", i, ev.Time)
+		}
+		if ev.Kind == Commission && (ev.Speed <= 0 || math.IsNaN(ev.Speed)) {
+			return fmt.Errorf("clustersim: commission event %d has invalid speed %g", i, ev.Speed)
+		}
+		if ev.Kind < Fail || ev.Kind > Decommission {
+			return fmt.Errorf("clustersim: event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}

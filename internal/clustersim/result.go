@@ -1,0 +1,150 @@
+package clustersim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anurand/internal/metrics"
+)
+
+// MoveRecord accounts for one tuning round's load movement — the data
+// behind Figure 7.
+type MoveRecord struct {
+	// Round is the 1-based tuning round number.
+	Round int
+	// Time is the virtual time of the round.
+	Time float64
+	// FileSetsMoved is how many file sets changed server this round.
+	FileSetsMoved int
+	// WorkMovedFrac is the moved file sets' share of the trace's total
+	// demand.
+	WorkMovedFrac float64
+}
+
+// ServerStats aggregates one server's view of the run.
+type ServerStats struct {
+	ID       ServerID
+	Speed    float64
+	Latency  metrics.Summary // per-request response times
+	Series   *metrics.Series // response times bucketed by completion time
+	BusyTime float64
+	Served   uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Policy is the policy's name.
+	Policy string
+
+	// Aggregate summarizes all completed request latencies (Figure 6a).
+	Aggregate metrics.Summary
+
+	// SteadyAggregate summarizes the latencies of requests completing
+	// after the steady-state cutoff (Config.SteadyAfterFrac of the
+	// duration), i.e. with the adaptation transient excluded.
+	SteadyAggregate metrics.Summary
+
+	// Servers holds per-server statistics keyed by id (Figures 4, 5,
+	// 6b).
+	Servers map[ServerID]*ServerStats
+
+	// Moves records every tuning round's movement (Figure 7).
+	Moves []MoveRecord
+
+	// TotalMoved is the total number of file-set moves across the run.
+	TotalMoved int
+
+	// TotalWorkMovedFrac is the cumulative WorkMovedFrac.
+	TotalWorkMovedFrac float64
+
+	// SharedStateBytes is the policy's replicated state size at the end
+	// of the run (Figure 8's second axis).
+	SharedStateBytes int
+
+	// Completed and Dropped count requests served and requests that
+	// found no live server.
+	Completed, Dropped uint64
+
+	// Rerouted counts requests that had to be diverted from their
+	// placed server because it was down.
+	Rerouted uint64
+
+	// TuningRounds is the number of tuning rounds executed.
+	TuningRounds int
+
+	// SAN holds the data-path statistics when Config.SAN was enabled,
+	// nil otherwise.
+	SAN *SANStats
+
+	// Duration is the trace duration in seconds.
+	Duration float64
+}
+
+// ServerIDs returns the result's server ids in ascending order.
+func (r *Result) ServerIDs() []ServerID {
+	ids := make([]ServerID, 0, len(r.Servers))
+	for id := range r.Servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// MeanLatency returns the aggregate mean response time.
+func (r *Result) MeanLatency() float64 { return r.Aggregate.Mean() }
+
+// SteadyMeanLatency returns the mean response time after the
+// steady-state cutoff.
+func (r *Result) SteadyMeanLatency() float64 { return r.SteadyAggregate.Mean() }
+
+// LatencyStdDev returns the aggregate response-time standard deviation.
+func (r *Result) LatencyStdDev() float64 { return r.Aggregate.StdDev() }
+
+// PerServerMeans returns each server's mean latency in id order — the
+// consistency view of Figure 6b.
+func (r *Result) PerServerMeans() map[ServerID]float64 {
+	out := make(map[ServerID]float64, len(r.Servers))
+	for id, s := range r.Servers {
+		out[id] = s.Latency.Mean()
+	}
+	return out
+}
+
+// ConsistencySpread measures performance consistency across servers: the
+// ratio of the highest to the lowest per-server mean latency, ignoring
+// servers that completed fewer than minRequests (the paper excludes the
+// near-idle weakest server when judging consistency).
+func (r *Result) ConsistencySpread(minRequests uint64) float64 {
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, s := range r.Servers {
+		if s.Latency.N() < minRequests {
+			continue
+		}
+		m := s.Latency.Mean()
+		if first {
+			lo, hi = m, m
+			first = false
+			continue
+		}
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if first || lo == 0 {
+		return 0
+	}
+	return hi / lo
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: mean=%.3fs sd=%.3fs completed=%d dropped=%d moved=%d state=%dB",
+		r.Policy, r.MeanLatency(), r.LatencyStdDev(), r.Completed, r.Dropped, r.TotalMoved, r.SharedStateBytes)
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package clustersim
+
+import (
+	"testing"
+
+	"anurand/internal/policy"
+	"anurand/internal/workload"
+)
+
+func sanConfig() SANConfig {
+	return SANConfig{Enabled: true, Disks: 8, TransferDemand: 0.5}
+}
+
+func TestSANDisabledByDefault(t *testing.T) {
+	tr := smallTrace(t, 30)
+	res, err := Run(DefaultConfig(tr, newSimplePolicy(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SAN != nil {
+		t.Fatal("SAN stats present without SAN enabled")
+	}
+}
+
+func TestSANValidate(t *testing.T) {
+	tr := smallTrace(t, 31)
+	cfg := DefaultConfig(tr, newSimplePolicy(t, tr))
+	cfg.SAN = SANConfig{Enabled: true, Disks: 0, TransferDemand: 1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero disks accepted")
+	}
+	cfg.SAN = SANConfig{Enabled: true, Disks: 4, TransferDemand: 0}
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero transfer demand accepted")
+	}
+	// Disabled SAN ignores the other fields.
+	cfg.SAN = SANConfig{Enabled: false, Disks: -5}
+	if _, err := Run(cfg); err != nil {
+		t.Errorf("disabled SAN rejected: %v", err)
+	}
+}
+
+func TestSANTransfersFollowMetadata(t *testing.T) {
+	tr := smallTrace(t, 32)
+	cfg := DefaultConfig(tr, newANUPolicy(t, tr))
+	cfg.SAN = sanConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SAN == nil {
+		t.Fatal("SAN stats missing")
+	}
+	if res.SAN.Transfers != res.Completed {
+		t.Fatalf("transfers %d != completed metadata requests %d", res.SAN.Transfers, res.Completed)
+	}
+	// End-to-end latency includes the transfer, so it must exceed the
+	// metadata-only mean.
+	if res.SAN.EndToEnd.Mean() <= res.MeanLatency() {
+		t.Fatalf("end-to-end %.3f not above metadata-only %.3f",
+			res.SAN.EndToEnd.Mean(), res.MeanLatency())
+	}
+	if res.SAN.UtilizationInWindow <= 0 || res.SAN.UtilizationInWindow > 1 {
+		t.Fatalf("in-window utilization %.3f out of range", res.SAN.UtilizationInWindow)
+	}
+}
+
+// TestSANUnderutilizedBehindImbalancedMetadata checks the paper's
+// motivating claim (Section 3): metadata imbalance leaves the SAN
+// underutilized. Simple randomization queues a large share of requests
+// behind the weakest metadata server, deferring their data transfers
+// past the trace window, so the SAN's in-window utilization drops
+// relative to a balanced metadata tier.
+func TestSANUnderutilizedBehindImbalancedMetadata(t *testing.T) {
+	tr := smallTrace(t, 33)
+	util := func(build func(t *testing.T, tr *workload.Trace) policy.Placer) float64 {
+		t.Helper()
+		cfg := DefaultConfig(tr, build(t, tr))
+		cfg.SAN = sanConfig()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SAN.UtilizationInWindow
+	}
+	simple := util(func(t *testing.T, tr *workload.Trace) policy.Placer { return newSimplePolicy(t, tr) })
+	balanced := util(func(t *testing.T, tr *workload.Trace) policy.Placer { return newPrescientPolicy(t, tr) })
+	if simple >= balanced {
+		t.Fatalf("SAN utilization under simple (%.4f) not below balanced metadata (%.4f)",
+			simple, balanced)
+	}
+}

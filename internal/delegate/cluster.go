@@ -1,0 +1,178 @@
+package delegate
+
+import (
+	"fmt"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+	"anurand/internal/rng"
+)
+
+// MemTransport is an in-memory Transport with deterministic, seedable
+// message loss — enough to exercise the protocol's tolerance of lost
+// reports and lost map updates without wall-clock timing.
+type MemTransport struct {
+	boxes    map[NodeID][]Message
+	src      *rng.Source
+	lossProb float64
+	sent     uint64
+	dropped  uint64
+}
+
+// NewMemTransport creates a lossless in-memory transport.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{boxes: make(map[NodeID][]Message)}
+}
+
+// SetLoss makes the transport drop each message independently with
+// probability p, using a deterministic stream from seed.
+func (t *MemTransport) SetLoss(p float64, seed uint64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("delegate: SetLoss(%g) outside [0, 1)", p))
+	}
+	t.lossProb = p
+	t.src = rng.New(seed)
+}
+
+// Send implements Transport.
+func (t *MemTransport) Send(msg Message) {
+	t.sent++
+	if t.lossProb > 0 && t.src.Float64() < t.lossProb {
+		t.dropped++
+		return
+	}
+	t.boxes[msg.To] = append(t.boxes[msg.To], msg)
+}
+
+// Deliver implements Transport.
+func (t *MemTransport) Deliver(to NodeID) []Message {
+	msgs := t.boxes[to]
+	t.boxes[to] = nil
+	return msgs
+}
+
+// Stats returns (sent, dropped) counters.
+func (t *MemTransport) Stats() (sent, dropped uint64) { return t.sent, t.dropped }
+
+// Cluster is a round-synchronous harness over a set of Nodes: each
+// Step models one tuning interval — local observation, report exchange,
+// delegate election, rescale, and map distribution. It is the
+// protocol-level companion of the performance simulator in
+// package clustersim.
+type Cluster struct {
+	Nodes []*Node
+	tr    *MemTransport
+	round uint64
+}
+
+// NewCluster builds a cluster of k agents sharing one initial map.
+func NewCluster(k int, hashSeed uint64, cfg anu.ControllerConfig) (*Cluster, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("delegate: NewCluster: k=%d", k)
+	}
+	ids := make([]NodeID, k)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	m, err := anu.New(hashx.NewFamily(hashSeed), ids)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := m.Encode()
+	tr := NewMemTransport()
+	c := &Cluster{tr: tr}
+	for _, id := range ids {
+		n, err := NewNode(id, snapshot, cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Transport exposes the in-memory transport (for loss injection).
+func (c *Cluster) Transport() *MemTransport { return c.tr }
+
+// Round returns the number of completed tuning rounds.
+func (c *Cluster) Round() uint64 { return c.round }
+
+// Node returns the agent with the given id, or nil.
+func (c *Cluster) Node(id NodeID) *Node {
+	for _, n := range c.Nodes {
+		if n.ID() == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Delegate returns the currently elected delegate id.
+func (c *Cluster) Delegate() (NodeID, bool) { return Elect(c.Nodes) }
+
+// Members returns the ids of all nodes (live and crashed) — the
+// membership view the delegate tunes over; crashed members are detected
+// by their missing reports.
+func (c *Cluster) Members() []NodeID {
+	ids := make([]NodeID, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		ids = append(ids, n.ID())
+	}
+	return ids
+}
+
+// Step executes one tuning interval: every live node sends its last
+// observation to the elected delegate, the delegate rescales from what
+// arrived, and broadcasts the new map, which live nodes install. It
+// returns the delegate that acted.
+func (c *Cluster) Step() (NodeID, error) {
+	c.round++
+	del, ok := Elect(c.Nodes)
+	if !ok {
+		return -1, fmt.Errorf("delegate: no live nodes")
+	}
+	for _, n := range c.Nodes {
+		if n.ID() != del {
+			n.SendReport(del, c.round)
+		}
+	}
+	// The delegate drains its inbox, runs the rescale, and broadcasts.
+	delNode := c.Node(del)
+	if _, err := delNode.CollectReports(c.round); err != nil {
+		return del, err
+	}
+	if err := delNode.RunDelegate(c.round, c.Members()); err != nil {
+		return del, err
+	}
+	// Everyone else installs the newest map they received.
+	for _, n := range c.Nodes {
+		if n.ID() == del {
+			continue
+		}
+		if _, err := n.CollectReports(c.round); err != nil {
+			return del, err
+		}
+	}
+	return del, nil
+}
+
+// Converged reports whether every live node holds a byte-identical map.
+func (c *Cluster) Converged() bool {
+	var want uint64
+	first := true
+	for _, n := range c.Nodes {
+		if !n.Up() {
+			continue
+		}
+		fp := n.Fingerprint()
+		if first {
+			want = fp
+			first = false
+			continue
+		}
+		if fp != want {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,295 @@
+// Package delegate implements the cluster-management protocol around
+// ANU randomization described in Section 4 of the paper: at the end of
+// each tuning interval every server reports its latency to an elected
+// delegate; the delegate computes the new load configuration from the
+// reported latencies alone and distributes the new mapping of servers
+// to the unit interval — the system's only replicated state — to all
+// servers.
+//
+// The delegate is deliberately stateless: if it fails, the next elected
+// delegate runs the same protocol with the same information. This
+// package makes that property concrete and testable: nodes exchange
+// typed, byte-encoded messages over a Transport, elect the
+// lowest-numbered live node, and converge to byte-identical placement
+// maps even across delegate crashes, message loss and re-elections.
+//
+// The runtime is round-synchronous and deterministic — a faithful model
+// of the two-minute tuning cadence that avoids wall-clock flakiness in
+// tests. The wire encodings are real, so the shared-state accounting
+// matches what a networked deployment would replicate.
+package delegate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"anurand/internal/anu"
+)
+
+// NodeID identifies a management agent (one per file server). It is the
+// same identifier space as the placement map's ServerID.
+type NodeID = anu.ServerID
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+// Protocol message kinds.
+const (
+	// MsgReport carries one server's interval latency report to the
+	// delegate.
+	MsgReport MsgKind = iota + 1
+	// MsgMap carries the delegate's new placement map to a server.
+	MsgMap
+)
+
+// Message is one protocol datagram. Payload is the wire encoding of a
+// Report (MsgReport) or a placement map (MsgMap).
+type Message struct {
+	Kind    MsgKind
+	From    NodeID
+	To      NodeID
+	Round   uint64
+	Payload []byte
+}
+
+// Report is the per-interval performance sample of one server.
+type Report struct {
+	Requests uint64
+	// LatencyMicros is the mean response time in microseconds. Fixed
+	// point keeps the wire format integer-only and platform-stable.
+	LatencyMicros uint64
+}
+
+// encodeReport serializes a report payload.
+func encodeReport(r Report) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:8], r.Requests)
+	binary.LittleEndian.PutUint64(buf[8:16], r.LatencyMicros)
+	return buf
+}
+
+// decodeReport parses a report payload.
+func decodeReport(b []byte) (Report, error) {
+	if len(b) != 16 {
+		return Report{}, fmt.Errorf("delegate: report payload is %d bytes, want 16", len(b))
+	}
+	return Report{
+		Requests:      binary.LittleEndian.Uint64(b[0:8]),
+		LatencyMicros: binary.LittleEndian.Uint64(b[8:16]),
+	}, nil
+}
+
+// Transport delivers messages between nodes. Implementations may delay,
+// reorder or drop; the protocol only assumes that a delivered payload is
+// intact (corrupt maps are rejected by decode-time validation).
+type Transport interface {
+	// Send queues a message for delivery. It never blocks.
+	Send(msg Message)
+	// Deliver drains the messages currently deliverable to the given
+	// node.
+	Deliver(to NodeID) []Message
+}
+
+// Node is one server's management agent. It holds the node's copy of
+// the placement map and, when elected, the delegate logic.
+type Node struct {
+	id   NodeID
+	up   bool
+	m    *anu.Map
+	ctl  *anu.Controller
+	tr   Transport
+	last Report // most recent local measurement
+	// pending accumulates reports received while acting as delegate.
+	pending map[NodeID]Report
+}
+
+// NewNode creates an agent with its own copy of the initial map. All
+// nodes must be constructed from byte-identical snapshots.
+func NewNode(id NodeID, snapshot []byte, cfg anu.ControllerConfig, tr Transport) (*Node, error) {
+	m, err := anu.Decode(snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("delegate: node %d: %w", id, err)
+	}
+	if !m.Has(id) {
+		return nil, fmt.Errorf("delegate: node %d not a member of the map", id)
+	}
+	return &Node{
+		id:      id,
+		up:      true,
+		m:       m,
+		ctl:     anu.NewController(cfg),
+		tr:      tr,
+		pending: make(map[NodeID]Report),
+	}, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() NodeID { return n.id }
+
+// Up reports whether the node is alive.
+func (n *Node) Up() bool { return n.up }
+
+// Map returns the node's current placement map (read-only use).
+func (n *Node) Map() *anu.Map { return n.m }
+
+// Fingerprint returns a cheap digest of the node's replicated state,
+// used to assert cluster-wide convergence.
+func (n *Node) Fingerprint() uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range n.m.Encode() {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Crash takes the node down: it stops reporting, applying maps, and
+// acting as delegate. Its in-memory state is discarded, as a real crash
+// would.
+func (n *Node) Crash() {
+	n.up = false
+	n.pending = make(map[NodeID]Report)
+	n.ctl.Reset()
+}
+
+// Restart brings a crashed node back using a fresh snapshot obtained
+// from a live peer (in a real cluster, from shared storage or the
+// delegate). Its smoothing state starts empty — the protocol tolerates
+// that because the delegate is stateless.
+func (n *Node) Restart(snapshot []byte) error {
+	m, err := anu.Decode(snapshot)
+	if err != nil {
+		return fmt.Errorf("delegate: restart node %d: %w", n.id, err)
+	}
+	n.m = m
+	n.up = true
+	return nil
+}
+
+// Observe records the node's local measurement for the elapsed interval.
+func (n *Node) Observe(requests uint64, meanLatencySeconds float64) {
+	if meanLatencySeconds < 0 || math.IsNaN(meanLatencySeconds) {
+		meanLatencySeconds = 0
+	}
+	n.last = Report{
+		Requests:      requests,
+		LatencyMicros: uint64(meanLatencySeconds * 1e6),
+	}
+}
+
+// SendReport transmits the node's measurement to the given delegate.
+func (n *Node) SendReport(to NodeID, round uint64) {
+	if !n.up {
+		return
+	}
+	n.tr.Send(Message{
+		Kind:    MsgReport,
+		From:    n.id,
+		To:      to,
+		Round:   round,
+		Payload: encodeReport(n.last),
+	})
+}
+
+// CollectReports drains the node's inbox, keeping latency reports for
+// the given round and applying the newest map message, if any. It
+// returns whether a map update was applied.
+func (n *Node) CollectReports(round uint64) (mapApplied bool, err error) {
+	if !n.up {
+		// A dead node's mail is discarded.
+		n.tr.Deliver(n.id)
+		return false, nil
+	}
+	for _, msg := range n.tr.Deliver(n.id) {
+		switch msg.Kind {
+		case MsgReport:
+			if msg.Round != round {
+				continue // stale report from a previous round
+			}
+			rep, derr := decodeReport(msg.Payload)
+			if derr != nil {
+				return mapApplied, derr
+			}
+			n.pending[msg.From] = rep
+		case MsgMap:
+			m, derr := anu.Decode(msg.Payload)
+			if derr != nil {
+				// A corrupt map must never be installed.
+				continue
+			}
+			n.m = m
+			mapApplied = true
+		default:
+			return mapApplied, fmt.Errorf("delegate: node %d: unknown message kind %d", n.id, msg.Kind)
+		}
+	}
+	return mapApplied, nil
+}
+
+// PendingReports returns how many distinct servers' reports the node
+// currently holds as delegate — a progress probe for transports that
+// deliver asynchronously.
+func (n *Node) PendingReports() int { return len(n.pending) }
+
+// RunDelegate executes the delegate role for one round over the reports
+// collected so far: servers that did not report are treated as failed
+// (the paper's failure handling — a silent server's region goes to the
+// survivors), the controller rescales the map, and the new map is
+// broadcast to every member. The pending report set is cleared.
+func (n *Node) RunDelegate(round uint64, members []NodeID) error {
+	if !n.up {
+		return fmt.Errorf("delegate: node %d is down", n.id)
+	}
+	reports := make([]anu.Report, 0, len(members))
+	for _, id := range members {
+		rep, ok := n.pending[id]
+		if !ok && id != n.id {
+			reports = append(reports, anu.Report{Server: id, Failed: true})
+			continue
+		}
+		if id == n.id {
+			rep = n.last // the delegate reports to itself directly
+		}
+		reports = append(reports, anu.Report{
+			Server:   id,
+			Requests: rep.Requests,
+			Latency:  float64(rep.LatencyMicros) / 1e6,
+		})
+	}
+	if _, err := n.ctl.Tune(n.m, reports); err != nil {
+		return err
+	}
+	n.pending = make(map[NodeID]Report)
+
+	snapshot := n.m.Encode()
+	for _, id := range members {
+		if id == n.id {
+			continue
+		}
+		n.tr.Send(Message{
+			Kind:    MsgMap,
+			From:    n.id,
+			To:      id,
+			Round:   round,
+			Payload: snapshot,
+		})
+	}
+	return nil
+}
+
+// Elect returns the delegate for a membership view: the lowest-numbered
+// live node, the paper's "elected delegate" with its stateless
+// succession rule.
+func Elect(nodes []*Node) (NodeID, bool) {
+	best := NodeID(-1)
+	for _, n := range nodes {
+		if !n.Up() {
+			continue
+		}
+		if best < 0 || n.ID() < best {
+			best = n.ID()
+		}
+	}
+	return best, best >= 0
+}

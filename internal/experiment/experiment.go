@@ -1,0 +1,427 @@
+// Package experiment defines one parameterized, reproducible experiment
+// per results figure in the paper's evaluation (Figures 4-8; Figures 1-3
+// are architecture diagrams with no data). Each experiment builds its
+// workload, runs the cluster simulation for the policies it compares,
+// and returns structured results that cmd/paperfigs renders and
+// bench_test.go regenerates.
+package experiment
+
+import (
+	"fmt"
+
+	"anurand/internal/anu"
+	"anurand/internal/clustersim"
+	"anurand/internal/hashx"
+	"anurand/internal/policy"
+	"anurand/internal/workload"
+)
+
+// PolicyName enumerates the compared systems.
+type PolicyName string
+
+// The four systems of Section 5.1.
+const (
+	Simple    PolicyName = "simple"
+	ANU       PolicyName = "anu"
+	Prescient PolicyName = "prescient"
+	VP        PolicyName = "vp"
+)
+
+// AllPolicies lists the four systems in the paper's presentation order.
+var AllPolicies = []PolicyName{Simple, ANU, Prescient, VP}
+
+// Config parameterizes a suite of experiments.
+type Config struct {
+	// Seed drives workload generation. The paper reports single runs;
+	// use different seeds for replications.
+	Seed uint64
+
+	// HashSeed seeds the shared hash family.
+	HashSeed uint64
+
+	// DefaultVP is the virtual-processor count used when the VP system
+	// appears in a multi-policy comparison (the paper's default v=5,
+	// i.e. 25 VPs for 5 servers).
+	DefaultVP int
+
+	// Quick shrinks the workloads (~10x fewer requests, shorter
+	// duration) so tests and benchmarks finish fast. Figure shapes are
+	// preserved; absolute values shift.
+	Quick bool
+}
+
+// DefaultConfig returns the paper's experiment configuration.
+func DefaultConfig() Config {
+	return Config{Seed: 1, HashSeed: 42, DefaultVP: 25}
+}
+
+// Suite runs the figures over shared, lazily generated workloads, so a
+// caller asking for Figures 5, 6 and 7 only pays for one simulation per
+// policy.
+type Suite struct {
+	cfg       Config
+	synthetic *workload.Trace
+	dfslike   *workload.Trace
+	hot       *workload.Trace
+	fig5      map[PolicyName]*clustersim.Result
+	fig4      map[PolicyName]*clustersim.Result
+}
+
+// NewSuite creates a suite.
+func NewSuite(cfg Config) *Suite {
+	if cfg.DefaultVP <= 0 {
+		cfg.DefaultVP = 25
+	}
+	return &Suite{cfg: cfg}
+}
+
+// Synthetic returns the suite's synthetic trace (Figure 5 workload),
+// generating it on first use.
+func (s *Suite) Synthetic() (*workload.Trace, error) {
+	if s.synthetic != nil {
+		return s.synthetic, nil
+	}
+	wcfg := workload.DefaultSynthetic()
+	wcfg.Seed = s.cfg.Seed
+	if s.cfg.Quick {
+		wcfg.Duration = 40 * 60
+		wcfg.TargetRequests = 13000
+		wcfg.NumFileSets = 50
+	}
+	tr, err := wcfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	s.synthetic = tr
+	return tr, nil
+}
+
+// DFSLike returns the suite's DFSTrace-like trace (Figure 4 workload).
+func (s *Suite) DFSLike() (*workload.Trace, error) {
+	if s.dfslike != nil {
+		return s.dfslike, nil
+	}
+	wcfg := workload.DefaultDFSLike()
+	wcfg.Seed = s.cfg.Seed + 1
+	if s.cfg.Quick {
+		wcfg.Duration = 1200
+		wcfg.TargetRequests = 20000
+	}
+	tr, err := wcfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	s.dfslike = tr
+	return tr, nil
+}
+
+// HotSynthetic returns the Figure 8 workload: the synthetic workload
+// with the demand scale c tuned hotter (~80% cluster utilization). At
+// the Figure 5 operating point the cluster has enough headroom that
+// even five coarse chunks pack without queueing damage; the paper's
+// Figure 8 granularity effect — few virtual processors balance poorly —
+// only resolves when capacity is tight.
+func (s *Suite) HotSynthetic() (*workload.Trace, error) {
+	if s.hot != nil {
+		return s.hot, nil
+	}
+	wcfg := workload.DefaultSynthetic()
+	wcfg.Seed = s.cfg.Seed
+	wcfg.BaseDemand = 3.6
+	if s.cfg.Quick {
+		wcfg.Duration = 40 * 60
+		wcfg.TargetRequests = 13000
+	}
+	tr, err := wcfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	s.hot = tr
+	return tr, nil
+}
+
+// Servers returns the paper's five-server heterogeneous cluster ids.
+func Servers() []policy.ServerID { return []policy.ServerID{0, 1, 2, 3, 4} }
+
+// Speeds returns the paper's capacity factors.
+func Speeds() []float64 { return []float64{1, 3, 5, 7, 9} }
+
+// BuildPolicy constructs one of the four systems over a trace.
+func (s *Suite) BuildPolicy(name PolicyName, trace *workload.Trace, numVP int) (policy.Placer, error) {
+	family := hashx.NewFamily(s.cfg.HashSeed)
+	switch name {
+	case Simple:
+		return policy.NewSimple(family, trace.FileSets, Servers())
+	case ANU:
+		return policy.NewANU(family, trace.FileSets, Servers(), anu.DefaultControllerConfig())
+	case Prescient:
+		return policy.NewPrescient(trace.FileSets)
+	case VP:
+		return policy.NewVirtualProcessor(family, trace.FileSets, numVP)
+	default:
+		return nil, fmt.Errorf("experiment: unknown policy %q", name)
+	}
+}
+
+// runPolicies simulates the trace under each policy.
+func (s *Suite) runPolicies(trace *workload.Trace, names []PolicyName) (map[PolicyName]*clustersim.Result, error) {
+	out := make(map[PolicyName]*clustersim.Result, len(names))
+	for _, name := range names {
+		placer, err := s.BuildPolicy(name, trace, s.cfg.DefaultVP)
+		if err != nil {
+			return nil, err
+		}
+		cfg := clustersim.DefaultConfig(trace, placer)
+		res, err := clustersim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", name, err)
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// Fig4 reproduces Figure 4: per-server latency over time under the
+// DFSTrace-like workload for all four systems.
+func (s *Suite) Fig4() (map[PolicyName]*clustersim.Result, error) {
+	if s.fig4 != nil {
+		return s.fig4, nil
+	}
+	trace, err := s.DFSLike()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runPolicies(trace, AllPolicies)
+	if err != nil {
+		return nil, err
+	}
+	s.fig4 = res
+	return res, nil
+}
+
+// Fig5 reproduces Figure 5: per-server latency over time under the
+// synthetic workload for all four systems.
+func (s *Suite) Fig5() (map[PolicyName]*clustersim.Result, error) {
+	if s.fig5 != nil {
+		return s.fig5, nil
+	}
+	trace, err := s.Synthetic()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runPolicies(trace, AllPolicies)
+	if err != nil {
+		return nil, err
+	}
+	s.fig5 = res
+	return res, nil
+}
+
+// Fig6Row is one system's aggregate entry (Figure 6a) plus its
+// per-server means (Figure 6b).
+type Fig6Row struct {
+	Policy         PolicyName
+	MeanLatency    float64
+	StdDev         float64
+	PerServerMean  map[policy.ServerID]float64
+	PerServerCount map[policy.ServerID]uint64
+}
+
+// Fig6 reproduces Figure 6: aggregate mean latency with standard
+// deviation (a) and per-server mean latency (b), for ANU, prescient and
+// VP (the paper omits simple randomization here; it is included as
+// context).
+func (s *Suite) Fig6() ([]Fig6Row, error) {
+	results, err := s.Fig5()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, 0, len(AllPolicies))
+	for _, name := range AllPolicies {
+		res := results[name]
+		row := Fig6Row{
+			Policy:         name,
+			MeanLatency:    res.MeanLatency(),
+			StdDev:         res.LatencyStdDev(),
+			PerServerMean:  res.PerServerMeans(),
+			PerServerCount: make(map[policy.ServerID]uint64),
+		}
+		for id, st := range res.Servers {
+			row.PerServerCount[id] = st.Latency.N()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7 reproduces Figure 7: ANU's per-round file-set movement and the
+// cumulative percentage of workload moved over the synthetic run.
+func (s *Suite) Fig7() ([]clustersim.MoveRecord, error) {
+	results, err := s.Fig5()
+	if err != nil {
+		return nil, err
+	}
+	return results[ANU].Moves, nil
+}
+
+// ExtHotspot is the repository's extension experiment beyond the
+// paper's figures: the four systems under a non-stationary hotspot
+// workload (workload.HotspotConfig), where the hot file sets rotate
+// every 25 minutes. It exercises the adaptivity claim of Section 3:
+// feedback-driven ANU re-balances after every shift, while policies
+// that assign from long-run average loads (the evaluation's
+// perfect-knowledge model) cannot follow the hot set.
+func (s *Suite) ExtHotspot() (map[PolicyName]*clustersim.Result, error) {
+	wcfg := workload.DefaultHotspot()
+	wcfg.Seed = s.cfg.Seed + 2
+	if s.cfg.Quick {
+		wcfg.Duration = 50 * 60
+		wcfg.TargetRequests = 16000
+		wcfg.ShiftEvery = 10 * 60
+	}
+	trace, err := wcfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return s.runPolicies(trace, AllPolicies)
+}
+
+// ExtSAN quantifies the paper's Section 3 motivation: an imbalanced
+// metadata tier leaves the shared-disk SAN underutilized, because
+// clients blocked on metadata cannot issue their data transfers. It
+// runs the synthetic workload with the data path enabled and reports
+// each system's in-window SAN utilization and client end-to-end
+// latency.
+func (s *Suite) ExtSAN() (map[PolicyName]*clustersim.Result, error) {
+	trace, err := s.Synthetic()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[PolicyName]*clustersim.Result, len(AllPolicies))
+	for _, name := range AllPolicies {
+		placer, err := s.BuildPolicy(name, trace, s.cfg.DefaultVP)
+		if err != nil {
+			return nil, err
+		}
+		cfg := clustersim.DefaultConfig(trace, placer)
+		cfg.SAN = clustersim.SANConfig{Enabled: true, Disks: 16, TransferDemand: 1.5}
+		res, err := clustersim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: san %s: %w", name, err)
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// Fig8Point is one VP-count sample of Figure 8, with the reference
+// systems' latencies and everyone's shared-state size.
+type Fig8Point struct {
+	NumVP            int
+	MeanLatency      float64
+	SteadyLatency    float64
+	StdDev           float64
+	SharedStateBytes int
+}
+
+// Fig8Refs holds the ANU and prescient reference measurements for one
+// operating point. Steady latencies exclude the first quarter of the
+// run, separating converged behaviour from adaptation transients
+// (relevant for ANU, which starts with no knowledge and pays to learn).
+type Fig8Refs struct {
+	ANULatency       float64
+	ANUSteady        float64
+	ANUSharedState   int
+	PrescientLatency float64
+	PrescientSteady  float64
+	PrescientState   int
+	ANUCrossoverAt   int // smallest VP count whose steady latency <= ANU's
+}
+
+// Fig8Result carries the VP sweep at two operating points: the paper's
+// synthetic workload (Moderate, ~71% utilization) and a hotter variant
+// (Hot, ~80%) where the granularity effect — few virtual processors
+// balance poorly — resolves clearly. See HotSynthetic.
+type Fig8Result struct {
+	Moderate     []Fig8Point
+	ModerateRefs Fig8Refs
+	Hot          []Fig8Point
+	HotRefs      Fig8Refs
+}
+
+// Fig8 reproduces Figure 8: the virtual-processor system's latency as
+// the VP count sweeps from one per server to one per file set, against
+// the ANU and prescient references, plus the shared-state cost.
+func (s *Suite) Fig8(counts []int) (*Fig8Result, error) {
+	if len(counts) == 0 {
+		counts = []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+	}
+	out := &Fig8Result{}
+	moderate, err := s.Synthetic()
+	if err != nil {
+		return nil, err
+	}
+	if out.Moderate, out.ModerateRefs, err = s.fig8Sweep(moderate, counts); err != nil {
+		return nil, err
+	}
+	hot, err := s.HotSynthetic()
+	if err != nil {
+		return nil, err
+	}
+	if out.Hot, out.HotRefs, err = s.fig8Sweep(hot, counts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fig8Sweep runs the VP sweep plus references on one trace.
+func (s *Suite) fig8Sweep(trace *workload.Trace, counts []int) ([]Fig8Point, Fig8Refs, error) {
+	run := func(name PolicyName, numVP int) (*clustersim.Result, error) {
+		placer, err := s.BuildPolicy(name, trace, numVP)
+		if err != nil {
+			return nil, err
+		}
+		cfg := clustersim.DefaultConfig(trace, placer)
+		res, err := clustersim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig8 %s: %w", name, err)
+		}
+		return res, nil
+	}
+	anuRes, err := run(ANU, 0)
+	if err != nil {
+		return nil, Fig8Refs{}, err
+	}
+	prescientRes, err := run(Prescient, 0)
+	if err != nil {
+		return nil, Fig8Refs{}, err
+	}
+	refs := Fig8Refs{
+		ANULatency:       anuRes.MeanLatency(),
+		ANUSteady:        anuRes.SteadyMeanLatency(),
+		ANUSharedState:   anuRes.SharedStateBytes,
+		PrescientLatency: prescientRes.MeanLatency(),
+		PrescientSteady:  prescientRes.SteadyMeanLatency(),
+		PrescientState:   prescientRes.SharedStateBytes,
+		ANUCrossoverAt:   -1,
+	}
+	var points []Fig8Point
+	for _, n := range counts {
+		res, err := run(VP, n)
+		if err != nil {
+			return nil, Fig8Refs{}, err
+		}
+		pt := Fig8Point{
+			NumVP:            n,
+			MeanLatency:      res.MeanLatency(),
+			SteadyLatency:    res.SteadyMeanLatency(),
+			StdDev:           res.LatencyStdDev(),
+			SharedStateBytes: res.SharedStateBytes,
+		}
+		points = append(points, pt)
+		if refs.ANUCrossoverAt < 0 && pt.SteadyLatency <= refs.ANUSteady {
+			refs.ANUCrossoverAt = n
+		}
+	}
+	return points, refs, nil
+}

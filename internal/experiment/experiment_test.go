@@ -1,0 +1,353 @@
+package experiment
+
+import (
+	"testing"
+
+	"anurand/internal/policy"
+)
+
+func quickSuite() *Suite {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	return NewSuite(cfg)
+}
+
+func TestSyntheticTraceCached(t *testing.T) {
+	s := quickSuite()
+	a, err := s.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("synthetic trace regenerated instead of cached")
+	}
+}
+
+func TestBuildPolicyAllNames(t *testing.T) {
+	s := quickSuite()
+	tr, err := s.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range AllPolicies {
+		p, err := s.BuildPolicy(name, tr, 25)
+		if err != nil {
+			t.Fatalf("BuildPolicy(%s): %v", name, err)
+		}
+		if p.Name() != string(name) {
+			t.Errorf("policy %s reports name %q", name, p.Name())
+		}
+	}
+	if _, err := s.BuildPolicy("bogus", tr, 25); err == nil {
+		t.Error("unknown policy name accepted")
+	}
+}
+
+func TestFig5ShapesHold(t *testing.T) {
+	s := quickSuite()
+	results, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("Fig5 returned %d results", len(results))
+	}
+	simple := results[Simple].MeanLatency()
+	anuLat := results[ANU].MeanLatency()
+	presc := results[Prescient].MeanLatency()
+	vp := results[VP].MeanLatency()
+	// Paper shape: prescient is the lower envelope; ANU close; simple
+	// far worse.
+	if !(presc <= anuLat) {
+		t.Errorf("prescient %.3f not <= anu %.3f", presc, anuLat)
+	}
+	if !(presc <= vp*1.5) {
+		t.Errorf("vp %.3f implausibly better than prescient %.3f", vp, presc)
+	}
+	if !(simple > 5*anuLat) {
+		t.Errorf("simple %.3f not far above anu %.3f", simple, anuLat)
+	}
+	// Caching: a second call returns the identical map.
+	again, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[ANU] != results[ANU] {
+		t.Error("Fig5 re-ran instead of caching")
+	}
+}
+
+func TestFig4ShapesHold(t *testing.T) {
+	s := quickSuite()
+	results, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple := results[Simple].MeanLatency()
+	anuLat := results[ANU].MeanLatency()
+	presc := results[Prescient].MeanLatency()
+	if !(presc <= anuLat) {
+		t.Errorf("prescient %.3f not <= anu %.3f on dfslike", presc, anuLat)
+	}
+	if !(simple > 2*anuLat) {
+		t.Errorf("simple %.3f not far above anu %.3f on dfslike", simple, anuLat)
+	}
+}
+
+func TestFig6RowsConsistent(t *testing.T) {
+	s := quickSuite()
+	rows, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Fig6 returned %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.MeanLatency <= 0 {
+			t.Errorf("%s: non-positive mean", row.Policy)
+		}
+		if len(row.PerServerMean) != 5 {
+			t.Errorf("%s: %d per-server means", row.Policy, len(row.PerServerMean))
+		}
+	}
+	// ANU consistency claim (Figure 6b): non-idle servers other than
+	// the weakest show similar means.
+	for _, row := range rows {
+		if row.Policy != ANU {
+			continue
+		}
+		lo, hi := 0.0, 0.0
+		first := true
+		for id, m := range row.PerServerMean {
+			if id == 0 || row.PerServerCount[id] < 200 {
+				continue // the paper excludes the near-idle weakest server
+			}
+			if first {
+				lo, hi = m, m
+				first = false
+				continue
+			}
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		if first {
+			t.Fatal("no qualifying servers for consistency check")
+		}
+		if hi/lo > 4 {
+			t.Errorf("ANU per-server means spread %.2fx, want consistent", hi/lo)
+		}
+	}
+}
+
+func TestFig7MovementFrontLoaded(t *testing.T) {
+	s := quickSuite()
+	moves, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no movement records")
+	}
+	total := 0
+	for _, m := range moves {
+		total += m.FileSetsMoved
+	}
+	if total == 0 {
+		t.Fatal("ANU moved nothing")
+	}
+	third := len(moves) / 3
+	early, late := 0, 0
+	for i, m := range moves {
+		if i < third {
+			early += m.FileSetsMoved
+		}
+		if i >= 2*third {
+			late += m.FileSetsMoved
+		}
+	}
+	if early <= late {
+		t.Errorf("movement not front-loaded: early %d vs late %d", early, late)
+	}
+}
+
+func TestFig8SweepShapes(t *testing.T) {
+	s := quickSuite()
+	res, err := s.Fig8([]int{5, 25, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sweep := range []struct {
+		label  string
+		points []Fig8Point
+		refs   Fig8Refs
+	}{
+		{"moderate", res.Moderate, res.ModerateRefs},
+		{"hot", res.Hot, res.HotRefs},
+	} {
+		if len(sweep.points) != 3 {
+			t.Fatalf("%s: %d points", sweep.label, len(sweep.points))
+		}
+		// Shared state grows linearly with VP count while ANU's is O(k).
+		if sweep.points[0].SharedStateBytes >= sweep.points[2].SharedStateBytes {
+			t.Errorf("%s: VP shared state did not grow with VP count", sweep.label)
+		}
+		if sweep.refs.ANUSharedState >= sweep.points[2].SharedStateBytes {
+			t.Errorf("%s: ANU state %d not below VP(50) state %d",
+				sweep.label, sweep.refs.ANUSharedState, sweep.points[2].SharedStateBytes)
+		}
+		// Latency: the finest sweep point should be within noise of
+		// prescient, and no point should beat prescient wildly.
+		last := sweep.points[len(sweep.points)-1]
+		if last.MeanLatency > sweep.refs.PrescientLatency*2.5 {
+			t.Errorf("%s: VP(50) latency %.3f far above prescient %.3f",
+				sweep.label, last.MeanLatency, sweep.refs.PrescientLatency)
+		}
+		for _, pt := range sweep.points {
+			if pt.MeanLatency <= 0 {
+				t.Errorf("%s: VP(%d): non-positive latency", sweep.label, pt.NumVP)
+			}
+		}
+	}
+}
+
+func TestServersAndSpeeds(t *testing.T) {
+	if len(Servers()) != 5 || len(Speeds()) != 5 {
+		t.Fatal("paper cluster is five servers")
+	}
+	want := []float64{1, 3, 5, 7, 9}
+	for i, sp := range Speeds() {
+		if sp != want[i] {
+			t.Fatalf("Speeds() = %v", Speeds())
+		}
+	}
+	for i, id := range Servers() {
+		if id != policy.ServerID(i) {
+			t.Fatalf("Servers() = %v", Servers())
+		}
+	}
+}
+
+func TestExtHotspotRuns(t *testing.T) {
+	s := quickSuite()
+	results, err := s.ExtHotspot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("hotspot returned %d results", len(results))
+	}
+	simple := results[Simple].MeanLatency()
+	anuLat := results[ANU].MeanLatency()
+	if !(simple > 3*anuLat) {
+		t.Errorf("simple %.3f not far above anu %.3f on hotspots", simple, anuLat)
+	}
+	// ANU must actually move load to follow the shifts.
+	if results[ANU].TotalMoved == 0 {
+		t.Error("ANU never moved under a rotating hotspot")
+	}
+}
+
+func TestExtSANShapes(t *testing.T) {
+	s := quickSuite()
+	results, err := s.ExtSAN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range results {
+		if res.SAN == nil {
+			t.Fatalf("%s: SAN stats missing", name)
+		}
+		if res.SAN.EndToEnd.Mean() <= res.MeanLatency() {
+			t.Errorf("%s: end-to-end not above metadata-only", name)
+		}
+	}
+	// The motivating claim: simple randomization underutilizes the SAN
+	// relative to the balanced systems.
+	if results[Simple].SAN.UtilizationInWindow >= results[ANU].SAN.UtilizationInWindow {
+		t.Errorf("simple SAN utilization %.4f not below ANU's %.4f",
+			results[Simple].SAN.UtilizationInWindow, results[ANU].SAN.UtilizationInWindow)
+	}
+}
+
+func TestReplicateFig5(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	rows, err := ReplicateFig5(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[PolicyName]Replication{}
+	for _, r := range rows {
+		if r.MeanLatency.N() != 3 {
+			t.Fatalf("%s: %d replicates, want 3", r.Policy, r.MeanLatency.N())
+		}
+		byName[r.Policy] = r
+	}
+	// The ordering must hold in the across-seed means too.
+	if !(byName[Prescient].MeanLatency.Mean() <= byName[ANU].MeanLatency.Mean()) {
+		t.Errorf("prescient mean-of-means %.3f above ANU's %.3f",
+			byName[Prescient].MeanLatency.Mean(), byName[ANU].MeanLatency.Mean())
+	}
+	if !(byName[Simple].MeanLatency.Mean() > 5*byName[ANU].MeanLatency.Mean()) {
+		t.Errorf("simple mean-of-means %.3f not far above ANU's %.3f",
+			byName[Simple].MeanLatency.Mean(), byName[ANU].MeanLatency.Mean())
+	}
+	if byName[ANU].Moved.Mean() == 0 {
+		t.Error("ANU never moved in any replicate")
+	}
+	if _, err := ReplicateFig5(cfg, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestNewSuiteDefaultsVP(t *testing.T) {
+	s := NewSuite(Config{Seed: 1, HashSeed: 1})
+	if s.cfg.DefaultVP != 25 {
+		t.Fatalf("DefaultVP = %d, want the paper's 25", s.cfg.DefaultVP)
+	}
+}
+
+func TestFigCachesAreIndependent(t *testing.T) {
+	s := quickSuite()
+	a, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[ANU] != b[ANU] {
+		t.Fatal("Fig4 re-ran instead of caching")
+	}
+	hot1, err := s.HotSynthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot2, err := s.HotSynthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot1 != hot2 {
+		t.Fatal("hot trace regenerated instead of cached")
+	}
+	mod, err := s.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod == hot1 {
+		t.Fatal("hot and moderate traces alias")
+	}
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+
+	"anurand/internal/metrics"
+)
+
+// Replication aggregates a figure's headline metric across independent
+// workload seeds. The paper reports single simulation runs; replication
+// quantifies how stable each system's result is under fresh draws of
+// the same workload distribution — essential when the arrival process
+// is heavy-tailed.
+type Replication struct {
+	// Policy names the system.
+	Policy PolicyName
+	// MeanLatency summarizes the per-seed aggregate mean latencies.
+	MeanLatency metrics.Summary
+	// SteadyLatency summarizes the per-seed steady-state means.
+	SteadyLatency metrics.Summary
+	// Moved summarizes the per-seed total file-set moves.
+	Moved metrics.Summary
+}
+
+// ReplicateFig5 runs the Figure 5 comparison across n seeds (seed,
+// seed+1, …) and returns one aggregated row per system. Each seed runs
+// a fresh suite so every workload draw is independent.
+func ReplicateFig5(base Config, n int) ([]Replication, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiment: ReplicateFig5: n=%d", n)
+	}
+	rows := make(map[PolicyName]*Replication, len(AllPolicies))
+	for _, name := range AllPolicies {
+		rows[name] = &Replication{Policy: name}
+	}
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)
+		suite := NewSuite(cfg)
+		results, err := suite.Fig5()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: replicate seed %d: %w", cfg.Seed, err)
+		}
+		for name, res := range results {
+			row := rows[name]
+			row.MeanLatency.Add(res.MeanLatency())
+			row.SteadyLatency.Add(res.SteadyMeanLatency())
+			row.Moved.Add(float64(res.TotalMoved))
+		}
+	}
+	out := make([]Replication, 0, len(AllPolicies))
+	for _, name := range AllPolicies {
+		out = append(out, *rows[name])
+	}
+	return out, nil
+}

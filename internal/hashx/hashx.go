@@ -1,0 +1,63 @@
+// Package hashx provides the agreed-upon family of hash functions that
+// ANU randomization re-hashes with. The paper requires that every node
+// share a family h_0, h_1, h_2, … of independent hash functions over
+// file-set names: a name whose h_r offset lands in an unmapped region of
+// the unit interval is re-hashed with h_{r+1} until it lands in a mapped
+// region (expected two probes under half occupancy).
+//
+// Each family member is FNV-1a over the key, mixed with a per-round
+// tweak derived from the family seed through the splitmix64 finalizer.
+// FNV-1a gives a fast, well-distributed 64-bit digest of the name and
+// the finalizer decorrelates the rounds, so the probes behave like
+// independent uniform draws — the property the half-occupancy analysis
+// (miss probability 2^-r after r rounds) relies on.
+package hashx
+
+import "anurand/internal/rng"
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Family is a deterministic family of 64-bit hash functions. The zero
+// value uses seed zero and is valid; all nodes of a cluster must
+// construct their Family with the same seed to address the same
+// placement.
+type Family struct {
+	seed uint64
+}
+
+// NewFamily returns the hash family identified by seed.
+func NewFamily(seed uint64) Family { return Family{seed: seed} }
+
+// Seed returns the family's seed.
+func (f Family) Seed() uint64 { return f.seed }
+
+// Hash returns h_round(key), the round-th member of the family applied
+// to key.
+func (f Family) Hash(key string, round int) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	// Derive a per-round tweak from the seed, then mix it with the
+	// digest so rounds are decorrelated even for similar keys.
+	tweak := rng.Mix64(f.seed + uint64(round)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019)
+	return rng.Mix64(h ^ tweak)
+}
+
+// Unit returns h_round(key) mapped onto [0, unit) ticks of a discrete
+// unit interval. unit must be a power of two (the interval package uses
+// 1<<62); the top bits of the hash are kept, which preserves uniformity.
+func (f Family) Unit(key string, round int, unit uint64) uint64 {
+	if unit == 0 || unit&(unit-1) != 0 {
+		panic("hashx: Unit requires a power-of-two interval size")
+	}
+	shift := uint(64)
+	for u := unit; u > 1; u >>= 1 {
+		shift--
+	}
+	return f.Hash(key, round) >> shift
+}

@@ -1,0 +1,145 @@
+package hashx
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	f := NewFamily(7)
+	g := NewFamily(7)
+	for round := 0; round < 5; round++ {
+		for _, key := range []string{"", "a", "fileset-001", "/usr/share/doc"} {
+			if f.Hash(key, round) != g.Hash(key, round) {
+				t.Fatalf("families with equal seeds disagree on (%q, %d)", key, round)
+			}
+		}
+	}
+}
+
+func TestHashRoundsDiffer(t *testing.T) {
+	f := NewFamily(3)
+	key := "fileset-042"
+	seen := map[uint64]int{}
+	for round := 0; round < 64; round++ {
+		h := f.Hash(key, round)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("rounds %d and %d collide for key %q", prev, round, key)
+		}
+		seen[h] = round
+	}
+}
+
+func TestHashSeedsDiffer(t *testing.T) {
+	a, b := NewFamily(1), NewFamily(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("fs-%d", i)
+		if a.Hash(key, 0) == b.Hash(key, 0) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("families with different seeds collided on %d/1000 keys", same)
+	}
+}
+
+func TestHashKeysDiffer(t *testing.T) {
+	f := NewFamily(0)
+	seen := map[uint64]string{}
+	for i := 0; i < 100000; i++ {
+		key := fmt.Sprintf("fileset-%d", i)
+		h := f.Hash(key, 0)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("64-bit collision between %q and %q (astronomically unlikely if well mixed)", prev, key)
+		}
+		seen[h] = key
+	}
+}
+
+func TestUnitRangeAndUniformity(t *testing.T) {
+	f := NewFamily(11)
+	const unit = uint64(1) << 62
+	const buckets = 16
+	counts := make([]int, buckets)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		u := f.Unit(fmt.Sprintf("key-%d", i), 0, unit)
+		if u >= unit {
+			t.Fatalf("Unit returned %d >= %d", u, unit)
+		}
+		counts[u/(unit/buckets)]++
+	}
+	want := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, expected ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestUnitPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unit(unit=1000) did not panic")
+		}
+	}()
+	NewFamily(0).Unit("x", 0, 1000)
+}
+
+func TestUnitSmallIntervals(t *testing.T) {
+	f := NewFamily(5)
+	for _, unit := range []uint64{1, 2, 4, 1 << 10, 1 << 62, 1 << 63} {
+		for i := 0; i < 100; i++ {
+			if u := f.Unit(fmt.Sprintf("k%d", i), i%4, unit); u >= unit {
+				t.Fatalf("Unit(%d) = %d out of range", unit, u)
+			}
+		}
+	}
+}
+
+// TestRoundIndependence verifies the property the half-occupancy
+// analysis depends on: conditioned on h_0 landing in the lower half,
+// h_1 still lands in the lower half about half the time.
+func TestRoundIndependence(t *testing.T) {
+	f := NewFamily(9)
+	const unit = uint64(1) << 62
+	half := unit / 2
+	lower0, both := 0, 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("fs-%d", i)
+		if f.Unit(key, 0, unit) < half {
+			lower0++
+			if f.Unit(key, 1, unit) < half {
+				both++
+			}
+		}
+	}
+	condProb := float64(both) / float64(lower0)
+	if math.Abs(condProb-0.5) > 0.02 {
+		t.Fatalf("P(h1 lower | h0 lower) = %.3f, want ~0.5 (rounds correlated)", condProb)
+	}
+}
+
+func TestHashPropertyStableUnderQuick(t *testing.T) {
+	f := NewFamily(123)
+	prop := func(key string, round uint8) bool {
+		r := int(round % 16)
+		return f.Hash(key, r) == f.Hash(key, r)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	f := NewFamily(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = f.Hash("fileset-0123456789", i&3)
+	}
+	_ = sink
+}

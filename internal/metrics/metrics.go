@@ -1,0 +1,281 @@
+// Package metrics provides the statistical accumulators the simulation
+// reports through: streaming mean/variance summaries (Welford),
+// fixed-width time-series windows for the latency-over-time figures, and
+// logarithmic latency histograms.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a streaming moment accumulator using Welford's algorithm,
+// numerically stable for long runs. The zero value is an empty summary.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+	sum      float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds another summary into s. The result is as if every
+// observation of o had been Added to s (Chan et al. parallel variance).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := float64(s.n + o.n)
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/n
+	s.mean += delta * float64(o.n) / n
+	s.sum += o.sum
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// N returns the observation count.
+func (s Summary) N() uint64 { return s.n }
+
+// Mean returns the mean, or 0 for an empty summary.
+func (s Summary) Mean() float64 { return s.mean }
+
+// Sum returns the sum of observations.
+func (s Summary) Sum() float64 { return s.sum }
+
+// Variance returns the population variance, or 0 with fewer than two
+// observations.
+func (s Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s Summary) Max() float64 { return s.max }
+
+// Reset empties the summary.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Series accumulates observations into fixed-width time windows,
+// producing the per-interval mean curves of Figures 4 and 5.
+type Series struct {
+	window  float64
+	buckets []Summary
+}
+
+// NewSeries creates a series with the given positive window width in
+// seconds.
+func NewSeries(window float64) *Series {
+	if window <= 0 || math.IsNaN(window) || math.IsInf(window, 0) {
+		panic(fmt.Sprintf("metrics: NewSeries with invalid window %g", window))
+	}
+	return &Series{window: window}
+}
+
+// Window returns the window width.
+func (s *Series) Window() float64 { return s.window }
+
+// Add records observation x at time t (t < 0 is clamped to 0).
+func (s *Series) Add(t, x float64) {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / s.window)
+	for len(s.buckets) <= idx {
+		s.buckets = append(s.buckets, Summary{})
+	}
+	s.buckets[idx].Add(x)
+}
+
+// Len returns the number of windows touched so far.
+func (s *Series) Len() int { return len(s.buckets) }
+
+// At returns the summary for window i (empty summary when out of
+// range).
+func (s *Series) At(i int) Summary {
+	if i < 0 || i >= len(s.buckets) {
+		return Summary{}
+	}
+	return s.buckets[i]
+}
+
+// Means returns the per-window means up to n windows, padding with NaN
+// for windows with no observations so plots show gaps rather than
+// zeros.
+func (s *Series) Means(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		b := s.At(i)
+		if b.N() == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = b.Mean()
+		}
+	}
+	return out
+}
+
+// Counts returns per-window observation counts up to n windows.
+func (s *Series) Counts(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.At(i).N()
+	}
+	return out
+}
+
+// Histogram is a logarithmic-bucket latency histogram covering
+// [Lo, Hi) with Buckets geometric buckets plus underflow and overflow.
+type Histogram struct {
+	lo, ratio float64
+	counts    []uint64
+	under     uint64
+	over      uint64
+	total     uint64
+}
+
+// NewHistogram creates a histogram over [lo, hi) with n geometric
+// buckets. Requires 0 < lo < hi and n > 0.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if !(lo > 0) || hi <= lo || n <= 0 {
+		panic(fmt.Sprintf("metrics: NewHistogram(%g, %g, %d) invalid", lo, hi, n))
+	}
+	return &Histogram{
+		lo:     lo,
+		ratio:  math.Pow(hi/lo, 1/float64(n)),
+		counts: make([]uint64, n),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.lo {
+		h.under++
+		return
+	}
+	idx := int(math.Log(x/h.lo) / math.Log(h.ratio))
+	if idx >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[idx]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) by
+// linear interpolation within the containing bucket; it returns the
+// bucket edges for mass in the under/overflow bins.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	edge := h.lo
+	for _, c := range h.counts {
+		next := edge * h.ratio
+		if target <= cum+float64(c) && c > 0 {
+			frac := (target - cum) / float64(c)
+			return edge + frac*(next-edge)
+		}
+		cum += float64(c)
+		edge = next
+	}
+	return edge
+}
+
+// Buckets returns (lower edge, count) pairs for non-empty buckets.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	edge := h.lo
+	for _, c := range h.counts {
+		if c > 0 {
+			out = append(out, BucketCount{Lo: edge, Count: c})
+		}
+		edge *= h.ratio
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	Lo    float64
+	Count uint64
+}
+
+// Percentile computes the p-th percentile (0-100) of a sample slice by
+// sorting a copy — the exact companion to Histogram.Quantile for small
+// samples.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if p <= 0 {
+		return ys[0]
+	}
+	if p >= 100 {
+		return ys[len(ys)-1]
+	}
+	rank := p / 100 * float64(len(ys)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(ys) {
+		return ys[len(ys)-1]
+	}
+	return ys[lo]*(1-frac) + ys[lo+1]*frac
+}

@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"anurand/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatal("zero-value summary not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %g, want 5", s.Mean())
+	}
+	if s.StdDev() != 2 {
+		t.Fatalf("StdDev = %g, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("Sum = %g, want 40", s.Sum())
+	}
+}
+
+func TestSummaryReset(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	s.Reset()
+	if s.N() != 0 || s.Mean() != 0 || s.Sum() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	prop := func(seed uint64, split uint8) bool {
+		src := rng.New(seed)
+		n := 100
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.NormFloat64()*10 + 5
+		}
+		cut := int(split) % n
+		var all, a, b Summary
+		for _, x := range xs {
+			all.Add(x)
+		}
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Merge(b) // merging empty: no-op
+	if a.N() != 1 {
+		t.Fatal("merge of empty changed summary")
+	}
+	b.Merge(a) // merging into empty: copy
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestSummaryNumericalStability(t *testing.T) {
+	// Large offset, small variance: naive sum-of-squares would
+	// catastrophically cancel.
+	var s Summary
+	const offset = 1e9
+	for i := 0; i < 1000; i++ {
+		s.Add(offset + float64(i%2)) // values 1e9 and 1e9+1
+	}
+	if math.Abs(s.Variance()-0.25) > 1e-6 {
+		t.Fatalf("Variance = %g, want 0.25 (stability failure)", s.Variance())
+	}
+}
+
+func TestSeriesBuckets(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(0, 1)
+	s.Add(5, 3)
+	s.Add(10, 100)
+	s.Add(25, 7)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.At(0).Mean(); got != 2 {
+		t.Fatalf("window 0 mean %g, want 2", got)
+	}
+	if got := s.At(1).Mean(); got != 100 {
+		t.Fatalf("window 1 mean %g, want 100", got)
+	}
+	if got := s.At(2).Mean(); got != 7 {
+		t.Fatalf("window 2 mean %g, want 7", got)
+	}
+}
+
+func TestSeriesMeansPadsWithNaN(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(0, 5)
+	s.Add(25, 9)
+	means := s.Means(4)
+	if means[0] != 5 || means[2] != 9 {
+		t.Fatalf("means %v", means)
+	}
+	if !math.IsNaN(means[1]) || !math.IsNaN(means[3]) {
+		t.Fatalf("empty windows not NaN: %v", means)
+	}
+	counts := s.Counts(4)
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestSeriesNegativeTimeClamped(t *testing.T) {
+	s := NewSeries(1)
+	s.Add(-5, 42)
+	if got := s.At(0).Mean(); got != 42 {
+		t.Fatalf("negative time observation lost: %g", got)
+	}
+}
+
+func TestSeriesInvalidWindowPanics(t *testing.T) {
+	for _, w := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSeries(%g) did not panic", w)
+				}
+			}()
+			NewSeries(w)
+		}()
+	}
+}
+
+func TestHistogramCountsAndQuantiles(t *testing.T) {
+	h := NewHistogram(0.001, 1000, 120)
+	src := rng.New(1)
+	exp := rng.NewExponential(1)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		h.Add(exp.Sample(src))
+	}
+	if h.Total() != n {
+		t.Fatalf("Total = %d, want %d", h.Total(), n)
+	}
+	// Exponential(1): median = ln 2, p99 = ln 100.
+	if med := h.Quantile(0.5); math.Abs(med-math.Ln2)/math.Ln2 > 0.1 {
+		t.Errorf("median %g, want ~%g", med, math.Ln2)
+	}
+	p99 := h.Quantile(0.99)
+	want99 := math.Log(100)
+	if math.Abs(p99-want99)/want99 > 0.1 {
+		t.Errorf("p99 %g, want ~%g", p99, want99)
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(1, 10, 4)
+	h.Add(0.5) // under
+	h.Add(100) // over
+	h.Add(2)
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g, want lo edge 1", got)
+	}
+	bs := h.Buckets()
+	if len(bs) != 1 || bs[0].Count != 1 {
+		t.Fatalf("Buckets = %+v, want one bucket with count 1", bs)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(1, 10, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("quantile of empty histogram not NaN")
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0,...) did not panic")
+		}
+	}()
+	NewHistogram(0, 10, 4)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %g", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("percentile of empty slice not NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted its input in place")
+	}
+}

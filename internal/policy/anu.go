@@ -1,0 +1,100 @@
+package policy
+
+import (
+	"fmt"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+	"anurand/internal/workload"
+)
+
+// ANU is the paper's load-management system: placement by adaptive,
+// non-uniform randomization over a unit interval, retuned each interval
+// by the delegate's latency-feedback controller. It starts with no
+// knowledge of server capabilities and converges by observation alone.
+type ANU struct {
+	names      []string
+	m          *anu.Map
+	controller *anu.Controller
+}
+
+// NewANU builds the policy with an equal-region initial map (the cold
+// start of Section 4) and the given controller configuration.
+func NewANU(family hashx.Family, fileSets []workload.FileSet, servers []ServerID, cfg anu.ControllerConfig) (*ANU, error) {
+	if len(fileSets) == 0 {
+		return nil, fmt.Errorf("policy: NewANU: no file sets")
+	}
+	m, err := anu.New(family, servers)
+	if err != nil {
+		return nil, fmt.Errorf("policy: NewANU: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("policy: NewANU: %w", err)
+	}
+	return &ANU{
+		names:      fileSetNames(fileSets),
+		m:          m,
+		controller: anu.NewController(cfg),
+	}, nil
+}
+
+// Name implements Placer.
+func (a *ANU) Name() string { return "anu" }
+
+// Place implements Placer by hashing the file set's name into the unit
+// interval with re-probing.
+func (a *ANU) Place(fs int) ServerID {
+	if fs < 0 || fs >= len(a.names) {
+		return NoServer
+	}
+	id, _ := a.m.Lookup(a.names[fs])
+	return id
+}
+
+// Retune implements Placer: one delegate feedback round. Servers marked
+// down in the snapshot are failed in the map; recovered servers are
+// re-admitted with an equal share.
+func (a *ANU) Retune(env *Env) error {
+	if err := validateEnv(env, len(a.names), false); err != nil {
+		return err
+	}
+	// Admit newly commissioned servers and re-admit recovered ones
+	// before applying feedback.
+	for _, s := range env.Servers {
+		if !s.Up {
+			continue
+		}
+		if !a.m.Has(s.ID) {
+			if err := a.m.AddServer(s.ID); err != nil {
+				return fmt.Errorf("policy: anu retune: %w", err)
+			}
+		} else if a.m.Length(s.ID) == 0 {
+			if err := a.m.Recover(s.ID); err != nil {
+				return fmt.Errorf("policy: anu retune: %w", err)
+			}
+		}
+	}
+	reports := append([]anu.Report(nil), env.Reports...)
+	for _, s := range env.Servers {
+		if !s.Up && a.m.Has(s.ID) {
+			reports = append(reports, anu.Report{Server: s.ID, Failed: true})
+		}
+	}
+	_, err := a.controller.Tune(a.m, reports)
+	return err
+}
+
+// SharedStateSize implements Placer: the replicated unit-interval map.
+func (a *ANU) SharedStateSize() int { return a.m.SharedStateSize() }
+
+// Map exposes the underlying interval map for inspection (examples and
+// the experiment harness read region lengths from it).
+func (a *ANU) Map() *anu.Map { return a.m }
+
+// Controller exposes the delegate controller for inspection.
+func (a *ANU) Controller() *anu.Controller { return a.controller }
+
+// Advisories lists servers the controller has flagged as incompetent
+// (paper: "identifies such incompetent components and notifies
+// administrators").
+func (a *ANU) Advisories() []anu.Advisory { return a.controller.Advisories() }

@@ -1,0 +1,167 @@
+// Package policy implements the four load-management systems the paper
+// evaluates (Section 5.1):
+//
+//   - Simple randomization: a static uniform hash of file sets onto
+//     servers; cheap, oblivious to skew and heterogeneity.
+//   - ANU randomization: the paper's contribution — tunable hashing onto
+//     a unit interval with latency-feedback region scaling (package anu).
+//   - Dynamic prescient: per-interval optimal assignment of file sets
+//     using perfect knowledge of workload and capacities; the upper
+//     bound on load balance.
+//   - Virtual processors: file sets hashed statically into N*v virtual
+//     processors, which are mapped to servers each interval with perfect
+//     knowledge.
+//
+// A policy sees the cluster only through Env snapshots delivered at each
+// tuning interval and answers Place queries in between. The cluster
+// layer (package clustersim) owns request routing, movement accounting
+// and failure handling.
+package policy
+
+import (
+	"fmt"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+	"anurand/internal/workload"
+)
+
+// ServerID identifies a server; it is the same identifier space as
+// package anu's.
+type ServerID = anu.ServerID
+
+// NoServer marks "no placement possible" (all servers down).
+const NoServer = anu.NoServer
+
+// ServerInfo describes one server in an Env snapshot.
+type ServerInfo struct {
+	ID ServerID
+	// Speed is the capacity factor (the paper's 1, 3, 5, 7, 9).
+	Speed float64
+	// Up reports whether the server is serving.
+	Up bool
+}
+
+// Env is the tuning-time view a policy receives. Which fields a policy
+// may consult encodes its information model: ANU uses only Reports
+// (latency feedback — no a-priori knowledge); prescient and virtual
+// processors use Servers' speeds and FileSetLoads (perfect knowledge);
+// simple randomization uses nothing.
+type Env struct {
+	// Now is the virtual time of the tuning round in seconds.
+	Now float64
+	// Servers lists every server with its capacity and health.
+	Servers []ServerInfo
+	// Reports carries the per-server latency feedback for the elapsed
+	// interval.
+	Reports []anu.Report
+	// FileSetLoads is the ground-truth offered load of each file set in
+	// unit-speed work seconds per second (perfect knowledge; only
+	// prescient-class policies may read it).
+	FileSetLoads []float64
+}
+
+// Placer is a load-management policy: a placement function over file
+// sets plus a periodic retuning hook.
+type Placer interface {
+	// Name identifies the policy in reports ("simple", "anu",
+	// "prescient", "vp").
+	Name() string
+
+	// Place returns the server that should serve file set fs (an index
+	// into the workload's file set list). It must return an up server
+	// whenever the policy believes one exists; the cluster layer
+	// re-routes NoServer or down placements.
+	Place(fs int) ServerID
+
+	// Retune runs one tuning round against the environment snapshot.
+	// It returns an error only for programming mistakes (malformed
+	// env), not for conditions like all-servers-down.
+	Retune(env *Env) error
+
+	// SharedStateSize returns the size in bytes of the state this
+	// policy would replicate to every cluster node — the scalability
+	// currency of the paper's Figure 8 comparison.
+	SharedStateSize() int
+}
+
+// validateEnv rejects snapshots that would indicate a harness bug.
+func validateEnv(env *Env, numFileSets int, needLoads bool) error {
+	if env == nil {
+		return fmt.Errorf("policy: nil env")
+	}
+	if len(env.Servers) == 0 {
+		return fmt.Errorf("policy: env has no servers")
+	}
+	seen := make(map[ServerID]bool, len(env.Servers))
+	for _, s := range env.Servers {
+		if seen[s.ID] {
+			return fmt.Errorf("policy: duplicate server %d in env", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Speed < 0 {
+			return fmt.Errorf("policy: server %d has negative speed", s.ID)
+		}
+	}
+	if needLoads && len(env.FileSetLoads) != numFileSets {
+		return fmt.Errorf("policy: env has %d file set loads, want %d", len(env.FileSetLoads), numFileSets)
+	}
+	return nil
+}
+
+// fileSetNames extracts the hashed names from a workload file set list.
+func fileSetNames(fileSets []workload.FileSet) []string {
+	names := make([]string, len(fileSets))
+	for i, fs := range fileSets {
+		names[i] = fs.Name
+	}
+	return names
+}
+
+// Simple is the static simple-randomization baseline: file sets are
+// uniformly hashed over the initial server set once and never moved. It
+// is the "static, offline randomized policy" of the paper's comparison;
+// it cannot respond to skew, heterogeneity or failures.
+type Simple struct {
+	table   []ServerID
+	servers []ServerID
+}
+
+// NewSimple hashes each file set onto one of the servers with h_0.
+func NewSimple(family hashx.Family, fileSets []workload.FileSet, servers []ServerID) (*Simple, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("policy: NewSimple: no servers")
+	}
+	if len(fileSets) == 0 {
+		return nil, fmt.Errorf("policy: NewSimple: no file sets")
+	}
+	s := &Simple{
+		table:   make([]ServerID, len(fileSets)),
+		servers: append([]ServerID(nil), servers...),
+	}
+	for i, fs := range fileSets {
+		s.table[i] = servers[family.Hash(fs.Name, 0)%uint64(len(servers))]
+	}
+	return s, nil
+}
+
+// Name implements Placer.
+func (s *Simple) Name() string { return "simple" }
+
+// Place implements Placer.
+func (s *Simple) Place(fs int) ServerID {
+	if fs < 0 || fs >= len(s.table) {
+		return NoServer
+	}
+	return s.table[fs]
+}
+
+// Retune implements Placer; simple randomization is static, so this
+// only validates the snapshot.
+func (s *Simple) Retune(env *Env) error {
+	return validateEnv(env, len(s.table), false)
+}
+
+// SharedStateSize implements Placer: the only replicated state is the
+// server list (4 bytes per id) plus the hash seed.
+func (s *Simple) SharedStateSize() int { return 8 + 4*len(s.servers) }

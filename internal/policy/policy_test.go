@@ -1,0 +1,432 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+	"anurand/internal/workload"
+)
+
+func testFileSets(n int) []workload.FileSet {
+	fs := make([]workload.FileSet, n)
+	for i := range fs {
+		fs[i] = workload.FileSet{Name: fmt.Sprintf("fs/%03d", i), Weight: float64(i%10) + 1}
+	}
+	return fs
+}
+
+func testServers() []ServerID { return []ServerID{0, 1, 2, 3, 4} }
+
+func paperEnv(fileSets []workload.FileSet) *Env {
+	speeds := []float64{1, 3, 5, 7, 9}
+	env := &Env{FileSetLoads: make([]float64, len(fileSets))}
+	var sumW float64
+	for _, fs := range fileSets {
+		sumW += fs.Weight
+	}
+	for i, fs := range fileSets {
+		env.FileSetLoads[i] = fs.Weight / sumW * 15 // total load 15 on capacity 25
+	}
+	for i, s := range speeds {
+		env.Servers = append(env.Servers, ServerInfo{ID: ServerID(i), Speed: s, Up: true})
+	}
+	return env
+}
+
+func TestSimplePlacesAllFileSetsUniformly(t *testing.T) {
+	fs := testFileSets(2000)
+	s, err := NewSimple(hashx.NewFamily(1), fs, testServers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ServerID]int{}
+	for i := range fs {
+		id := s.Place(i)
+		if id == NoServer {
+			t.Fatalf("file set %d unplaced", i)
+		}
+		counts[id]++
+	}
+	want := 2000.0 / 5
+	for id, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("server %d received %d file sets, want ~%.0f", id, c, want)
+		}
+	}
+}
+
+func TestSimpleIsStatic(t *testing.T) {
+	fs := testFileSets(100)
+	s, err := NewSimple(hashx.NewFamily(1), fs, testServers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]ServerID, len(fs))
+	for i := range fs {
+		before[i] = s.Place(i)
+	}
+	env := paperEnv(fs)
+	env.Servers[0].Up = false // even failures do not move simple's placement
+	if err := s.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if s.Place(i) != before[i] {
+			t.Fatalf("simple randomization moved file set %d on retune", i)
+		}
+	}
+}
+
+func TestSimpleConstructionErrors(t *testing.T) {
+	fs := testFileSets(3)
+	if _, err := NewSimple(hashx.NewFamily(1), fs, nil); err == nil {
+		t.Error("no servers accepted")
+	}
+	if _, err := NewSimple(hashx.NewFamily(1), nil, testServers()); err == nil {
+		t.Error("no file sets accepted")
+	}
+}
+
+func TestSimplePlaceOutOfRange(t *testing.T) {
+	fs := testFileSets(3)
+	s, _ := NewSimple(hashx.NewFamily(1), fs, testServers())
+	if s.Place(-1) != NoServer || s.Place(3) != NoServer {
+		t.Fatal("out-of-range Place did not return NoServer")
+	}
+}
+
+func TestANUPlacesAndConverges(t *testing.T) {
+	fs := testFileSets(50)
+	a, err := NewANU(hashx.NewFamily(1), fs, testServers(), anu.DefaultControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if a.Place(i) == NoServer {
+			t.Fatalf("file set %d unplaced", i)
+		}
+	}
+	// Feed synthetic feedback: latency inversely proportional to speed
+	// times region share; ANU should shift region toward fast servers.
+	speeds := map[ServerID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
+	env := paperEnv(fs)
+	for round := 0; round < 100; round++ {
+		env.Reports = env.Reports[:0]
+		for id, sp := range speeds {
+			share := float64(a.Map().Length(id)) / float64(anu.Half)
+			if share == 0 {
+				env.Reports = append(env.Reports, anu.Report{Server: id})
+				continue
+			}
+			env.Reports = append(env.Reports, anu.Report{
+				Server:   id,
+				Requests: uint64(1 + 1000*share),
+				Latency:  share / sp,
+			})
+		}
+		if err := a.Retune(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Map().Length(4) <= a.Map().Length(0) {
+		t.Fatalf("fast server region (%d) not larger than slow server's (%d)",
+			a.Map().Length(4), a.Map().Length(0))
+	}
+	if err := a.Map().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestANUFailureAndRecoveryViaEnv(t *testing.T) {
+	fs := testFileSets(20)
+	a, err := NewANU(hashx.NewFamily(1), fs, testServers(), anu.DefaultControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := paperEnv(fs)
+	env.Servers[2].Up = false
+	if err := a.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	if a.Map().Length(2) != 0 {
+		t.Fatal("down server retains region after retune")
+	}
+	for i := range fs {
+		if a.Place(i) == ServerID(2) {
+			t.Fatalf("file set %d still placed on down server", i)
+		}
+	}
+	env.Servers[2].Up = true
+	if err := a.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	if a.Map().Length(2) == 0 {
+		t.Fatal("recovered server got no region")
+	}
+}
+
+func TestANUAdmitsCommissionedServer(t *testing.T) {
+	fs := testFileSets(20)
+	a, err := NewANU(hashx.NewFamily(1), fs, testServers(), anu.DefaultControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := paperEnv(fs)
+	env.Servers = append(env.Servers, ServerInfo{ID: 5, Speed: 4, Up: true})
+	if err := a.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Map().Has(5) || a.Map().Length(5) == 0 {
+		t.Fatal("commissioned server not admitted")
+	}
+}
+
+func TestPrescientBalancesWithPerfectKnowledge(t *testing.T) {
+	fs := testFileSets(50)
+	p, err := NewPrescient(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the first retune nothing is placed.
+	if p.Place(0) != NoServer {
+		t.Fatal("prescient placed before first retune")
+	}
+	env := paperEnv(fs)
+	if err := p.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	loadPer := map[ServerID]float64{}
+	for i := range fs {
+		id := p.Place(i)
+		if id == NoServer {
+			t.Fatalf("file set %d unplaced after retune", i)
+		}
+		loadPer[id] += env.FileSetLoads[i]
+	}
+	// No server may be overloaded, and the fastest must carry more
+	// than the slowest.
+	speeds := map[ServerID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
+	for id, load := range loadPer {
+		if load >= speeds[id] {
+			t.Errorf("server %d overloaded: %.2f of %.2f", id, load, speeds[id])
+		}
+	}
+	if loadPer[4] <= loadPer[0] {
+		t.Errorf("fastest server load %.2f not above slowest %.2f", loadPer[4], loadPer[0])
+	}
+}
+
+func TestPrescientAvoidsDownServers(t *testing.T) {
+	fs := testFileSets(30)
+	p, err := NewPrescient(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := paperEnv(fs)
+	env.Servers[4].Up = false
+	if err := p.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if p.Place(i) == ServerID(4) {
+			t.Fatalf("file set %d placed on down server", i)
+		}
+	}
+}
+
+func TestPrescientAllDown(t *testing.T) {
+	fs := testFileSets(5)
+	p, _ := NewPrescient(fs)
+	env := paperEnv(fs)
+	for i := range env.Servers {
+		env.Servers[i].Up = false
+	}
+	if err := p.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	if p.Place(0) != NoServer {
+		t.Fatal("placement on a dead cluster")
+	}
+}
+
+func TestPrescientRejectsMissingLoads(t *testing.T) {
+	fs := testFileSets(5)
+	p, _ := NewPrescient(fs)
+	env := paperEnv(fs)
+	env.FileSetLoads = env.FileSetLoads[:2]
+	if err := p.Retune(env); err == nil {
+		t.Fatal("short FileSetLoads accepted")
+	}
+}
+
+func TestVPStaticFirstLevelDynamicSecond(t *testing.T) {
+	fs := testFileSets(50)
+	v, err := NewVirtualProcessor(hashx.NewFamily(1), fs, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumVP() != 25 {
+		t.Fatalf("NumVP = %d", v.NumVP())
+	}
+	env := paperEnv(fs)
+	if err := v.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	vpOf := make([]int32, len(fs))
+	copy(vpOf, v.fsToVP)
+	// Retuning can change VP->server but never fs->VP.
+	env.Servers[1].Up = false
+	if err := v.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if v.fsToVP[i] != vpOf[i] {
+			t.Fatalf("file set %d changed virtual processor", i)
+		}
+		if v.Place(i) == ServerID(1) {
+			t.Fatalf("file set %d placed on down server", i)
+		}
+	}
+}
+
+func TestVPGranularityMonotonicity(t *testing.T) {
+	// More virtual processors divide load more finely: predicted
+	// worst-case per-server imbalance should not get worse with more
+	// VPs. We compare max server load between V=5 and V=50.
+	fs := testFileSets(50)
+	env := paperEnv(fs)
+	maxLoad := func(numVP int) float64 {
+		v, err := NewVirtualProcessor(hashx.NewFamily(1), fs, numVP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Retune(env); err != nil {
+			t.Fatal(err)
+		}
+		per := map[ServerID]float64{}
+		for i := range fs {
+			per[v.Place(i)] += env.FileSetLoads[i]
+		}
+		speeds := map[ServerID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
+		worst := 0.0
+		for id, load := range per {
+			if u := load / speeds[id]; u > worst {
+				worst = u
+			}
+		}
+		return worst
+	}
+	coarse, fine := maxLoad(5), maxLoad(50)
+	if fine > coarse+1e-9 {
+		t.Fatalf("finer VPs gave worse max utilization: %g (V=50) vs %g (V=5)", fine, coarse)
+	}
+}
+
+func TestVPConstructionErrors(t *testing.T) {
+	fs := testFileSets(3)
+	if _, err := NewVirtualProcessor(hashx.NewFamily(1), fs, 0); err == nil {
+		t.Error("numVP=0 accepted")
+	}
+	if _, err := NewVirtualProcessor(hashx.NewFamily(1), nil, 5); err == nil {
+		t.Error("no file sets accepted")
+	}
+}
+
+func TestSharedStateSizeOrdering(t *testing.T) {
+	// The paper's Figure 8 point: ANU state ~ O(k) is far below a VP
+	// table at the VP counts needed for parity (~30 VPs), and the
+	// prescient table is O(m).
+	fs := testFileSets(50)
+	servers := testServers()
+	fam := hashx.NewFamily(1)
+
+	s, _ := NewSimple(fam, fs, servers)
+	a, _ := NewANU(fam, fs, servers, anu.DefaultControllerConfig())
+	p, _ := NewPrescient(fs)
+	v30, _ := NewVirtualProcessor(fam, fs, 30)
+	v50, _ := NewVirtualProcessor(fam, fs, 50)
+
+	if !(s.SharedStateSize() < a.SharedStateSize()) {
+		t.Errorf("simple (%d) should be smallest, anu is %d", s.SharedStateSize(), a.SharedStateSize())
+	}
+	if v30.SharedStateSize() >= v50.SharedStateSize() {
+		t.Errorf("VP state must grow with VP count: %d vs %d", v30.SharedStateSize(), v50.SharedStateSize())
+	}
+	if p.SharedStateSize() != 8*50 {
+		t.Errorf("prescient state %d, want %d", p.SharedStateSize(), 400)
+	}
+}
+
+func TestPoliciesSatisfyPlacerInterface(t *testing.T) {
+	fs := testFileSets(5)
+	fam := hashx.NewFamily(1)
+	var placers []Placer
+	s, _ := NewSimple(fam, fs, testServers())
+	a, _ := NewANU(fam, fs, testServers(), anu.DefaultControllerConfig())
+	p, _ := NewPrescient(fs)
+	v, _ := NewVirtualProcessor(fam, fs, 10)
+	placers = append(placers, s, a, p, v)
+	names := map[string]bool{}
+	for _, pl := range placers {
+		if pl.Name() == "" {
+			t.Error("empty policy name")
+		}
+		names[pl.Name()] = true
+		if pl.SharedStateSize() <= 0 {
+			t.Errorf("%s: non-positive shared state", pl.Name())
+		}
+		if err := pl.Retune(nil); err == nil {
+			t.Errorf("%s: nil env accepted", pl.Name())
+		}
+	}
+	if len(names) != 4 {
+		t.Errorf("policy names not distinct: %v", names)
+	}
+}
+
+func TestANUConstructionErrors(t *testing.T) {
+	fs := testFileSets(3)
+	if _, err := NewANU(hashx.NewFamily(1), nil, testServers(), anu.DefaultControllerConfig()); err == nil {
+		t.Error("no file sets accepted")
+	}
+	if _, err := NewANU(hashx.NewFamily(1), fs, nil, anu.DefaultControllerConfig()); err == nil {
+		t.Error("no servers accepted")
+	}
+	bad := anu.DefaultControllerConfig()
+	bad.Gamma = -1
+	if _, err := NewANU(hashx.NewFamily(1), fs, testServers(), bad); err == nil {
+		t.Error("invalid controller config accepted")
+	}
+}
+
+func TestANUAccessorsAndAdvisories(t *testing.T) {
+	fs := testFileSets(10)
+	a, err := NewANU(hashx.NewFamily(1), fs, testServers(), anu.DefaultControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Controller() == nil || a.Map() == nil {
+		t.Fatal("nil accessors")
+	}
+	if advs := a.Advisories(); len(advs) != 0 {
+		t.Fatalf("advisories on a fresh policy: %+v", advs)
+	}
+	if a.Place(-1) != NoServer || a.Place(10) != NoServer {
+		t.Fatal("out-of-range Place did not return NoServer")
+	}
+}
+
+func TestPrescientAndVPPlaceOutOfRange(t *testing.T) {
+	fs := testFileSets(4)
+	p, _ := NewPrescient(fs)
+	if p.Place(-1) != NoServer || p.Place(4) != NoServer {
+		t.Error("prescient out-of-range Place")
+	}
+	v, _ := NewVirtualProcessor(hashx.NewFamily(1), fs, 8)
+	if v.Place(-1) != NoServer || v.Place(4) != NoServer {
+		t.Error("vp out-of-range Place")
+	}
+}

@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"anurand/internal/assign"
+	"anurand/internal/workload"
+)
+
+// Prescient is the dynamic-prescient upper bound: at every tuning round
+// it re-optimizes the file-set-to-server assignment using perfect
+// knowledge of per-file-set offered load and server capacities. It
+// represents the best any load manager could do and is what ANU is
+// measured against.
+type Prescient struct {
+	numFileSets int
+	table       []ServerID
+}
+
+// NewPrescient builds the policy; the placement table is empty until the
+// first Retune (the harness retunes prescient once at t=0 so it is
+// balanced "from the very beginning", as in the paper).
+func NewPrescient(fileSets []workload.FileSet) (*Prescient, error) {
+	if len(fileSets) == 0 {
+		return nil, fmt.Errorf("policy: NewPrescient: no file sets")
+	}
+	table := make([]ServerID, len(fileSets))
+	for i := range table {
+		table[i] = NoServer
+	}
+	return &Prescient{numFileSets: len(fileSets), table: table}, nil
+}
+
+// Name implements Placer.
+func (p *Prescient) Name() string { return "prescient" }
+
+// Place implements Placer via the optimized table.
+func (p *Prescient) Place(fs int) ServerID {
+	if fs < 0 || fs >= len(p.table) {
+		return NoServer
+	}
+	return p.table[fs]
+}
+
+// Retune implements Placer: a re-optimization with ground truth. The
+// search is warm-started from the current table so a placement that is
+// still locally optimal stays put — the optimal permutation should not
+// churn when nothing changed.
+func (p *Prescient) Retune(env *Env) error {
+	if err := validateEnv(env, p.numFileSets, true); err != nil {
+		return err
+	}
+	items := make([]assign.Item, p.numFileSets)
+	for i := range items {
+		items[i] = assign.Item{ID: i, Load: env.FileSetLoads[i]}
+	}
+	bins, ids := upBins(env)
+	if len(bins) == 0 {
+		for i := range p.table {
+			p.table[i] = NoServer
+		}
+		return nil
+	}
+	a := warmStart(p.table, items, bins, ids)
+	for i, b := range a {
+		if b < 0 {
+			p.table[i] = NoServer
+		} else {
+			p.table[i] = ids[b]
+		}
+	}
+	return nil
+}
+
+// warmStart seeds the optimizer with a previous server table when every
+// referenced server is still a usable bin, falling back to a fresh
+// greedy seed otherwise (first round, failures, topology changes).
+func warmStart(table []ServerID, items []assign.Item, bins []assign.Bin, ids []ServerID) assign.Assignment {
+	binOf := make(map[ServerID]int, len(ids))
+	for b, id := range ids {
+		binOf[id] = b
+	}
+	seed := make(assign.Assignment, len(table))
+	for i, id := range table {
+		b, ok := binOf[id]
+		if !ok {
+			return assign.Optimize(items, bins)
+		}
+		seed[i] = b
+	}
+	seed, _ = assign.LocalSearch(items, bins, seed, 20)
+	return seed
+}
+
+// SharedStateSize implements Placer: a replicated table mapping every
+// file set to a server (4-byte fileset index + 4-byte server id each) —
+// the O(m) state the paper contrasts with ANU's O(k).
+func (p *Prescient) SharedStateSize() int { return 8 * p.numFileSets }
+
+// upBins converts the snapshot's live servers to optimizer bins in
+// deterministic id order, returning the parallel id list.
+func upBins(env *Env) ([]assign.Bin, []ServerID) {
+	servers := append([]ServerInfo(nil), env.Servers...)
+	sort.Slice(servers, func(i, j int) bool { return servers[i].ID < servers[j].ID })
+	var bins []assign.Bin
+	var ids []ServerID
+	for _, s := range servers {
+		if s.Up && s.Speed > 0 {
+			bins = append(bins, assign.Bin{ID: int(s.ID), Capacity: s.Speed})
+			ids = append(ids, s.ID)
+		}
+	}
+	return bins, ids
+}

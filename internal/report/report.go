@@ -1,0 +1,237 @@
+// Package report renders experiment results as fixed-width text tables,
+// CSV, and ASCII line charts. The paper-figure harness (cmd/paperfigs)
+// uses it to print each figure's series in a form that can be eyeballed
+// in a terminal or piped into a plotting tool.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells and long
+// rows are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// %v for strings and integers and %.4g for floats.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			if math.IsNaN(v) {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.4g", v))
+			}
+		case float32:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		default:
+			row = append(row, fmt.Sprint(c))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is one named line of a chart. NaN values are gaps.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is an ASCII line chart over a shared x axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XStart float64
+	XStep  float64
+	Series []Series
+	// Height is the plot height in rows (default 16).
+	Height int
+	// LogY plots on a log10 y axis, useful when one curve (simple
+	// randomization) is orders of magnitude above the others.
+	LogY bool
+}
+
+// seriesMarks assigns one mark per series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	width := 0
+	for _, s := range c.Series {
+		if len(s.Values) > width {
+			width = len(s.Values)
+		}
+	}
+	if width == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return err
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if c.LogY && v <= 0 {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if lo > hi {
+		_, err := fmt.Fprintf(w, "%s: (no finite data)\n", c.Title)
+		return err
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	scale := func(v float64) float64 { return v }
+	if c.LogY {
+		scale = math.Log10
+	}
+	sLo, sHi := scale(lo), scale(hi)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for x, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) || (c.LogY && v <= 0) {
+				continue
+			}
+			frac := (scale(v) - sLo) / (sHi - sLo)
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][x] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	legend := make([]string, len(c.Series))
+	for i, s := range c.Series {
+		legend[i] = fmt.Sprintf("%c=%s", seriesMarks[i%len(seriesMarks)], s.Name)
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "  [%s]", strings.Join(legend, " "))
+		if c.LogY {
+			b.WriteString("  (log y)")
+		}
+		b.WriteByte('\n')
+	}
+	for r := range grid {
+		frac := float64(height-1-r) / float64(height-1)
+		v := sLo + frac*(sHi-sLo)
+		if c.LogY {
+			v = math.Pow(10, v)
+		}
+		fmt.Fprintf(&b, "%10.3g |%s\n", v, grid[r])
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	if c.XLabel != "" {
+		xEnd := c.XStart + float64(width-1)*c.XStep
+		fmt.Fprintf(&b, "%10s  %s: %.4g .. %.4g\n", "", c.XLabel, c.XStart, xEnd)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

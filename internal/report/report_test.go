@@ -1,0 +1,184 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("policy", "mean", "moved")
+	tb.AddRow("simple", "1326.52", "0")
+	tb.AddRow("anu", "3.08", "297")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "policy") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing rule: %q", lines[1])
+	}
+	if !strings.Contains(out, "1326.52") || !strings.Contains(out, "anu") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+}
+
+func TestTablePadsAndTruncates(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "extra-dropped")
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "extra-dropped") {
+		t.Error("over-long row not truncated")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("name", "value", "count")
+	tb.AddRowf("x", 3.14159, 42)
+	tb.AddRowf("gap", math.NaN(), 0)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("NaN not rendered as dash: %s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "hello, world")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"hello, world\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestChartRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "latency",
+		XLabel: "minute",
+		XStep:  2,
+		Series: []Series{
+			{Name: "anu", Values: []float64{5, 4, 3, 2, 1, 1, 1}},
+			{Name: "simple", Values: []float64{1, 2, 3, 4, 5, 6, 7}},
+		},
+		Height: 8,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "*=anu") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "minute") {
+		t.Fatalf("missing x label:\n%s", out)
+	}
+	if countPlotMarks(out, '*') < 5 {
+		t.Fatalf("series marks missing:\n%s", out)
+	}
+}
+
+// countPlotMarks counts mark occurrences in the plot area, skipping the
+// legend line (which repeats each mark once).
+func countPlotMarks(out string, mark rune) int {
+	n := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "=") { // legend line
+			continue
+		}
+		n += strings.Count(line, string(mark))
+	}
+	return n
+}
+
+func TestChartHandlesNaNGaps(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "s", Values: []float64{1, math.NaN(), 3}}},
+		Height: 4,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if countPlotMarks(buf.String(), '*') != 2 {
+		t.Fatalf("NaN plotted:\n%s", buf.String())
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty chart output: %q", buf.String())
+	}
+	c2 := Chart{Series: []Series{{Name: "nan", Values: []float64{math.NaN()}}}}
+	buf.Reset()
+	if err := c2.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no finite data") {
+		t.Fatalf("all-NaN chart output: %q", buf.String())
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "flat", Values: []float64{2, 2, 2}}}, Height: 4}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if countPlotMarks(buf.String(), '*') != 3 {
+		t.Fatalf("flat series not plotted:\n%s", buf.String())
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "wide", Values: []float64{0.001, 1, 1000}}},
+		Height: 10,
+		LogY:   true,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(log y)") {
+		t.Fatalf("log axis not labelled:\n%s", out)
+	}
+	// Non-positive values must be skipped, not crash.
+	c.Series[0].Values = append(c.Series[0].Values, 0, -5)
+	buf.Reset()
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is a continuous distribution from which variates can be drawn
+// using an explicit random source, so one distribution value can be
+// shared across goroutines that each hold their own Source.
+type Dist interface {
+	// Sample draws one variate using src.
+	Sample(src *Source) float64
+	// Mean returns the analytic mean of the distribution. It returns
+	// +Inf when the mean does not exist (for example Pareto with
+	// alpha <= 1).
+	Mean() float64
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns a Uniform distribution on [lo, hi). It panics if
+// hi < lo.
+func NewUniform(lo, hi float64) Uniform {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: NewUniform(%g, %g): hi < lo", lo, hi))
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+// Sample draws a uniform variate.
+func (u Uniform) Sample(src *Source) float64 {
+	return u.Lo + (u.Hi-u.Lo)*src.Float64()
+}
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Exponential is the exponential distribution with rate Lambda
+// (mean 1/Lambda). It is the inter-arrival distribution of a Poisson
+// process and serves as the light-tailed baseline next to Pareto.
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponential returns an Exponential distribution with the given
+// positive rate.
+func NewExponential(lambda float64) Exponential {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("rng: NewExponential(%g): rate must be positive", lambda))
+	}
+	return Exponential{Lambda: lambda}
+}
+
+// Sample draws an exponential variate by inversion.
+func (e Exponential) Sample(src *Source) float64 {
+	// 1-Float64() is in (0,1], so Log never sees zero.
+	return -math.Log(1-src.Float64()) / e.Lambda
+}
+
+// Mean returns 1/Lambda.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Pareto is the type-I Pareto distribution with shape Alpha and scale
+// (minimum) Xm. The paper's synthetic workload draws request
+// inter-arrival times from a heavy-tailed Pareto distribution
+// (Section 5.2.1); Alpha in (1,2] gives a finite mean with infinite
+// variance, the classic heavy-tail regime.
+type Pareto struct {
+	Alpha, Xm float64
+}
+
+// NewPareto returns a Pareto distribution. Alpha and Xm must be
+// positive.
+func NewPareto(alpha, xm float64) Pareto {
+	if alpha <= 0 || xm <= 0 {
+		panic(fmt.Sprintf("rng: NewPareto(%g, %g): parameters must be positive", alpha, xm))
+	}
+	return Pareto{Alpha: alpha, Xm: xm}
+}
+
+// ParetoWithMean returns the Pareto distribution with the given shape
+// whose mean equals mean. It panics if alpha <= 1 (no finite mean).
+func ParetoWithMean(alpha, mean float64) Pareto {
+	if alpha <= 1 {
+		panic(fmt.Sprintf("rng: ParetoWithMean: alpha=%g has no finite mean", alpha))
+	}
+	return NewPareto(alpha, mean*(alpha-1)/alpha)
+}
+
+// Sample draws a Pareto variate by inversion.
+func (p Pareto) Sample(src *Source) float64 {
+	u := 1 - src.Float64() // (0, 1]
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean returns alpha*xm/(alpha-1) for alpha > 1 and +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// BoundedPareto is a Pareto distribution truncated to [Lo, Hi]. Traces
+// and burst lengths use it so a single sample cannot stall a simulated
+// server for the whole run while the body of the distribution stays
+// heavy-tailed.
+type BoundedPareto struct {
+	Alpha, Lo, Hi float64
+}
+
+// NewBoundedPareto returns a BoundedPareto on [lo, hi] with shape alpha.
+func NewBoundedPareto(alpha, lo, hi float64) BoundedPareto {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic(fmt.Sprintf("rng: NewBoundedPareto(%g, %g, %g): need alpha>0, 0<lo<hi", alpha, lo, hi))
+	}
+	return BoundedPareto{Alpha: alpha, Lo: lo, Hi: hi}
+}
+
+// Sample draws a bounded Pareto variate by inversion of the truncated
+// CDF.
+func (b BoundedPareto) Sample(src *Source) float64 {
+	u := src.Float64()
+	la := math.Pow(b.Lo, b.Alpha)
+	ha := math.Pow(b.Hi, b.Alpha)
+	x := -(u*ha - u*la - ha) / (ha * la)
+	return math.Pow(x, -1/b.Alpha)
+}
+
+// Mean returns the analytic mean of the truncated distribution.
+func (b BoundedPareto) Mean() float64 {
+	a, l, h := b.Alpha, b.Lo, b.Hi
+	if a == 1 {
+		return h * l / (h - l) * math.Log(h/l)
+	}
+	la := math.Pow(l, a)
+	return la / (1 - math.Pow(l/h, a)) * (a / (a - 1)) * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+// Zipf draws integers in [0, N) with probability proportional to
+// 1/(rank+1)^S. File-set popularity in the DFSTrace-like workload is
+// Zipf-distributed, matching the well-known skew of file-system
+// accesses.
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over n items with exponent s >= 0
+// (s = 0 degenerates to uniform).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 || s < 0 {
+		panic(fmt.Sprintf("rng: NewZipf(%d, %g): need n>0, s>=0", n, s))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{n: n, cdf: cdf}
+}
+
+// Sample draws one rank in [0, N).
+func (z *Zipf) Sample(src *Source) int {
+	u := src.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of items.
+func (z *Zipf) N() int { return z.n }
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= z.n {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Categorical draws indices with the given (unnormalized, non-negative)
+// weights. Used to spread trace requests across file sets in proportion
+// to their workload weight.
+type Categorical struct {
+	cdf []float64
+}
+
+// NewCategorical builds a sampler from weights. At least one weight must
+// be positive; negative weights panic.
+func NewCategorical(weights []float64) *Categorical {
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("rng: NewCategorical: weight[%d]=%g is invalid", i, w))
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		panic("rng: NewCategorical: all weights are zero")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[len(cdf)-1] = 1
+	return &Categorical{cdf: cdf}
+}
+
+// Sample draws one index.
+func (c *Categorical) Sample(src *Source) int {
+	return sort.SearchFloat64s(c.cdf, src.Float64())
+}
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.cdf) }

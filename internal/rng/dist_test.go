@@ -1,0 +1,240 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMean draws n variates and returns their mean.
+func sampleMean(d Dist, src *Source, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(src)
+	}
+	return sum / float64(n)
+}
+
+func TestUniformSampleRangeAndMean(t *testing.T) {
+	src := New(1)
+	u := NewUniform(2, 8)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := u.Sample(src)
+		if v < 2 || v >= 8 {
+			t.Fatalf("uniform sample %g out of [2,8)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-u.Mean()) > 0.05 {
+		t.Errorf("uniform sample mean %g, want ~%g", mean, u.Mean())
+	}
+}
+
+func TestUniformPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewUniform(5, 1) did not panic")
+		}
+	}()
+	NewUniform(5, 1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	src := New(2)
+	for _, lambda := range []float64{0.5, 1, 4} {
+		e := NewExponential(lambda)
+		mean := sampleMean(e, src, 200000)
+		if math.Abs(mean-e.Mean())/e.Mean() > 0.03 {
+			t.Errorf("exp(rate=%g) sample mean %g, want ~%g", lambda, mean, e.Mean())
+		}
+	}
+}
+
+func TestExponentialPositive(t *testing.T) {
+	src := New(3)
+	e := NewExponential(2)
+	for i := 0; i < 100000; i++ {
+		if v := e.Sample(src); v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("exponential produced invalid sample %g", v)
+		}
+	}
+}
+
+func TestParetoSamplesAboveXm(t *testing.T) {
+	src := New(4)
+	p := NewPareto(1.5, 3)
+	for i := 0; i < 100000; i++ {
+		if v := p.Sample(src); v < 3 {
+			t.Fatalf("Pareto sample %g below scale %g", v, 3.0)
+		}
+	}
+}
+
+func TestParetoMeanFiniteAlpha(t *testing.T) {
+	src := New(5)
+	p := NewPareto(2.5, 1)
+	mean := sampleMean(p, src, 500000)
+	if math.Abs(mean-p.Mean())/p.Mean() > 0.05 {
+		t.Errorf("Pareto(2.5,1) sample mean %g, want ~%g", mean, p.Mean())
+	}
+}
+
+func TestParetoMeanInfiniteWhenAlphaLE1(t *testing.T) {
+	if m := NewPareto(1, 1).Mean(); !math.IsInf(m, 1) {
+		t.Errorf("Pareto(alpha=1) mean = %g, want +Inf", m)
+	}
+}
+
+func TestParetoWithMean(t *testing.T) {
+	src := New(6)
+	const target = 10.0
+	p := ParetoWithMean(1.8, target)
+	if math.Abs(p.Mean()-target) > 1e-9 {
+		t.Fatalf("ParetoWithMean analytic mean = %g, want %g", p.Mean(), target)
+	}
+	// alpha=1.8 has infinite variance so the sample mean converges
+	// slowly; allow a generous band.
+	mean := sampleMean(p, src, 2000000)
+	if math.Abs(mean-target)/target > 0.15 {
+		t.Errorf("ParetoWithMean sample mean %g, want roughly %g", mean, target)
+	}
+}
+
+func TestParetoWithMeanPanicsOnHeavyAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ParetoWithMean(1.0, ...) did not panic")
+		}
+	}()
+	ParetoWithMean(1.0, 5)
+}
+
+func TestBoundedParetoWithinBounds(t *testing.T) {
+	src := New(7)
+	b := NewBoundedPareto(1.2, 1, 1000)
+	for i := 0; i < 200000; i++ {
+		v := b.Sample(src)
+		if v < 1 || v > 1000 {
+			t.Fatalf("bounded Pareto sample %g outside [1,1000]", v)
+		}
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	src := New(8)
+	b := NewBoundedPareto(1.5, 2, 500)
+	mean := sampleMean(b, src, 500000)
+	if math.Abs(mean-b.Mean())/b.Mean() > 0.05 {
+		t.Errorf("bounded Pareto sample mean %g, want ~%g", mean, b.Mean())
+	}
+}
+
+func TestZipfProbsSumToOne(t *testing.T) {
+	z := NewZipf(100, 1.1)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Zipf probabilities sum to %g, want 1", sum)
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	z := NewZipf(50, 0.9)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("Zipf probability not monotone at rank %d: %g > %g", i, z.Prob(i), z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfSampleFrequencies(t *testing.T) {
+	src := New(9)
+	z := NewZipf(20, 1.0)
+	const draws = 200000
+	counts := make([]int, z.N())
+	for i := 0; i < draws; i++ {
+		r := z.Sample(src)
+		if r < 0 || r >= z.N() {
+			t.Fatalf("Zipf sample %d out of range", r)
+		}
+		counts[r]++
+	}
+	for i := range counts {
+		want := z.Prob(i) * draws
+		if want < 50 {
+			continue // too rare for a tight frequency check
+		}
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Errorf("rank %d: count %d deviates from expected %.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < z.N(); i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("Zipf(s=0) rank %d prob %g, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	src := New(10)
+	c := NewCategorical([]float64{1, 0, 3})
+	const draws = 100000
+	counts := make([]int, 3)
+	for i := 0; i < draws; i++ {
+		counts[c.Sample(src)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("weight-3/weight-1 draw ratio = %g, want ~3", ratio)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"all zero": {0, 0},
+		"negative": {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCategorical(%s) did not panic", name)
+				}
+			}()
+			NewCategorical(weights)
+		}()
+	}
+}
+
+func TestDistSamplesAlwaysFinite(t *testing.T) {
+	src := New(11)
+	dists := []Dist{
+		NewUniform(0, 1),
+		NewExponential(3),
+		NewPareto(1.5, 0.1),
+		NewBoundedPareto(1.1, 0.5, 100),
+	}
+	f := func(seed uint32) bool {
+		s := src.Stream(string(rune(seed)))
+		for _, d := range dists {
+			v := d.Sample(s)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

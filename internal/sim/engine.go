@@ -1,0 +1,204 @@
+// Package sim is a small discrete-event simulation engine, the
+// repository's substitute for the YACSIM toolkit the paper used.
+//
+// The engine maintains a virtual clock and an event calendar. Events are
+// closures scheduled for a future instant; Run drains the calendar in
+// time order, breaking ties by scheduling order so runs are exactly
+// reproducible. On top of the calendar the package provides Timer
+// (cancellable one-shot), Ticker (periodic callback, used for the
+// load-tuning interval) and Resource (a single FIFO queueing station
+// with a speed factor, used to model a metadata server).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event simulator. The zero value is ready to use;
+// its clock starts at time 0.
+type Engine struct {
+	now     float64
+	seq     uint64
+	cal     calendar
+	stopped bool
+	events  uint64
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// EventsRun returns the number of events executed so far, a cheap
+// progress and determinism probe.
+func (e *Engine) EventsRun() uint64 { return e.events }
+
+// Schedule runs fn after delay seconds of virtual time and returns a
+// Timer that can cancel it. A negative delay panics: the calendar only
+// moves forward.
+func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %g", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Scheduling in the past
+// panics.
+func (e *Engine) ScheduleAt(t float64, fn func()) *Timer {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: ScheduleAt(%g) before now=%g", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.cal, ev)
+	return &Timer{ev: ev}
+}
+
+// Run executes events in order until the calendar is empty, the virtual
+// clock would pass until, or Stop is called. Events scheduled exactly at
+// until are executed. It returns the number of events executed by this
+// call.
+func (e *Engine) Run(until float64) uint64 {
+	e.stopped = false
+	var n uint64
+	for len(e.cal) > 0 && !e.stopped {
+		next := e.cal[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.cal)
+		if next.cancelled {
+			continue
+		}
+		if next.at < e.now {
+			panic(fmt.Sprintf("sim: calendar yielded time %g before now %g", next.at, e.now))
+		}
+		e.now = next.at
+		next.fn()
+		n++
+		e.events++
+	}
+	// Advance the clock to the horizon so repeated Run calls with
+	// increasing horizons behave like one long run.
+	if !e.stopped && e.now < until && !math.IsInf(until, 1) {
+		e.now = until
+	}
+	return n
+}
+
+// RunAll executes events until the calendar is empty or Stop is called.
+func (e *Engine) RunAll() uint64 { return e.Run(math.Inf(1)) }
+
+// Stop halts the current Run after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.cal {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. Cancelling an already-run or
+// already-cancelled timer is a no-op. It reports whether the event was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// event is a calendar entry.
+type event struct {
+	at        float64
+	seq       uint64 // breaks ties deterministically in FIFO order
+	fn        func()
+	cancelled bool
+	done      bool
+	index     int
+}
+
+// calendar is a min-heap of events ordered by (time, seq).
+type calendar []*event
+
+func (c calendar) Len() int { return len(c) }
+
+func (c calendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+
+func (c calendar) Swap(i, j int) {
+	c[i], c[j] = c[j], c[i]
+	c[i].index = i
+	c[j].index = j
+}
+
+func (c *calendar) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*c)
+	*c = append(*c, ev)
+}
+
+func (c *calendar) Pop() any {
+	old := *c
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*c = old[:n-1]
+	ev.done = true
+	return ev
+}
+
+// Ticker invokes a callback at a fixed period. It is the mechanism
+// behind the paper's two-minute load-placement tuning interval.
+type Ticker struct {
+	eng    *Engine
+	period float64
+	fn     func()
+	timer  *Timer
+	stop   bool
+}
+
+// NewTicker schedules fn every period seconds, first firing one period
+// from now. Period must be positive.
+func (e *Engine) NewTicker(period float64, fn func()) *Ticker {
+	if period <= 0 || math.IsNaN(period) {
+		panic(fmt.Sprintf("sim: NewTicker with invalid period %g", period))
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.eng.Schedule(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.timer.Cancel()
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"anurand/internal/rng"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var e Engine
+	var at float64
+	e.Schedule(2.5, func() { at = e.Now() })
+	e.RunAll()
+	if at != 2.5 {
+		t.Fatalf("event saw Now()=%g, want 2.5", at)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("final Now()=%g, want 2.5", e.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	var e Engine
+	ran := []float64{}
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	n := e.Run(2)
+	if n != 2 {
+		t.Fatalf("Run(2) executed %d events, want 2", n)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now()=%g after Run(2), want 2", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending()=%d, want 2", e.Pending())
+	}
+	n = e.Run(10)
+	if n != 2 {
+		t.Fatalf("second Run executed %d events, want 2", n)
+	}
+}
+
+func TestRunIncludesEventsAtHorizon(t *testing.T) {
+	var e Engine
+	hit := false
+	e.Schedule(2, func() { hit = true })
+	e.Run(2)
+	if !hit {
+		t.Fatal("event scheduled exactly at horizon did not run")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.RunAll()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("nested schedule times %v, want [1 2]", times)
+	}
+}
+
+func TestScheduleZeroDelayRunsAtSameTime(t *testing.T) {
+	var e Engine
+	order := []string{}
+	e.Schedule(1, func() {
+		e.Schedule(0, func() { order = append(order, "child") })
+		order = append(order, "parent")
+	})
+	e.Schedule(1, func() { order = append(order, "sibling") })
+	e.RunAll()
+	// The zero-delay child was scheduled after the sibling, so FIFO
+	// tie-breaking runs the sibling first.
+	want := []string{"parent", "sibling", "child"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCancelTimer(t *testing.T) {
+	var e Engine
+	ran := false
+	tm := e.Schedule(1, func() { ran = true })
+	if !tm.Cancel() {
+		t.Fatal("Cancel returned false for pending timer")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelAfterRunIsNoop(t *testing.T) {
+	var e Engine
+	tm := e.Schedule(1, func() {})
+	e.RunAll()
+	if tm.Cancel() {
+		t.Fatal("Cancel after execution returned true")
+	}
+}
+
+func TestScheduleNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	var e Engine
+	e.Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(1, func() {})
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i+1), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop at 3", count)
+	}
+	// A later Run resumes.
+	e.RunAll()
+	if count != 10 {
+		t.Fatalf("resume ran to %d events, want 10", count)
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	var e Engine
+	var ticks []float64
+	tk := e.NewTicker(2, func() { ticks = append(ticks, e.Now()) })
+	e.Run(9)
+	tk.Stop()
+	want := []float64{2, 4, 6, 8}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks at %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	var e Engine
+	n := 0
+	var tk *Ticker
+	tk = e.NewTicker(1, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(100)
+	if n != 3 {
+		t.Fatalf("ticker fired %d times after Stop at 3", n)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		var e Engine
+		src := rng.New(seed)
+		var log []float64
+		var recur func()
+		remaining := 500
+		recur = func() {
+			log = append(log, e.Now())
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			e.Schedule(src.Float64(), recur)
+			if src.Float64() < 0.3 && remaining > 0 {
+				remaining--
+				e.Schedule(src.Float64()*2, recur)
+			}
+		}
+		e.Schedule(0, recur)
+		e.RunAll()
+		return log
+	}
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at event %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	if !sort.Float64sAreSorted(a) {
+		t.Fatal("event times were not non-decreasing")
+	}
+}
+
+func TestCalendarPropertyOrdered(t *testing.T) {
+	f := func(delays []float64) bool {
+		var e Engine
+		var times []float64
+		for _, d := range delays {
+			d = math.Abs(d)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				continue
+			}
+			e.Schedule(d, func() { times = append(times, e.Now()) })
+		}
+		e.RunAll()
+		return sort.Float64sAreSorted(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	var e Engine
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(src.Float64(), func() {})
+		if i%1024 == 1023 {
+			e.Run(e.Now() + 0.5)
+		}
+	}
+	e.RunAll()
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Process is a coroutine-style simulation entity, the programming model
+// YACSIM (the paper's simulation substrate) is built around: a body
+// function that runs as straight-line code and suspends virtual time
+// with Delay or Acquire, instead of hand-written event callbacks. Both
+// styles coexist on one Engine; closed-loop clients read much more
+// naturally as processes.
+//
+// Determinism: the engine runs exactly one goroutine at a time — either
+// the event loop or a single resumed process — handing control back and
+// forth over unbuffered channels, so process interleaving is fixed by
+// the event calendar alone.
+type Process struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	parked   chan struct{}
+	done     bool
+	panicVal any
+}
+
+// Go spawns body as a simulation process starting at the current
+// virtual time. The body runs until it returns; it must only interact
+// with virtual time through the passed Process (Delay, Acquire, Hold).
+func (e *Engine) Go(name string, body func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	go func() {
+		<-p.resume // wait for the engine to hand over control
+		defer func() {
+			// A panicking body must not strand the event loop waiting
+			// for a hand-back: capture and re-raise on the engine side.
+			p.panicVal = recover()
+			p.done = true
+			p.parked <- struct{}{} // final hand-back
+		}()
+		body(p)
+	}()
+	e.Schedule(0, func() { p.step() })
+	return p
+}
+
+// step transfers control to the process and blocks the event loop until
+// the process suspends or finishes.
+func (p *Process) step() {
+	p.resume <- struct{}{}
+	<-p.parked
+	if p.panicVal != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicVal))
+	}
+}
+
+// park suspends the process and returns control to the event loop; the
+// next step() resumes it.
+func (p *Process) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Process) Now() float64 { return p.eng.Now() }
+
+// Done reports whether the body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Delay suspends the process for d seconds of virtual time.
+func (p *Process) Delay(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: process %q Delay(%g)", p.name, d))
+	}
+	p.eng.Schedule(d, func() { p.step() })
+	p.park()
+}
+
+// Acquire submits a job with the given demand to the resource and
+// suspends until it completes (queueing plus service), returning the
+// response time. It is the process-style equivalent of Submit+Done.
+func (p *Process) Acquire(r *Resource, demand float64) float64 {
+	start := p.eng.Now()
+	r.Submit(&Job{
+		Demand: demand,
+		Done:   func(*Job) { p.step() },
+	})
+	p.park()
+	return p.eng.Now() - start
+}
+
+// Hold suspends the process until signal is called (by an event
+// callback or another process). Each Hold consumes exactly one signal.
+func (p *Process) Hold() { p.park() }
+
+// Signal resumes a process suspended in Hold at the current virtual
+// time. It must be called from engine context (an event callback or
+// another process), never from outside Run.
+func (p *Process) Signal() { p.step() }

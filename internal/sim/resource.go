@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Job is a unit of work submitted to a Resource. Demand is expressed in
+// unit-speed seconds: a server with speed s completes the job in
+// Demand/s seconds of service, after any queueing delay. This mirrors
+// the paper's heterogeneity model where the same request takes time T on
+// the slowest server and T/9 on the fastest.
+type Job struct {
+	// Demand is the amount of work in unit-speed seconds. Must be
+	// positive and finite.
+	Demand float64
+
+	// Done, if non-nil, is invoked at the virtual instant the job
+	// completes service.
+	Done func(j *Job)
+
+	// Payload carries caller context (for example the request being
+	// served) through the queue.
+	Payload any
+
+	// Arrive, Start and Finish are stamped by the Resource with the
+	// virtual times of submission, service start and completion.
+	Arrive, Start, Finish float64
+
+	next *Job // intrusive FIFO link
+}
+
+// Wait returns the queueing delay the job experienced.
+func (j *Job) Wait() float64 { return j.Start - j.Arrive }
+
+// Latency returns the total response time (queueing plus service).
+func (j *Job) Latency() float64 { return j.Finish - j.Arrive }
+
+// Resource is a single-server FIFO queueing station with a speed
+// factor, the model of one metadata server. It is driven entirely by an
+// Engine: Submit enqueues work and the completion events fire on the
+// engine's calendar.
+type Resource struct {
+	eng  *Engine
+	name string
+
+	speed float64
+	up    bool
+
+	head, tail *Job // waiting jobs, FIFO
+	queued     int
+	current    *Job
+	completion *Timer
+
+	served      uint64
+	busy        float64 // accumulated busy seconds (completed service)
+	serviceFrom float64 // start of in-flight service, valid when current != nil
+}
+
+// NewResource creates an idle, up resource with the given positive speed
+// factor attached to the engine.
+func NewResource(e *Engine, name string, speed float64) *Resource {
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		panic(fmt.Sprintf("sim: NewResource %q with invalid speed %g", name, speed))
+	}
+	return &Resource{eng: e, name: name, speed: speed, up: true}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Speed returns the current speed factor.
+func (r *Resource) Speed() float64 { return r.speed }
+
+// SetSpeed changes the speed factor for subsequently started jobs. The
+// job in service, if any, finishes at its already-scheduled time.
+func (r *Resource) SetSpeed(speed float64) {
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		panic(fmt.Sprintf("sim: SetSpeed %q with invalid speed %g", r.name, speed))
+	}
+	r.speed = speed
+}
+
+// Up reports whether the resource is accepting and serving work.
+func (r *Resource) Up() bool { return r.up }
+
+// QueueLen returns the number of jobs waiting (excluding the one in
+// service).
+func (r *Resource) QueueLen() int { return r.queued }
+
+// InService reports whether a job is currently being served.
+func (r *Resource) InService() bool { return r.current != nil }
+
+// Served returns the number of jobs completed.
+func (r *Resource) Served() uint64 { return r.served }
+
+// BusyTime returns the accumulated service time, including the elapsed
+// portion of an in-flight job, as of the engine's current time.
+func (r *Resource) BusyTime() float64 {
+	b := r.busy
+	if r.current != nil {
+		b += r.eng.Now() - r.serviceFrom
+	}
+	return b
+}
+
+// Backlog returns the total remaining demand (unit-speed seconds) of the
+// queue plus the unserved portion of the in-flight job. It is the
+// instantaneous load metric policies may inspect.
+func (r *Resource) Backlog() float64 {
+	d := 0.0
+	for j := r.head; j != nil; j = j.next {
+		d += j.Demand
+	}
+	if r.current != nil {
+		remaining := (r.current.Finish - r.eng.Now()) * r.speed
+		if remaining > 0 {
+			d += remaining
+		}
+	}
+	return d
+}
+
+// Submit enqueues a job. It panics on a non-positive demand or if the
+// resource is down; the cluster layer must route around failed servers.
+func (r *Resource) Submit(j *Job) {
+	if !r.up {
+		panic(fmt.Sprintf("sim: Submit to down resource %q", r.name))
+	}
+	if j.Demand <= 0 || math.IsNaN(j.Demand) || math.IsInf(j.Demand, 0) {
+		panic(fmt.Sprintf("sim: Submit job with invalid demand %g", j.Demand))
+	}
+	j.Arrive = r.eng.Now()
+	j.next = nil
+	if r.current == nil {
+		r.startService(j)
+		return
+	}
+	if r.tail == nil {
+		r.head, r.tail = j, j
+	} else {
+		r.tail.next = j
+		r.tail = j
+	}
+	r.queued++
+}
+
+// InjectBusy occupies the server with anonymous work for d seconds of
+// wall-clock service at the current speed (for example a cache flush
+// when shedding a file set). The work queues FIFO like any job.
+func (r *Resource) InjectBusy(d float64) {
+	if d <= 0 {
+		return
+	}
+	r.Submit(&Job{Demand: d * r.speed})
+}
+
+func (r *Resource) startService(j *Job) {
+	j.Start = r.eng.Now()
+	j.Finish = j.Start + j.Demand/r.speed
+	r.current = j
+	r.serviceFrom = j.Start
+	r.completion = r.eng.ScheduleAt(j.Finish, func() { r.complete(j) })
+}
+
+func (r *Resource) complete(j *Job) {
+	r.busy += r.eng.Now() - r.serviceFrom
+	r.current = nil
+	r.completion = nil
+	r.served++
+	if r.head != nil {
+		next := r.head
+		r.head = next.next
+		if r.head == nil {
+			r.tail = nil
+		}
+		r.queued--
+		r.startService(next)
+	}
+	if j.Done != nil {
+		j.Done(j)
+	}
+}
+
+// DrainQueue removes and returns the waiting jobs (not the one in
+// service) for which keep returns false. The relative order of the
+// remaining queue is preserved. It is the mechanism for redirecting
+// queued requests when their file set moves to another server.
+func (r *Resource) DrainQueue(keep func(*Job) bool) []*Job {
+	var drained []*Job
+	var head, tail *Job
+	n := 0
+	for j := r.head; j != nil; {
+		next := j.next
+		j.next = nil
+		if keep(j) {
+			if tail == nil {
+				head, tail = j, j
+			} else {
+				tail.next = j
+				tail = j
+			}
+			n++
+		} else {
+			drained = append(drained, j)
+		}
+		j = next
+	}
+	r.head, r.tail, r.queued = head, tail, n
+	return drained
+}
+
+// Fail takes the resource down and returns all unfinished jobs: the job
+// in service (its partial progress is lost, as a crashed server would
+// lose it) followed by the FIFO queue. The caller re-routes them.
+func (r *Resource) Fail() []*Job {
+	if !r.up {
+		return nil
+	}
+	r.up = false
+	var orphans []*Job
+	if r.current != nil {
+		r.completion.Cancel()
+		// The partially-performed service still consumed real time.
+		r.busy += r.eng.Now() - r.serviceFrom
+		r.current.Start, r.current.Finish = 0, 0
+		orphans = append(orphans, r.current)
+		r.current = nil
+		r.completion = nil
+	}
+	for j := r.head; j != nil; {
+		next := j.next
+		j.next = nil
+		orphans = append(orphans, j)
+		j = next
+	}
+	r.head, r.tail, r.queued = nil, nil, 0
+	return orphans
+}
+
+// Recover brings a failed resource back up with an empty queue.
+// Recovering an up resource is a no-op.
+func (r *Resource) Recover() {
+	r.up = true
+}

@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"anurand/internal/rng"
+)
+
+func TestResourceServesSingleJob(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 2)
+	var done *Job
+	r.Submit(&Job{Demand: 4, Done: func(j *Job) { done = j }})
+	e.RunAll()
+	if done == nil {
+		t.Fatal("job never completed")
+	}
+	if done.Latency() != 2 {
+		t.Fatalf("latency = %g, want demand/speed = 2", done.Latency())
+	}
+	if done.Wait() != 0 {
+		t.Fatalf("wait = %g, want 0 for idle server", done.Wait())
+	}
+	if r.Served() != 1 {
+		t.Fatalf("Served() = %d, want 1", r.Served())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Submit(&Job{Demand: 1, Done: func(*Job) { order = append(order, i) }})
+	}
+	if r.QueueLen() != 4 {
+		t.Fatalf("QueueLen = %d, want 4", r.QueueLen())
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceQueueingDelay(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	var lats []float64
+	for i := 0; i < 3; i++ {
+		r.Submit(&Job{Demand: 2, Done: func(j *Job) { lats = append(lats, j.Latency()) }})
+	}
+	e.RunAll()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if lats[i] != want[i] {
+			t.Fatalf("latencies %v, want %v", lats, want)
+		}
+	}
+}
+
+func TestResourceSpeedScalesService(t *testing.T) {
+	var e Engine
+	slow := NewResource(&e, "slow", 1)
+	fast := NewResource(&e, "fast", 9)
+	var ls, lf float64
+	slow.Submit(&Job{Demand: 9, Done: func(j *Job) { ls = j.Latency() }})
+	fast.Submit(&Job{Demand: 9, Done: func(j *Job) { lf = j.Latency() }})
+	e.RunAll()
+	if ls != 9 || lf != 1 {
+		t.Fatalf("slow=%g fast=%g, want 9 and 1 (paper's T vs T/9 model)", ls, lf)
+	}
+}
+
+func TestResourceArrivalDuringService(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	var second *Job
+	r.Submit(&Job{Demand: 10})
+	e.Schedule(4, func() {
+		r.Submit(&Job{Demand: 1, Done: func(j *Job) { second = j }})
+	})
+	e.RunAll()
+	if second == nil {
+		t.Fatal("second job never completed")
+	}
+	if second.Wait() != 6 {
+		t.Fatalf("wait = %g, want 6 (arrived at 4, service ends at 10)", second.Wait())
+	}
+}
+
+func TestResourceBusyTime(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 2)
+	r.Submit(&Job{Demand: 4}) // 2s of service
+	r.Submit(&Job{Demand: 8}) // 4s of service
+	e.RunAll()
+	if r.BusyTime() != 6 {
+		t.Fatalf("BusyTime = %g, want 6", r.BusyTime())
+	}
+}
+
+func TestResourceBusyTimeInFlight(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	r.Submit(&Job{Demand: 10})
+	e.Schedule(3, func() {
+		if b := r.BusyTime(); b != 3 {
+			t.Errorf("BusyTime mid-service = %g, want 3", b)
+		}
+	})
+	e.RunAll()
+}
+
+func TestResourceBacklog(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 2)
+	r.Submit(&Job{Demand: 4})
+	r.Submit(&Job{Demand: 6})
+	if got := r.Backlog(); got != 10 {
+		t.Fatalf("Backlog at t=0: %g, want 10", got)
+	}
+	e.Schedule(1, func() {
+		// 1s at speed 2 performed 2 units of the first job.
+		if got := r.Backlog(); math.Abs(got-8) > 1e-12 {
+			t.Errorf("Backlog at t=1: %g, want 8", got)
+		}
+	})
+	e.RunAll()
+	if got := r.Backlog(); got != 0 {
+		t.Fatalf("Backlog after drain: %g, want 0", got)
+	}
+}
+
+func TestResourceInjectBusyDelaysJobs(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 4)
+	r.InjectBusy(3) // occupies 3 wall-clock seconds regardless of speed
+	var lat float64
+	r.Submit(&Job{Demand: 4, Done: func(j *Job) { lat = j.Latency() }})
+	e.RunAll()
+	if lat != 4 {
+		t.Fatalf("latency behind injected busy work = %g, want 3+1", lat)
+	}
+}
+
+func TestResourceFailReturnsOrphans(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	for i := 0; i < 4; i++ {
+		r.Submit(&Job{Demand: 5})
+	}
+	e.Schedule(2, func() {
+		orphans := r.Fail()
+		if len(orphans) != 4 {
+			t.Errorf("Fail returned %d orphans, want 4 (1 in service + 3 queued)", len(orphans))
+		}
+		if r.Up() {
+			t.Error("resource still up after Fail")
+		}
+		if r.QueueLen() != 0 || r.InService() {
+			t.Error("failed resource retains work")
+		}
+	})
+	e.RunAll()
+	if r.Served() != 0 {
+		t.Fatalf("failed resource reports %d served jobs", r.Served())
+	}
+}
+
+func TestResourceFailTwiceReturnsNil(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	r.Submit(&Job{Demand: 1})
+	r.Fail()
+	if got := r.Fail(); got != nil {
+		t.Fatalf("second Fail returned %d jobs, want nil", len(got))
+	}
+}
+
+func TestResourceSubmitToDownPanics(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	r.Fail()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit to down resource did not panic")
+		}
+	}()
+	r.Submit(&Job{Demand: 1})
+}
+
+func TestResourceRecoverAcceptsWork(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	r.Fail()
+	r.Recover()
+	done := false
+	r.Submit(&Job{Demand: 1, Done: func(*Job) { done = true }})
+	e.RunAll()
+	if !done {
+		t.Fatal("recovered resource did not serve")
+	}
+}
+
+func TestResourceCancelledCompletionAfterFail(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	completed := false
+	r.Submit(&Job{Demand: 5, Done: func(*Job) { completed = true }})
+	r.Fail()
+	e.RunAll()
+	if completed {
+		t.Fatal("job completed on a failed server")
+	}
+}
+
+func TestResourceInvalidConstructionPanics(t *testing.T) {
+	var e Engine
+	for _, speed := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewResource(speed=%g) did not panic", speed)
+				}
+			}()
+			NewResource(&e, "x", speed)
+		}()
+	}
+}
+
+func TestResourceInvalidDemandPanics(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s0", 1)
+	for _, d := range []float64{0, -2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Submit(demand=%g) did not panic", d)
+				}
+			}()
+			r.Submit(&Job{Demand: d})
+		}()
+	}
+}
+
+// TestResourceMM1SanityCheck drives the station with Poisson arrivals
+// and exponential service and compares the mean latency to the M/M/1
+// closed form W = 1/(mu - lambda). This validates the queueing core the
+// whole evaluation rests on.
+func TestResourceMM1SanityCheck(t *testing.T) {
+	var e Engine
+	const (
+		lambda = 0.7
+		mu     = 1.0
+		n      = 200000
+	)
+	r := NewResource(&e, "s0", 1)
+	src := rng.New(42)
+	arrivals := rng.NewExponential(lambda)
+	service := rng.NewExponential(mu)
+
+	var sum float64
+	var count int
+	var next func()
+	remaining := n
+	next = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		r.Submit(&Job{
+			Demand: service.Sample(src),
+			Done: func(j *Job) {
+				sum += j.Latency()
+				count++
+			},
+		})
+		e.Schedule(arrivals.Sample(src), next)
+	}
+	e.Schedule(0, next)
+	e.RunAll()
+
+	got := sum / float64(count)
+	want := 1 / (mu - lambda) // 3.333...
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("M/M/1 mean latency = %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestResourceAccessors(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "meta-3", 4)
+	if r.Name() != "meta-3" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if r.Speed() != 4 {
+		t.Errorf("Speed = %g", r.Speed())
+	}
+	r.SetSpeed(8)
+	if r.Speed() != 8 {
+		t.Errorf("Speed after SetSpeed = %g", r.Speed())
+	}
+	var lat float64
+	r.Submit(&Job{Demand: 16, Done: func(j *Job) { lat = j.Latency() }})
+	e.RunAll()
+	if lat != 2 {
+		t.Errorf("latency %g at speed 8, want 2", lat)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetSpeed(0) did not panic")
+		}
+	}()
+	r.SetSpeed(0)
+}
+
+func TestResourceDrainQueue(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s", 1)
+	type tag struct{ id int }
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Submit(&Job{Demand: 10, Payload: tag{i}})
+	}
+	// Job 0 is in service; 1..4 queued. Drain the even-tagged ones.
+	drained := r.DrainQueue(func(j *Job) bool {
+		return j.Payload.(tag).id%2 != 0 // keep odd
+	})
+	if len(drained) != 2 {
+		t.Fatalf("drained %d, want 2 (tags 2 and 4)", len(drained))
+	}
+	for _, j := range drained {
+		if id := j.Payload.(tag).id; id != 2 && id != 4 {
+			t.Fatalf("drained tag %d", id)
+		}
+	}
+	if r.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2 (tags 1 and 3)", r.QueueLen())
+	}
+	// The in-service job is untouched and order is preserved.
+	var order []int
+	e.Schedule(0, func() {}) // nudge
+	for r.QueueLen() > 0 || r.InService() {
+		e.RunAll()
+		break
+	}
+	e.RunAll()
+	_ = order
+	if r.Served() != 3 {
+		t.Fatalf("Served = %d, want 3 (job 0, 1, 3)", r.Served())
+	}
+}
+
+func TestResourceDrainQueueEmpty(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "s", 1)
+	if got := r.DrainQueue(func(*Job) bool { return true }); got != nil {
+		t.Fatalf("drain of empty queue returned %v", got)
+	}
+	r.Submit(&Job{Demand: 1})
+	// Only the in-service job exists; nothing to drain.
+	if got := r.DrainQueue(func(*Job) bool { return false }); got != nil {
+		t.Fatalf("drained the in-service job: %v", got)
+	}
+}
+
+func TestEngineEventsRun(t *testing.T) {
+	var e Engine
+	for i := 0; i < 7; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.RunAll()
+	if e.EventsRun() != 7 {
+		t.Fatalf("EventsRun = %d, want 7", e.EventsRun())
+	}
+}

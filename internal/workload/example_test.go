@@ -1,0 +1,49 @@
+package workload_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"anurand/internal/workload"
+)
+
+// Generate the paper's synthetic workload and inspect it.
+func ExampleSyntheticConfig_Generate() {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumFileSets = 10
+	cfg.Duration = 600
+	cfg.TargetRequests = 3000
+	trace, err := cfg.Generate()
+	if err != nil {
+		panic(err)
+	}
+	s := trace.Stats()
+	fmt.Println("file sets:", s.FileSets)
+	fmt.Println("has requests:", s.Requests > 2000)
+	fmt.Println("valid:", trace.Validate() == nil)
+	// Output:
+	// file sets: 10
+	// has requests: true
+	// valid: true
+}
+
+// Traces serialize to a compact binary format for replay.
+func ExampleTrace_Write() {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumFileSets = 5
+	cfg.Duration = 120
+	cfg.TargetRequests = 200
+	trace, _ := cfg.Generate()
+
+	var buf bytes.Buffer
+	if err := trace.Write(&buf); err != nil {
+		panic(err)
+	}
+	back, err := workload.Read(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("round trip:", len(back.Requests) == len(trace.Requests))
+	// Output:
+	// round trip: true
+}

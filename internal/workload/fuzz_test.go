@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hammers the trace decoder with arbitrary bytes: it must
+// never panic or over-allocate, and anything it accepts must validate
+// and round-trip.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := validTrace().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x55, 0x4e, 0x41})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace invalid: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("accepted trace not writable: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again.Requests) != len(tr.Requests) {
+			t.Fatal("round trip changed request count")
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+
+	"anurand/internal/rng"
+)
+
+// HotspotConfig generates a non-stationary workload: file-set popularity
+// follows a Zipf distribution whose *ranking rotates* every ShiftEvery
+// seconds, so the hot file sets keep changing. Section 3 of the paper
+// motivates adaptive load management with exactly this scenario
+// ("clusters must adapt to changing workloads and hot spots"); the
+// stationary synthetic workload of Figure 5 cannot exercise it.
+//
+// Under a hotspot workload, a balancer built on whole-run averages (the
+// prescient baseline's knowledge model) mis-assigns after every shift,
+// while feedback-driven ANU re-balances within a few tuning intervals.
+type HotspotConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+
+	// NumFileSets is the file-set population.
+	NumFileSets int
+
+	// Duration is the trace length in seconds.
+	Duration float64
+
+	// TargetRequests is the approximate total request count.
+	TargetRequests int
+
+	// ZipfS is the popularity skew (1.0 is classic Zipf).
+	ZipfS float64
+
+	// ShiftEvery is the hotspot rotation period in seconds.
+	ShiftEvery float64
+
+	// BaseDemand is the per-request service requirement in unit-speed
+	// seconds.
+	BaseDemand float64
+}
+
+// DefaultHotspot returns a two-hundred-minute hotspot workload sized
+// like the synthetic one, with the hot set rotating every 25 minutes.
+func DefaultHotspot() HotspotConfig {
+	return HotspotConfig{
+		Seed:           3,
+		NumFileSets:    50,
+		Duration:       200 * 60,
+		TargetRequests: 66401,
+		ZipfS:          0.9,
+		ShiftEvery:     25 * 60,
+		BaseDemand:     2.4,
+	}
+}
+
+// Validate reports the first nonsensical parameter.
+func (c HotspotConfig) Validate() error {
+	switch {
+	case c.NumFileSets <= 0:
+		return fmt.Errorf("workload: NumFileSets %d must be positive", c.NumFileSets)
+	case !(c.Duration > 0):
+		return fmt.Errorf("workload: Duration %g must be positive", c.Duration)
+	case c.TargetRequests <= 0:
+		return fmt.Errorf("workload: TargetRequests %d must be positive", c.TargetRequests)
+	case c.ZipfS < 0:
+		return fmt.Errorf("workload: ZipfS %g must be non-negative", c.ZipfS)
+	case !(c.ShiftEvery > 0):
+		return fmt.Errorf("workload: ShiftEvery %g must be positive", c.ShiftEvery)
+	case !(c.BaseDemand > 0):
+		return fmt.Errorf("workload: BaseDemand %g must be positive", c.BaseDemand)
+	}
+	return nil
+}
+
+// Phases returns the number of hotspot phases in the trace.
+func (c HotspotConfig) Phases() int {
+	n := int(c.Duration / c.ShiftEvery)
+	if float64(n)*c.ShiftEvery < c.Duration {
+		n++
+	}
+	return n
+}
+
+// Generate materializes the hotspot trace. Within each phase, arrivals
+// are Poisson per file set with Zipf rates under that phase's
+// popularity permutation; phase boundaries shift which file sets are
+// hot.
+func (c HotspotConfig) Generate() (*Trace, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(c.Seed)
+	zipf := rng.NewZipf(c.NumFileSets, c.ZipfS)
+
+	fileSets := make([]FileSet, c.NumFileSets)
+	for i := range fileSets {
+		// Weight records the long-run average share (uniform across
+		// phases in expectation, since ranks rotate).
+		fileSets[i] = FileSet{Name: fmt.Sprintf("fs/hotspot/%04d", i), Weight: 1}
+	}
+	trace := &Trace{Label: "hotspot", Duration: c.Duration, FileSets: fileSets}
+
+	totalRate := float64(c.TargetRequests) / c.Duration
+	permSrc := root.Stream("permutations")
+	phases := c.Phases()
+	for phase := 0; phase < phases; phase++ {
+		start := float64(phase) * c.ShiftEvery
+		end := start + c.ShiftEvery
+		if end > c.Duration {
+			end = c.Duration
+		}
+		// A fresh random permutation decides which file sets are hot
+		// this phase.
+		perm := permSrc.Perm(c.NumFileSets)
+		for rank := 0; rank < c.NumFileSets; rank++ {
+			fs := perm[rank]
+			rate := totalRate * zipf.Prob(rank)
+			if rate <= 0 {
+				continue
+			}
+			gaps := rng.NewExponential(rate)
+			src := root.Stream(fmt.Sprintf("phase/%d/fs/%d", phase, fs))
+			for t := start + gaps.Sample(src); t < end; t += gaps.Sample(src) {
+				trace.Requests = append(trace.Requests, Request{
+					Time:    t,
+					FileSet: int32(fs),
+					Demand:  c.BaseDemand,
+				})
+			}
+		}
+	}
+	sortRequests(trace.Requests)
+	if err := trace.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated hotspot trace invalid: %w", err)
+	}
+	return trace, nil
+}

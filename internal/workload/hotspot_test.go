@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHotspotDefaultsValid(t *testing.T) {
+	if err := DefaultHotspot().Validate(); err != nil {
+		t.Fatalf("default hotspot config invalid: %v", err)
+	}
+}
+
+func TestHotspotValidateRejections(t *testing.T) {
+	cases := map[string]func(*HotspotConfig){
+		"no file sets":  func(c *HotspotConfig) { c.NumFileSets = 0 },
+		"zero duration": func(c *HotspotConfig) { c.Duration = 0 },
+		"zero target":   func(c *HotspotConfig) { c.TargetRequests = 0 },
+		"negative zipf": func(c *HotspotConfig) { c.ZipfS = -1 },
+		"zero shift":    func(c *HotspotConfig) { c.ShiftEvery = 0 },
+		"zero demand":   func(c *HotspotConfig) { c.BaseDemand = 0 },
+	}
+	for name, corrupt := range cases {
+		cfg := DefaultHotspot()
+		corrupt(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %s", name)
+		}
+	}
+}
+
+func TestHotspotPhases(t *testing.T) {
+	cfg := DefaultHotspot()
+	cfg.Duration = 100
+	cfg.ShiftEvery = 30
+	if got := cfg.Phases(); got != 4 {
+		t.Fatalf("Phases = %d, want 4 (3 full + 1 partial)", got)
+	}
+	cfg.ShiftEvery = 50
+	if got := cfg.Phases(); got != 2 {
+		t.Fatalf("Phases = %d, want 2", got)
+	}
+}
+
+func TestHotspotGenerateShape(t *testing.T) {
+	cfg := DefaultHotspot()
+	cfg.Duration = 3000
+	cfg.TargetRequests = 16000
+	cfg.ShiftEvery = 600
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if math.Abs(float64(s.Requests)-16000)/16000 > 0.1 {
+		t.Errorf("requests = %d, want ~16000 (Poisson phases are tighter than Pareto)", s.Requests)
+	}
+	if s.FileSets != 50 {
+		t.Errorf("file sets = %d", s.FileSets)
+	}
+}
+
+func TestHotspotPopularityRotates(t *testing.T) {
+	cfg := DefaultHotspot()
+	cfg.Duration = 2000
+	cfg.TargetRequests = 40000
+	cfg.ShiftEvery = 500
+	cfg.NumFileSets = 20
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify the most-requested file set in each phase; with rotating
+	// permutations the hottest file set should differ across phases.
+	phases := cfg.Phases()
+	hot := make([]int32, phases)
+	counts := make([]map[int32]int, phases)
+	for p := range counts {
+		counts[p] = map[int32]int{}
+	}
+	for _, r := range tr.Requests {
+		p := int(r.Time / cfg.ShiftEvery)
+		if p >= phases {
+			p = phases - 1
+		}
+		counts[p][r.FileSet]++
+	}
+	for p := range counts {
+		best, bestN := int32(-1), 0
+		for fs, n := range counts[p] {
+			if n > bestN {
+				best, bestN = fs, n
+			}
+		}
+		hot[p] = best
+		// Within a phase the hot file set must dominate the median one.
+		if bestN < 3*len(tr.Requests)/phases/cfg.NumFileSets {
+			t.Errorf("phase %d: hottest file set only has %d requests", p, bestN)
+		}
+	}
+	distinct := map[int32]bool{}
+	for _, h := range hot {
+		distinct[h] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("hot file set never rotated: %v", hot)
+	}
+}
+
+func TestHotspotLongRunLoadsRoughlyUniform(t *testing.T) {
+	// Over many phases every file set is hot sometimes and cold
+	// sometimes; long-run shares should be far flatter than a single
+	// Zipf phase.
+	cfg := DefaultHotspot()
+	cfg.Duration = 20000
+	cfg.TargetRequests = 100000
+	cfg.ShiftEvery = 500 // 40 phases
+	cfg.NumFileSets = 10
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	mean := float64(s.Requests) / 10
+	for i, n := range s.PerFileSet {
+		if math.Abs(float64(n)-mean)/mean > 0.5 {
+			t.Errorf("file set %d long-run count %d deviates >50%% from mean %.0f", i, n, mean)
+		}
+	}
+}
+
+func TestHotspotDeterministic(t *testing.T) {
+	cfg := DefaultHotspot()
+	cfg.Duration = 1000
+	cfg.TargetRequests = 5000
+	a, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestHotspotTraceRoundTrips(t *testing.T) {
+	cfg := DefaultHotspot()
+	cfg.Duration = 600
+	cfg.TargetRequests = 2000
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binary format must carry it like any other trace.
+	var err2 error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic: %v", r)
+			}
+		}()
+		err2 = tr.Validate()
+	}()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+}

@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticDefaultsValid(t *testing.T) {
+	if err := DefaultSynthetic().Validate(); err != nil {
+		t.Fatalf("default synthetic config invalid: %v", err)
+	}
+}
+
+func TestSyntheticValidateRejections(t *testing.T) {
+	cases := map[string]func(*SyntheticConfig){
+		"no file sets":    func(c *SyntheticConfig) { c.NumFileSets = 0 },
+		"zero duration":   func(c *SyntheticConfig) { c.Duration = 0 },
+		"zero target":     func(c *SyntheticConfig) { c.TargetRequests = 0 },
+		"light alpha":     func(c *SyntheticConfig) { c.ParetoAlpha = 1 },
+		"inverted range":  func(c *SyntheticConfig) { c.WeightLow, c.WeightHigh = 10, 1 },
+		"zero weight low": func(c *SyntheticConfig) { c.WeightLow = 0 },
+		"zero demand":     func(c *SyntheticConfig) { c.BaseDemand = 0 },
+		"negative cv":     func(c *SyntheticConfig) { c.DemandCV = -1 },
+	}
+	for name, corrupt := range cases {
+		cfg := DefaultSynthetic()
+		corrupt(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %s", name)
+		}
+	}
+}
+
+func TestSyntheticGenerateShape(t *testing.T) {
+	cfg := DefaultSynthetic()
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Label != "synthetic" {
+		t.Errorf("label %q", tr.Label)
+	}
+	if len(tr.FileSets) != 50 {
+		t.Fatalf("file sets = %d, want 50", len(tr.FileSets))
+	}
+	s := tr.Stats()
+	// The realized count fluctuates with the heavy tail; it should be
+	// within 25% of the paper's 66,401.
+	if math.Abs(float64(s.Requests)-66401)/66401 > 0.25 {
+		t.Errorf("requests = %d, want within 25%% of 66401", s.Requests)
+	}
+	// The offered load must be below the 25-unit cluster capacity and
+	// in the tuned (roughly 40-80%) band.
+	util := s.OfferedLoad / 25
+	if util < 0.3 || util > 0.9 {
+		t.Errorf("cluster utilization %g outside tuned band", util)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumFileSets = 10
+	cfg.TargetRequests = 2000
+	cfg.Duration = 600
+	a, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("same seed produced %d vs %d requests", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestSyntheticSeedChangesTrace(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumFileSets = 10
+	cfg.TargetRequests = 2000
+	cfg.Duration = 600
+	a, _ := cfg.Generate()
+	cfg.Seed = 99
+	b, _ := cfg.Generate()
+	if len(a.Requests) == len(b.Requests) {
+		same := true
+		for i := range a.Requests {
+			if a.Requests[i] != b.Requests[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestSyntheticWeightsDriveRates(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumFileSets = 20
+	cfg.TargetRequests = 40000
+	cfg.Duration = 4000
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	// Heavier file sets should receive more requests; check the
+	// rank correlation loosely by comparing top vs bottom weight.
+	hi, lo := 0, 0
+	for i, fs := range tr.FileSets {
+		if fs.Weight > tr.FileSets[hi].Weight {
+			hi = i
+		}
+		if fs.Weight < tr.FileSets[lo].Weight {
+			lo = i
+		}
+	}
+	if s.PerFileSet[hi] <= s.PerFileSet[lo] {
+		t.Errorf("heaviest file set got %d requests, lightest got %d", s.PerFileSet[hi], s.PerFileSet[lo])
+	}
+	ratio := float64(s.PerFileSet[hi]) / float64(s.PerFileSet[lo])
+	wantRatio := tr.FileSets[hi].Weight / tr.FileSets[lo].Weight
+	if ratio < wantRatio/3 || ratio > wantRatio*3 {
+		t.Errorf("request ratio %.2f far from weight ratio %.2f", ratio, wantRatio)
+	}
+}
+
+func TestSyntheticDemandCV(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumFileSets = 5
+	cfg.TargetRequests = 20000
+	cfg.Duration = 2000
+	cfg.DemandCV = 0.5
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for _, r := range tr.Requests {
+		sum += r.Demand
+		sumSq += r.Demand * r.Demand
+	}
+	n := float64(len(tr.Requests))
+	mean := sum / n
+	cv := math.Sqrt(sumSq/n-mean*mean) / mean
+	if math.Abs(mean-cfg.BaseDemand)/cfg.BaseDemand > 0.1 {
+		t.Errorf("demand mean %g, want ~%g", mean, cfg.BaseDemand)
+	}
+	if math.Abs(cv-0.5) > 0.15 {
+		t.Errorf("demand CV %g, want ~0.5", cv)
+	}
+}
+
+func TestSyntheticHeavyTailedGaps(t *testing.T) {
+	// The Pareto renewal process should produce a gap distribution with
+	// a heavier tail than exponential: P(gap > 5*mean) noticeably
+	// above e^-5.
+	cfg := DefaultSynthetic()
+	cfg.NumFileSets = 1
+	cfg.TargetRequests = 30000
+	cfg.Duration = 30000
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gaps []float64
+	for i := 1; i < len(tr.Requests); i++ {
+		gaps = append(gaps, tr.Requests[i].Time-tr.Requests[i-1].Time)
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	tail := 0
+	for _, g := range gaps {
+		if g > 5*mean {
+			tail++
+		}
+	}
+	frac := float64(tail) / float64(len(gaps))
+	if frac < 2*math.Exp(-5) {
+		t.Errorf("P(gap > 5*mean) = %g, want clearly above exponential's %g", frac, math.Exp(-5))
+	}
+}
+
+func TestDFSLikeDefaultsValid(t *testing.T) {
+	if err := DefaultDFSLike().Validate(); err != nil {
+		t.Fatalf("default dfslike config invalid: %v", err)
+	}
+}
+
+func TestDFSLikeValidateRejections(t *testing.T) {
+	cases := map[string]func(*DFSLikeConfig){
+		"no file sets":  func(c *DFSLikeConfig) { c.NumFileSets = 0 },
+		"zero duration": func(c *DFSLikeConfig) { c.Duration = 0 },
+		"zero target":   func(c *DFSLikeConfig) { c.TargetRequests = 0 },
+		"negative zipf": func(c *DFSLikeConfig) { c.ZipfS = -1 },
+		"tiny burst":    func(c *DFSLikeConfig) { c.BurstLen = 0.5 },
+		"light gaps":    func(c *DFSLikeConfig) { c.BurstGapAlpha = 1 },
+		"zero demand":   func(c *DFSLikeConfig) { c.BaseDemand = 0 },
+	}
+	for name, corrupt := range cases {
+		cfg := DefaultDFSLike()
+		corrupt(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %s", name)
+		}
+	}
+}
+
+func TestDFSLikeGenerateShape(t *testing.T) {
+	tr, err := DefaultDFSLike().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.FileSets) != 21 {
+		t.Fatalf("file sets = %d, want 21 (DFSTrace)", len(tr.FileSets))
+	}
+	s := tr.Stats()
+	if math.Abs(float64(s.Requests)-112590)/112590 > 0.35 {
+		t.Errorf("requests = %d, want within 35%% of 112590", s.Requests)
+	}
+	util := s.OfferedLoad / 25
+	if util < 0.3 || util > 0.95 {
+		t.Errorf("cluster utilization %g outside tuned band", util)
+	}
+}
+
+func TestDFSLikeSkewedPopularity(t *testing.T) {
+	tr, err := DefaultDFSLike().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	// Rank 0 must dominate the least popular file set by a wide margin
+	// under Zipf popularity.
+	if s.PerFileSet[0] < 4*s.PerFileSet[len(s.PerFileSet)-1] {
+		t.Errorf("popularity not skewed: first=%d last=%d", s.PerFileSet[0], s.PerFileSet[len(s.PerFileSet)-1])
+	}
+}
+
+func TestDFSLikeBursty(t *testing.T) {
+	tr, err := DefaultDFSLike().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burstiness: the variance of per-second counts should exceed the
+	// mean (index of dispersion > 1; Poisson would be ~1).
+	counts := tr.WindowCounts(1)
+	var sum, sumSq float64
+	for _, c := range counts {
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	n := float64(len(counts))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance/mean < 1.5 {
+		t.Errorf("index of dispersion %.2f, want > 1.5 for bursty arrivals", variance/mean)
+	}
+}
+
+func TestDFSLikeDeterministic(t *testing.T) {
+	cfg := DefaultDFSLike()
+	cfg.TargetRequests = 10000
+	cfg.Duration = 600
+	a, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("same seed produced %d vs %d requests", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary trace format, little-endian:
+//
+//	magic    uint32 ("ANUT")
+//	version  uint16 (1)
+//	label    uint16 length + bytes
+//	duration float64
+//	nsets    uint32
+//	nsets times: name (uint16 length + bytes), weight float64
+//	nreq     uint64
+//	nreq times: time float64, fileset uint32, demand float64
+const (
+	traceMagic   = 0x414e5554 // "ANUT"
+	traceVersion = 1
+)
+
+// Write serializes the trace to w. The trace should be valid; Write
+// refuses to serialize one that fails Validate so corrupt files are
+// never produced.
+func (t *Trace) Write(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("workload: refusing to write invalid trace: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+
+	var scratch [8]byte
+	writeU16 := func(v uint16) {
+		le.PutUint16(scratch[:2], v)
+		bw.Write(scratch[:2])
+	}
+	writeU32 := func(v uint32) {
+		le.PutUint32(scratch[:4], v)
+		bw.Write(scratch[:4])
+	}
+	writeU64 := func(v uint64) {
+		le.PutUint64(scratch[:8], v)
+		bw.Write(scratch[:8])
+	}
+	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+	writeStr := func(s string) {
+		writeU16(uint16(len(s)))
+		bw.WriteString(s)
+	}
+
+	writeU32(traceMagic)
+	writeU16(traceVersion)
+	if len(t.Label) > math.MaxUint16 {
+		return fmt.Errorf("workload: label too long (%d bytes)", len(t.Label))
+	}
+	writeStr(t.Label)
+	writeF64(t.Duration)
+	writeU32(uint32(len(t.FileSets)))
+	for _, fs := range t.FileSets {
+		if len(fs.Name) > math.MaxUint16 {
+			return fmt.Errorf("workload: file set name too long (%d bytes)", len(fs.Name))
+		}
+		writeStr(fs.Name)
+		writeF64(fs.Weight)
+	}
+	writeU64(uint64(len(t.Requests)))
+	for _, r := range t.Requests {
+		writeF64(r.Time)
+		writeU32(uint32(r.FileSet))
+		writeF64(r.Demand)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace from r and validates it, so a caller never
+// receives a structurally broken trace from a damaged file.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var scratch [8]byte
+
+	readN := func(n int) ([]byte, error) {
+		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
+			return nil, err
+		}
+		return scratch[:n], nil
+	}
+	readU16 := func() (uint16, error) {
+		b, err := readN(2)
+		if err != nil {
+			return 0, err
+		}
+		return le.Uint16(b), nil
+	}
+	readU32 := func() (uint32, error) {
+		b, err := readN(4)
+		if err != nil {
+			return 0, err
+		}
+		return le.Uint32(b), nil
+	}
+	readU64 := func() (uint64, error) {
+		b, err := readN(8)
+		if err != nil {
+			return 0, err
+		}
+		return le.Uint64(b), nil
+	}
+	readF64 := func() (float64, error) {
+		v, err := readU64()
+		return math.Float64frombits(v), err
+	}
+	readStr := func() (string, error) {
+		n, err := readU16()
+		if err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	magic, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("workload: bad magic %#x (not a trace file)", magic)
+	}
+	version, err := readU16()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading version: %w", err)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", version)
+	}
+	t := &Trace{}
+	if t.Label, err = readStr(); err != nil {
+		return nil, fmt.Errorf("workload: reading label: %w", err)
+	}
+	if t.Duration, err = readF64(); err != nil {
+		return nil, fmt.Errorf("workload: reading duration: %w", err)
+	}
+	nsets, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading file set count: %w", err)
+	}
+	if nsets > 1<<24 {
+		return nil, fmt.Errorf("workload: implausible file set count %d", nsets)
+	}
+	// The counts come from an untrusted file: never pre-allocate from
+	// them (a flipped bit would demand gigabytes). Grow incrementally
+	// and let truncation surface as a read error instead.
+	const eagerCap = 1 << 16
+	t.FileSets = make([]FileSet, 0, min(int(nsets), eagerCap))
+	for i := 0; i < int(nsets); i++ {
+		var fs FileSet
+		if fs.Name, err = readStr(); err != nil {
+			return nil, fmt.Errorf("workload: reading file set %d: %w", i, err)
+		}
+		if fs.Weight, err = readF64(); err != nil {
+			return nil, fmt.Errorf("workload: reading file set %d weight: %w", i, err)
+		}
+		t.FileSets = append(t.FileSets, fs)
+	}
+	nreq, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading request count: %w", err)
+	}
+	if nreq > 1<<32 {
+		return nil, fmt.Errorf("workload: implausible request count %d", nreq)
+	}
+	t.Requests = make([]Request, 0, min(int(nreq), eagerCap))
+	for i := 0; i < int(nreq); i++ {
+		var req Request
+		if req.Time, err = readF64(); err != nil {
+			return nil, fmt.Errorf("workload: reading request %d: %w", i, err)
+		}
+		fs, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading request %d file set: %w", i, err)
+		}
+		req.FileSet = int32(fs)
+		if req.Demand, err = readF64(); err != nil {
+			return nil, fmt.Errorf("workload: reading request %d demand: %w", i, err)
+		}
+		t.Requests = append(t.Requests, req)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: trace file is corrupt: %w", err)
+	}
+	return t, nil
+}
+
+// WriteFile writes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

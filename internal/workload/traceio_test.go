@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"anurand/internal/rng"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := validTrace()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != orig.Label || got.Duration != orig.Duration {
+		t.Fatalf("header mismatch: %q/%g vs %q/%g", got.Label, got.Duration, orig.Label, orig.Duration)
+	}
+	if len(got.FileSets) != len(orig.FileSets) {
+		t.Fatalf("file set count %d, want %d", len(got.FileSets), len(orig.FileSets))
+	}
+	for i := range orig.FileSets {
+		if got.FileSets[i] != orig.FileSets[i] {
+			t.Fatalf("file set %d mismatch: %+v vs %+v", i, got.FileSets[i], orig.FileSets[i])
+		}
+	}
+	if len(got.Requests) != len(orig.Requests) {
+		t.Fatalf("request count %d, want %d", len(got.Requests), len(orig.Requests))
+	}
+	for i := range orig.Requests {
+		if got.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+}
+
+func TestTraceRoundTripGenerated(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumFileSets = 8
+	cfg.TargetRequests = 3000
+	cfg.Duration = 600
+	orig, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(orig.Requests) {
+		t.Fatalf("count %d, want %d", len(got.Requests), len(orig.Requests))
+	}
+	for i := range orig.Requests {
+		if got.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteRefusesInvalidTrace(t *testing.T) {
+	tr := validTrace()
+	tr.Requests[0].Demand = -1
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err == nil {
+		t.Fatal("Write accepted an invalid trace")
+	}
+	if buf.Len() != 0 {
+		t.Fatal("Write emitted bytes for an invalid trace")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Read accepted empty input")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := validTrace().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{1, 5, 10, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("Read accepted truncation at %d bytes", cut)
+		}
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := validTrace().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 0xff // version low byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("Read accepted wrong version")
+	}
+}
+
+func TestReadNeverPanicsOnBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	tr := validTrace()
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	src := rng.New(3)
+	for trial := 0; trial < 500; trial++ {
+		bad := append([]byte(nil), data...)
+		for flips := 0; flips <= trial%4; flips++ {
+			bad[src.Intn(len(bad))] ^= byte(1 << src.Intn(8))
+		}
+		// Either a clean error or a valid trace; a panic fails the test.
+		if got, err := Read(bytes.NewReader(bad)); err == nil {
+			if err := got.Validate(); err != nil {
+				t.Fatalf("trial %d: Read returned invalid trace: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.anut")
+	orig := validTrace()
+	if err := orig.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(orig.Requests) {
+		t.Fatalf("round trip through file lost requests: %d vs %d", len(got.Requests), len(orig.Requests))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.anut")); err == nil {
+		t.Fatal("ReadFile on missing path succeeded")
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		cfg := SyntheticConfig{
+			Seed:           seed,
+			NumFileSets:    int(nRaw%10) + 1,
+			Duration:       300,
+			TargetRequests: 500,
+			ParetoAlpha:    1.6,
+			WeightLow:      1,
+			WeightHigh:     10,
+			BaseDemand:     0.5,
+		}
+		orig, err := cfg.Generate()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := orig.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Requests) != len(orig.Requests) {
+			return false
+		}
+		for i := range orig.Requests {
+			if got.Requests[i] != orig.Requests[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slice returns a new trace containing the requests with arrival times
+// in [from, to), re-based so the slice starts at time zero. File sets
+// are carried over unchanged (indices stay valid). Slicing is how the
+// experiment harness extracts steady-state windows and how long traces
+// are broken into replayable segments.
+func (t *Trace) Slice(from, to float64) (*Trace, error) {
+	if from < 0 || to <= from || to > t.Duration {
+		return nil, fmt.Errorf("workload: Slice[%g, %g) outside [0, %g]", from, to, t.Duration)
+	}
+	out := &Trace{
+		Label:    t.Label,
+		Duration: to - from,
+		FileSets: append([]FileSet(nil), t.FileSets...),
+	}
+	lo := sort.Search(len(t.Requests), func(i int) bool { return t.Requests[i].Time >= from })
+	hi := sort.Search(len(t.Requests), func(i int) bool { return t.Requests[i].Time >= to })
+	out.Requests = make([]Request, 0, hi-lo)
+	for _, r := range t.Requests[lo:hi] {
+		r.Time -= from
+		out.Requests = append(out.Requests, r)
+	}
+	return out, nil
+}
+
+// Merge overlays two traces into one: the result carries both request
+// streams over the longer duration, with the second trace's file sets
+// appended after the first's (its indices are shifted). Merging builds
+// mixed workloads — for example a stationary base load plus a bursty
+// interloper — without regenerating either.
+func Merge(a, b *Trace) (*Trace, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: Merge: first trace: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: Merge: second trace: %w", err)
+	}
+	names := make(map[string]bool, len(a.FileSets))
+	for _, fs := range a.FileSets {
+		names[fs.Name] = true
+	}
+	for _, fs := range b.FileSets {
+		if names[fs.Name] {
+			return nil, fmt.Errorf("workload: Merge: file set name %q appears in both traces", fs.Name)
+		}
+	}
+	out := &Trace{
+		Label:    a.Label + "+" + b.Label,
+		Duration: a.Duration,
+		FileSets: append(append([]FileSet(nil), a.FileSets...), b.FileSets...),
+	}
+	if b.Duration > out.Duration {
+		out.Duration = b.Duration
+	}
+	shift := int32(len(a.FileSets))
+	out.Requests = make([]Request, 0, len(a.Requests)+len(b.Requests))
+	out.Requests = append(out.Requests, a.Requests...)
+	for _, r := range b.Requests {
+		r.FileSet += shift
+		out.Requests = append(out.Requests, r)
+	}
+	sortRequests(out.Requests)
+	return out, nil
+}
+
+// Thin returns a new trace that deterministically keeps one request in
+// every `keep` (1 keeps all, 2 halves the rate, …), preserving arrival
+// times. Thinning trades fidelity for speed when prototyping
+// experiments.
+func (t *Trace) Thin(keep int) (*Trace, error) {
+	if keep < 1 {
+		return nil, fmt.Errorf("workload: Thin(%d): keep must be >= 1", keep)
+	}
+	out := &Trace{
+		Label:    t.Label,
+		Duration: t.Duration,
+		FileSets: append([]FileSet(nil), t.FileSets...),
+	}
+	out.Requests = make([]Request, 0, len(t.Requests)/keep+1)
+	for i := 0; i < len(t.Requests); i += keep {
+		out.Requests = append(out.Requests, t.Requests[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSliceBasics(t *testing.T) {
+	tr := validTrace() // requests at times 1, 2, 2, 99; duration 100
+	s, err := tr.Slice(1.5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration != 48.5 {
+		t.Fatalf("duration = %g, want 48.5", s.Duration)
+	}
+	if len(s.Requests) != 2 {
+		t.Fatalf("kept %d requests, want the two at t=2", len(s.Requests))
+	}
+	if s.Requests[0].Time != 0.5 {
+		t.Fatalf("rebased time = %g, want 0.5", s.Requests[0].Time)
+	}
+	// Original untouched.
+	if tr.Requests[1].Time != 2 {
+		t.Fatal("Slice mutated the source trace")
+	}
+}
+
+func TestSliceBoundsInclusive(t *testing.T) {
+	tr := validTrace()
+	s, err := tr.Slice(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Requests) != 2 {
+		t.Fatalf("slice [2,3) kept %d requests, want 2 (from is inclusive)", len(s.Requests))
+	}
+	if _, err := tr.Slice(-1, 5); err == nil {
+		t.Error("negative from accepted")
+	}
+	if _, err := tr.Slice(5, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := tr.Slice(0, 101); err == nil {
+		t.Error("range past end accepted")
+	}
+}
+
+func TestMergeCombinesStreams(t *testing.T) {
+	a := validTrace()
+	b := &Trace{
+		Label:    "other",
+		Duration: 150,
+		FileSets: []FileSet{{Name: "c", Weight: 3}},
+		Requests: []Request{{Time: 0.5, FileSet: 0, Demand: 1}, {Time: 120, FileSet: 0, Demand: 2}},
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Duration != 150 {
+		t.Fatalf("merged duration %g, want the max 150", m.Duration)
+	}
+	if len(m.FileSets) != 3 || m.FileSets[2].Name != "c" {
+		t.Fatalf("file sets %+v", m.FileSets)
+	}
+	if len(m.Requests) != 6 {
+		t.Fatalf("merged %d requests, want 6", len(m.Requests))
+	}
+	// b's requests must point at the shifted index 2.
+	found := 0
+	for _, r := range m.Requests {
+		if r.FileSet == 2 {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("%d requests reference the merged-in file set, want 2", found)
+	}
+	// Sorted by time.
+	for i := 1; i < len(m.Requests); i++ {
+		if m.Requests[i].Time < m.Requests[i-1].Time {
+			t.Fatal("merged requests not sorted")
+		}
+	}
+}
+
+func TestMergeRejectsNameCollision(t *testing.T) {
+	a := validTrace()
+	b := &Trace{
+		Label:    "dup",
+		Duration: 10,
+		FileSets: []FileSet{{Name: "a", Weight: 1}},
+		Requests: []Request{{Time: 1, FileSet: 0, Demand: 1}},
+	}
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("colliding file-set names accepted")
+	}
+}
+
+func TestMergeRejectsInvalidInputs(t *testing.T) {
+	a := validTrace()
+	bad := validTrace()
+	bad.Requests[0].Demand = -1
+	if _, err := Merge(a, bad); err == nil {
+		t.Fatal("invalid second trace accepted")
+	}
+	if _, err := Merge(bad, a); err == nil {
+		t.Fatal("invalid first trace accepted")
+	}
+}
+
+func TestThin(t *testing.T) {
+	tr := validTrace()
+	half, err := tr.Thin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(half.Requests) != 2 {
+		t.Fatalf("Thin(2) kept %d of 4", len(half.Requests))
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := tr.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Requests) != len(tr.Requests) {
+		t.Fatal("Thin(1) dropped requests")
+	}
+	if _, err := tr.Thin(0); err == nil {
+		t.Fatal("Thin(0) accepted")
+	}
+}
+
+func TestSliceOfGeneratedTracePreservesRates(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumFileSets = 10
+	cfg.Duration = 4000
+	cfg.TargetRequests = 20000
+	tr, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := tr.Slice(1000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tr.Stats().MeanRate
+	sliced := mid.Stats().MeanRate
+	if math.Abs(sliced-full)/full > 0.25 {
+		t.Fatalf("sliced rate %.2f far from full rate %.2f", sliced, full)
+	}
+}
