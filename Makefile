@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt figures examples clean
+.PHONY: all check build test race bench vet fmt figures examples clean
 
-all: build test
+all: check
+
+# The default gate: compile, unit tests, static analysis, and the
+# race detector over the concurrent internals (including the chaos
+# soak in internal/cluster).
+check: build test vet race
 
 build:
 	$(GO) build ./...
@@ -14,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

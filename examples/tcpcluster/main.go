@@ -1,39 +1,41 @@
 // TCP cluster: the delegate protocol over real sockets.
 //
 // Five management agents run in one process, each listening on a
-// loopback TCP port. Every "tuning interval" the agents send their
-// latency reports to the elected delegate over TCP, the delegate
-// rescales the ANU map and broadcasts the new placement — the O(k)
-// replicated state — back over TCP. Halfway through, the delegate is
-// killed; the next-lowest agent takes over seamlessly because the
-// delegate is stateless (Section 4 of the paper).
+// loopback TCP port, driven by the internal/cluster runtime: wall-clock
+// rounds, heartbeat liveness, and delegate-paced tuning. Halfway
+// through, the delegate is killed; the next-lowest agent takes over
+// because the delegate is stateless (Section 4 of the paper).
 //
 // Run with: go run ./examples/tcpcluster
 package main
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
 	"log"
-	"net"
-	"sync"
 	"time"
 
 	"anurand/internal/anu"
+	"anurand/internal/cluster"
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
 )
 
 const numNodes = 5
 
+// speeds: node 0 is the slowest machine, node 4 the fastest.
+var speeds = map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
+
+// observe models a closed-loop workload: latency grows with the share
+// of the hash space a node owns, divided by its machine speed.
+func observe(m *anu.Map, id delegate.NodeID) (uint64, float64) {
+	share := float64(m.Length(id)) / float64(anu.Half)
+	return uint64(1 + 1000*share), 0.002 + share/speeds[id]
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tcpcluster: ")
 
-	// Shared initial map — what a real cluster would bootstrap from
-	// shared storage.
 	ids := make([]delegate.NodeID, numNodes)
 	for i := range ids {
 		ids[i] = delegate.NodeID(i)
@@ -44,272 +46,39 @@ func main() {
 	}
 	snapshot := m.Encode()
 
-	// Bring up the transports (one listener per agent) and the agents.
-	book := newAddressBook()
-	transports := make([]*tcpTransport, numNodes)
-	nodes := make([]*delegate.Node, numNodes)
-	for i := range ids {
-		tr, err := newTCPTransport(ids[i], book)
+	book := cluster.NewAddressBook()
+	rts := make([]*cluster.Runtime, numNodes)
+	for i, id := range ids {
+		tr, err := cluster.ListenTCP(id, book, cluster.DefaultTCPOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer tr.Close()
-		transports[i] = tr
-		n, err := delegate.NewNode(ids[i], snapshot, anu.DefaultControllerConfig(), tr)
+		rt, err := cluster.Start(cluster.Config{
+			ID:            id,
+			Members:       ids,
+			Snapshot:      snapshot,
+			Controller:    anu.DefaultControllerConfig(),
+			RoundInterval: 100 * time.Millisecond,
+			Observe:       observe,
+		}, tr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		nodes[i] = n
-	}
-	fmt.Printf("%d agents listening:\n", numNodes)
-	for id, addr := range book.all() {
-		fmt.Printf("  node %d @ %s\n", id, addr)
+		rts[i] = rt
+		log.Printf("node %d listening on %s", id, tr.Addr())
 	}
 
-	speeds := map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
-	for round := uint64(1); round <= 20; round++ {
-		if round == 11 {
-			fmt.Println("\n*** killing the delegate (node 0) ***")
-			nodes[0].Crash()
-			transports[0].Close()
-		}
-		del, ok := delegate.Elect(nodes)
-		if !ok {
-			log.Fatal("no live nodes")
-		}
-		// Local observation: latency grows with region share over
-		// speed (the closed-loop model of the paper's cluster).
-		for _, n := range nodes {
-			if !n.Up() {
-				continue
-			}
-			share := float64(n.Map().Length(n.ID())) / float64(anu.Half)
-			n.Observe(uint64(1+1000*share), 0.002+share/speeds[n.ID()])
-			if n.ID() != del {
-				n.SendReport(del, round)
-			}
-		}
-		// Give loopback TCP a moment to deliver, then run the delegate.
-		delNode := nodes[del]
-		waitForReports(delNode, round, liveCount(nodes)-1)
-		if err := delNode.RunDelegate(round, ids); err != nil {
-			log.Fatal(err)
-		}
-		time.Sleep(20 * time.Millisecond)
-		for _, n := range nodes {
-			if n.ID() == del {
-				continue
-			}
-			if _, err := n.CollectReports(round); err != nil {
-				log.Fatal(err)
-			}
-		}
-		if round == 1 || round == 10 || round == 11 || round == 20 {
-			printState(nodes, del, round)
-		}
+	time.Sleep(2 * time.Second)
+	log.Printf("killing the delegate (node 0) mid-run")
+	rts[0].Stop()
+	time.Sleep(2 * time.Second)
+
+	fmt.Println("\nsurvivors after delegate failover:")
+	for _, rt := range rts[1:] {
+		s := rt.Stats()
+		fmt.Printf("  node %d: delegate=%d round=%d map=%012x share=%5.1f%%  %s\n",
+			s.ID, s.Delegate, s.MapRound, rt.Fingerprint()&0xffffffffffff,
+			100*float64(rt.Map().Length(s.ID))/float64(anu.Half), s.String())
+		rt.Stop()
 	}
-
-	fmt.Println("\nfinal shares on every live node (byte-identical maps):")
-	for _, n := range nodes {
-		if !n.Up() {
-			continue
-		}
-		fmt.Printf("  node %d (fp %016x):", n.ID(), n.Fingerprint())
-		for _, id := range n.Map().Servers() {
-			fmt.Printf("  s%d=%4.1f%%", id, 100*float64(n.Map().Length(id))/float64(anu.Half))
-		}
-		fmt.Println()
-	}
-}
-
-func liveCount(nodes []*delegate.Node) int {
-	n := 0
-	for _, node := range nodes {
-		if node.Up() {
-			n++
-		}
-	}
-	return n
-}
-
-// waitForReports polls the delegate's inbox until the expected reports
-// arrived or a deadline passes (lost reports are treated as failures,
-// which the protocol tolerates).
-func waitForReports(n *delegate.Node, round uint64, expected int) {
-	deadline := time.Now().Add(500 * time.Millisecond)
-	got := 0
-	for time.Now().Before(deadline) && got < expected {
-		if _, err := n.CollectReports(round); err != nil {
-			log.Fatal(err)
-		}
-		got = n.PendingReports()
-		time.Sleep(5 * time.Millisecond)
-	}
-}
-
-func printState(nodes []*delegate.Node, del delegate.NodeID, round uint64) {
-	fps := map[uint64]int{}
-	for _, n := range nodes {
-		if n.Up() {
-			fps[n.Fingerprint()]++
-		}
-	}
-	fmt.Printf("round %2d: delegate=node%d, %d live agents, %d distinct map fingerprints\n",
-		round, del, liveCount(nodes), len(fps))
-}
-
-// addressBook maps node ids to listen addresses.
-type addressBook struct {
-	mu    sync.RWMutex
-	addrs map[delegate.NodeID]string
-}
-
-func newAddressBook() *addressBook {
-	return &addressBook{addrs: make(map[delegate.NodeID]string)}
-}
-
-func (b *addressBook) set(id delegate.NodeID, addr string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.addrs[id] = addr
-}
-
-func (b *addressBook) get(id delegate.NodeID) (string, bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	addr, ok := b.addrs[id]
-	return addr, ok
-}
-
-func (b *addressBook) all() map[delegate.NodeID]string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make(map[delegate.NodeID]string, len(b.addrs))
-	for id, addr := range b.addrs {
-		out[id] = addr
-	}
-	return out
-}
-
-// tcpTransport implements delegate.Transport over loopback TCP with a
-// simple length-framed wire format:
-//
-//	kind u8 | from i32 | to i32 | round u64 | len u32 | payload
-type tcpTransport struct {
-	id   delegate.NodeID
-	book *addressBook
-	ln   net.Listener
-
-	mu     sync.Mutex
-	inbox  []delegate.Message
-	closed bool
-}
-
-func newTCPTransport(id delegate.NodeID, book *addressBook) (*tcpTransport, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	t := &tcpTransport{id: id, book: book, ln: ln}
-	book.set(id, ln.Addr().String())
-	go t.accept()
-	return t, nil
-}
-
-func (t *tcpTransport) accept() {
-	for {
-		conn, err := t.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		go t.serve(conn)
-	}
-}
-
-func (t *tcpTransport) serve(conn net.Conn) {
-	defer conn.Close()
-	for {
-		msg, err := readMessage(conn)
-		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				// A malformed frame only costs this connection.
-				return
-			}
-			return
-		}
-		t.mu.Lock()
-		if !t.closed {
-			t.inbox = append(t.inbox, msg)
-		}
-		t.mu.Unlock()
-	}
-}
-
-// Send implements delegate.Transport: one connection per message keeps
-// the example simple; a production agent would pool connections.
-func (t *tcpTransport) Send(msg delegate.Message) {
-	addr, ok := t.book.get(msg.To)
-	if !ok {
-		return
-	}
-	conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
-	if err != nil {
-		return // unreachable peers look like lost messages
-	}
-	defer conn.Close()
-	writeMessage(conn, msg)
-}
-
-// Deliver implements delegate.Transport.
-func (t *tcpTransport) Deliver(to delegate.NodeID) []delegate.Message {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	msgs := t.inbox
-	t.inbox = nil
-	return msgs
-}
-
-// Close stops the listener and discards queued mail.
-func (t *tcpTransport) Close() {
-	t.mu.Lock()
-	t.closed = true
-	t.inbox = nil
-	t.mu.Unlock()
-	t.ln.Close()
-}
-
-func writeMessage(w io.Writer, msg delegate.Message) error {
-	head := make([]byte, 1+4+4+8+4)
-	head[0] = byte(msg.Kind)
-	binary.LittleEndian.PutUint32(head[1:5], uint32(msg.From))
-	binary.LittleEndian.PutUint32(head[5:9], uint32(msg.To))
-	binary.LittleEndian.PutUint64(head[9:17], msg.Round)
-	binary.LittleEndian.PutUint32(head[17:21], uint32(len(msg.Payload)))
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	_, err := w.Write(msg.Payload)
-	return err
-}
-
-func readMessage(r io.Reader) (delegate.Message, error) {
-	head := make([]byte, 21)
-	if _, err := io.ReadFull(r, head); err != nil {
-		return delegate.Message{}, err
-	}
-	n := binary.LittleEndian.Uint32(head[17:21])
-	if n > 1<<20 {
-		return delegate.Message{}, fmt.Errorf("frame too large: %d", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return delegate.Message{}, err
-	}
-	return delegate.Message{
-		Kind:    delegate.MsgKind(head[0]),
-		From:    delegate.NodeID(binary.LittleEndian.Uint32(head[1:5])),
-		To:      delegate.NodeID(binary.LittleEndian.Uint32(head[5:9])),
-		Round:   binary.LittleEndian.Uint64(head[9:17]),
-		Payload: payload,
-	}, nil
 }

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"sync"
+
+	"anurand/internal/delegate"
+	"anurand/internal/rng"
+)
+
+// ChaosConfig shapes the in-memory lossy network. Each message is
+// independently dropped with probability Drop, duplicated with
+// probability Duplicate, and every delivered copy is delayed by a
+// uniform draw from [MinDelay, MaxDelay] — random per-copy delays are
+// what reorder traffic, exactly like queueing jitter on a real path.
+type ChaosConfig struct {
+	Drop      float64
+	Duplicate float64
+	MinDelay  time.Duration
+	MaxDelay  time.Duration
+	Seed      uint64
+}
+
+// validate rejects nonsensical chaos parameters.
+func (c ChaosConfig) validate() error {
+	if c.Drop < 0 || c.Drop >= 1 || c.Duplicate < 0 || c.Duplicate >= 1 {
+		return fmt.Errorf("cluster: chaos probabilities (%g, %g) outside [0, 1)", c.Drop, c.Duplicate)
+	}
+	if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("cluster: chaos delays (%v, %v) invalid", c.MinDelay, c.MaxDelay)
+	}
+	return nil
+}
+
+// ChaosStats counts what the network did to traffic.
+type ChaosStats struct {
+	Sent, Dropped, Duplicated, Delivered, Overflowed uint64
+}
+
+// ChaosNetwork connects ChaosEndpoints through a seeded lossy,
+// reordering fabric. It exists for soak tests: the randomness stream
+// is deterministic for a seed, though actual interleaving still
+// depends on goroutine scheduling.
+type ChaosNetwork struct {
+	mu     sync.Mutex
+	cfg    ChaosConfig
+	src    *rng.Source
+	eps    map[delegate.NodeID]*ChaosEndpoint
+	stats  ChaosStats
+	closed bool
+}
+
+// NewChaosNetwork creates a chaos fabric.
+func NewChaosNetwork(cfg ChaosConfig) (*ChaosNetwork, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &ChaosNetwork{
+		cfg: cfg,
+		src: rng.New(cfg.Seed),
+		eps: make(map[delegate.NodeID]*ChaosEndpoint),
+	}, nil
+}
+
+// SetConfig swaps the loss/delay profile at runtime (for example to
+// calm the network at the end of a soak); the randomness stream keeps
+// its position.
+func (cn *ChaosNetwork) SetConfig(cfg ChaosConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	cn.mu.Lock()
+	cfg.Seed = cn.cfg.Seed
+	cn.cfg = cfg
+	cn.mu.Unlock()
+	return nil
+}
+
+// Endpoint creates (or returns) the transport endpoint for a node.
+func (cn *ChaosNetwork) Endpoint(id delegate.NodeID) *ChaosEndpoint {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if ep, ok := cn.eps[id]; ok {
+		return ep
+	}
+	ep := &ChaosEndpoint{
+		cn:   cn,
+		id:   id,
+		recv: make(chan delegate.Message, 1024),
+	}
+	cn.eps[id] = ep
+	return ep
+}
+
+// Stats returns the fabric's counters.
+func (cn *ChaosNetwork) Stats() ChaosStats {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.stats
+}
+
+// Close stops all delivery. In-flight timers become no-ops.
+func (cn *ChaosNetwork) Close() {
+	cn.mu.Lock()
+	cn.closed = true
+	cn.mu.Unlock()
+}
+
+// deliver hands one copy to the destination endpoint unless the
+// fabric or the endpoint has closed; a full inbox counts as overflow
+// loss, never a block.
+func (cn *ChaosNetwork) deliver(to delegate.NodeID, msg delegate.Message) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	dest, ok := cn.eps[to]
+	if !ok || cn.closed || dest.closed {
+		return
+	}
+	select {
+	case dest.recv <- msg:
+		cn.stats.Delivered++
+	default:
+		cn.stats.Overflowed++
+	}
+}
+
+// ChaosEndpoint is one node's attachment to the chaos fabric.
+type ChaosEndpoint struct {
+	cn     *ChaosNetwork
+	id     delegate.NodeID
+	recv   chan delegate.Message
+	closed bool
+}
+
+// Send implements Transport. Loss is silent, as on a real network.
+func (e *ChaosEndpoint) Send(msg delegate.Message) error {
+	cn := e.cn
+	cn.mu.Lock()
+	if cn.closed || e.closed {
+		cn.mu.Unlock()
+		return nil // a dead endpoint's packets vanish
+	}
+	cn.stats.Sent++
+	if cn.cfg.Drop > 0 && cn.src.Float64() < cn.cfg.Drop {
+		cn.stats.Dropped++
+		cn.mu.Unlock()
+		return nil
+	}
+	copies := 1
+	if cn.cfg.Duplicate > 0 && cn.src.Float64() < cn.cfg.Duplicate {
+		copies = 2
+		cn.stats.Duplicated++
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		span := cn.cfg.MaxDelay - cn.cfg.MinDelay
+		delays[i] = cn.cfg.MinDelay + time.Duration(cn.src.Float64()*float64(span))
+	}
+	cn.mu.Unlock()
+
+	for _, d := range delays {
+		if d <= 0 {
+			cn.deliver(msg.To, msg)
+			continue
+		}
+		time.AfterFunc(d, func() { cn.deliver(msg.To, msg) })
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (e *ChaosEndpoint) Recv() <-chan delegate.Message { return e.recv }
+
+// Close implements Transport: the endpoint stops receiving (a crashed
+// process). The channel is left open — consumers exit on their own
+// stop signal — so late timers can never panic on a closed channel.
+func (e *ChaosEndpoint) Close() error {
+	e.cn.mu.Lock()
+	e.closed = true
+	e.cn.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"anurand/internal/delegate"
+)
+
+func TestChaosConfigValidation(t *testing.T) {
+	bad := []ChaosConfig{
+		{Drop: -0.1},
+		{Drop: 1},
+		{Duplicate: 1.5},
+		{MinDelay: -time.Millisecond},
+		{MinDelay: 2 * time.Millisecond, MaxDelay: time.Millisecond},
+	}
+	for _, cfg := range bad {
+		if _, err := NewChaosNetwork(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	cn, err := NewChaosNetwork(ChaosConfig{Drop: 0.5, Duplicate: 0.5, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.SetConfig(ChaosConfig{Drop: 2}); err == nil {
+		t.Error("SetConfig accepted an invalid profile")
+	}
+}
+
+func TestChaosDropsAboutHalf(t *testing.T) {
+	cn, err := NewChaosNetwork(ChaosConfig{Drop: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	src := cn.Endpoint(1)
+	cn.Endpoint(2)
+	const n = 1000
+	done := make(chan int)
+	go func() {
+		got := 0
+		for {
+			select {
+			case <-cn.Endpoint(2).Recv():
+				got++
+			case <-time.After(300 * time.Millisecond):
+				done <- got
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		src.Send(delegate.Message{Kind: delegate.MsgReport, From: 1, To: 2, Round: uint64(i)})
+	}
+	got := <-done
+	if got < 350 || got > 650 {
+		t.Fatalf("delivered %d of %d at 50%% drop", got, n)
+	}
+	stats := cn.Stats()
+	if stats.Sent != n || stats.Dropped == 0 || stats.Dropped+uint64(got) != n {
+		t.Fatalf("stats implausible: %+v (got %d)", stats, got)
+	}
+}
+
+func TestChaosDuplicatesAndDelays(t *testing.T) {
+	cn, err := NewChaosNetwork(ChaosConfig{
+		Duplicate: 0.9,
+		MinDelay:  5 * time.Millisecond,
+		MaxDelay:  10 * time.Millisecond,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	src := cn.Endpoint(1)
+	dst := cn.Endpoint(2)
+	start := time.Now()
+	const n = 100
+	for i := 0; i < n; i++ {
+		src.Send(delegate.Message{Kind: delegate.MsgReport, From: 1, To: 2})
+	}
+	got := 0
+	var firstArrival time.Duration
+	for {
+		select {
+		case <-dst.Recv():
+			if got == 0 {
+				firstArrival = time.Since(start)
+			}
+			got++
+		case <-time.After(300 * time.Millisecond):
+			if got <= n {
+				t.Fatalf("received %d messages, want > %d with 90%% duplication", got, n)
+			}
+			if firstArrival < 4*time.Millisecond {
+				t.Fatalf("first arrival after %v, want >= ~5ms delay", firstArrival)
+			}
+			if s := cn.Stats(); s.Duplicated == 0 {
+				t.Fatalf("no duplicates recorded: %+v", s)
+			}
+			return
+		}
+	}
+}
+
+func TestChaosClosedEndpointBlackholes(t *testing.T) {
+	cn, err := NewChaosNetwork(ChaosConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	src := cn.Endpoint(1)
+	dst := cn.Endpoint(2)
+	dst.Close()
+	if err := src.Send(delegate.Message{Kind: delegate.MsgReport, From: 1, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-dst.Recv():
+		t.Fatal("closed endpoint received a message")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if s := cn.Stats(); s.Delivered != 0 {
+		t.Fatalf("delivered=%d to a closed endpoint", s.Delivered)
+	}
+	// The sender's own close blackholes its sends too.
+	src.Close()
+	if err := src.Send(delegate.Message{Kind: delegate.MsgReport, From: 1, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s := cn.Stats(); s.Sent != 1 {
+		t.Fatalf("closed endpoint's send was counted: %+v", s)
+	}
+}

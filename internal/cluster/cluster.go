@@ -1,0 +1,133 @@
+// Package cluster is the networked runtime for the delegate protocol
+// of package delegate: it turns the round-synchronous protocol model
+// into a wall-clock system that survives what real networks do.
+//
+// Each server runs one Runtime around its delegate.Node. Runtimes
+// exchange messages over a Transport — real TCP (ListenTCP) with
+// per-peer connection pooling, timeouts and retry with backoff, or the
+// in-memory chaos network (NewChaosNetwork) that drops, duplicates,
+// delays and reorders messages under a seeded RNG for soak tests.
+//
+// Liveness is observed, not assumed: every runtime heartbeats its
+// peers, and the membership view a round works with is "self plus
+// every peer heard from within FailAfter". The delegate for a view is
+// the lowest live id (the paper's stateless succession rule). The
+// elected delegate paces rounds on its own clock and announces each
+// round through its heartbeats; followers report when they observe a
+// new round, and a round watchdog re-elects when the delegate stays
+// silent — heartbeats without placement maps are not progress.
+//
+// The delegate tunes once a quorum of reports has arrived or a grace
+// period expires, whichever is first. Servers silent beyond FailAfter
+// are treated as failed per the paper — their region is released to
+// the survivors — while a server that merely missed one report window
+// but is demonstrably alive is left idle rather than evicted.
+//
+// Wire invariant established here and in package delegate: installed
+// map rounds are monotonic. A reordered or duplicated MsgMap from an
+// older round is counted and dropped, never installed over a newer
+// placement.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"anurand/internal/anu"
+	"anurand/internal/delegate"
+)
+
+// ObserveFunc samples the local server's performance for the elapsed
+// interval: the number of requests served and their mean latency in
+// seconds. It is called with the runtime's lock held and must not call
+// back into the Runtime; m is the node's current placement map,
+// read-only.
+type ObserveFunc func(m *anu.Map, id delegate.NodeID) (requests uint64, meanLatencySeconds float64)
+
+// Config configures one node's runtime.
+type Config struct {
+	// ID is this node's identity; it must be a member of the snapshot.
+	ID delegate.NodeID
+	// Members is the full configured membership (including ID).
+	Members []delegate.NodeID
+	// Snapshot is the encoded initial map all members bootstrap from.
+	Snapshot []byte
+	// Controller configures the ANU feedback controller.
+	Controller anu.ControllerConfig
+
+	// RoundInterval is the tuning cadence (the paper's two-minute
+	// interval; tests use milliseconds). Required.
+	RoundInterval time.Duration
+	// HeartbeatInterval is the liveness beacon period.
+	// Default: RoundInterval/8 (at least 1ms).
+	HeartbeatInterval time.Duration
+	// FailAfter is how long a peer may stay silent before it is
+	// considered dead: dropped from the membership view and, at tune
+	// time, marked failed so its region goes to the survivors.
+	// Default: 4×HeartbeatInterval + RoundInterval.
+	FailAfter time.Duration
+	// ReportGrace is how long the delegate waits for reports after
+	// starting a round before tuning with what arrived.
+	// Default: RoundInterval/2.
+	ReportGrace time.Duration
+	// Quorum is the report count (including the delegate's own sample)
+	// that lets the delegate tune before ReportGrace expires.
+	// Default: majority of Members.
+	Quorum int
+	// WatchdogRounds re-elects when no map has been installed for this
+	// many round intervals: the current delegate is suspected for
+	// FailAfter so election moves to the next id. Default: 3.
+	WatchdogRounds uint64
+
+	// Observe samples local performance each round. Optional; when nil
+	// the node reports zero load.
+	Observe ObserveFunc
+	// Logf receives diagnostic messages. Optional.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults validates cfg and fills unset tuning knobs.
+func (cfg Config) withDefaults() (Config, error) {
+	if len(cfg.Members) == 0 {
+		return cfg, fmt.Errorf("cluster: no members configured")
+	}
+	member := false
+	for _, id := range cfg.Members {
+		if id == cfg.ID {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return cfg, fmt.Errorf("cluster: node %d not in configured members", cfg.ID)
+	}
+	if cfg.RoundInterval <= 0 {
+		return cfg, fmt.Errorf("cluster: RoundInterval must be positive, got %v", cfg.RoundInterval)
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = cfg.RoundInterval / 8
+		if cfg.HeartbeatInterval < time.Millisecond {
+			cfg.HeartbeatInterval = time.Millisecond
+		}
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 4*cfg.HeartbeatInterval + cfg.RoundInterval
+	}
+	if cfg.ReportGrace <= 0 {
+		cfg.ReportGrace = cfg.RoundInterval / 2
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = len(cfg.Members)/2 + 1
+	}
+	if cfg.WatchdogRounds == 0 {
+		cfg.WatchdogRounds = 3
+	}
+	return cfg, nil
+}
+
+// logf emits a diagnostic when a logger is configured.
+func (cfg Config) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}

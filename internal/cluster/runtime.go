@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anurand/internal/anu"
+	"anurand/internal/delegate"
+)
+
+// maxMailbox bounds buffered protocol messages so a confused peer
+// spraying reports cannot grow memory without bound.
+const maxMailbox = 4096
+
+// Runtime runs one node of the delegate protocol on the wall clock.
+//
+// Round pacing: the elected delegate advances the round on its own
+// timer and announces it through heartbeats (which carry the sender's
+// round); followers never advance the shared round themselves — they
+// adopt any newer round observed on the wire and immediately sample
+// and report. This keeps all live nodes stamping the same round
+// without a global clock, and makes round numbers monotonic gossip
+// that survives re-elections: a new delegate continues from the
+// highest round it observed.
+type Runtime struct {
+	cfg  Config
+	tr   Transport
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu           sync.Mutex
+	node         *delegate.Node
+	outbox       []delegate.Message // staged under mu, sent outside it
+	mbox         []delegate.Message // inbound protocol messages for the node
+	lastSeen     map[delegate.NodeID]time.Time
+	suspectUntil map[delegate.NodeID]time.Time
+	round        uint64
+	roundStart   time.Time
+	lastMapTime  time.Time
+	curDelegate  delegate.NodeID
+	stopped      bool
+	counters     counters
+}
+
+// nodeTransport adapts the runtime's mailbox to delegate.Transport.
+// Every delegate.Node method runs with r.mu held, so the unguarded
+// slice accesses here are serialized by that lock.
+type nodeTransport struct{ r *Runtime }
+
+func (nt nodeTransport) Send(msg delegate.Message) {
+	nt.r.outbox = append(nt.r.outbox, msg)
+}
+
+func (nt nodeTransport) Deliver(to delegate.NodeID) []delegate.Message {
+	msgs := nt.r.mbox
+	nt.r.mbox = nil
+	return msgs
+}
+
+// Start brings up a runtime on the given transport and begins
+// heartbeating and round-driving immediately.
+func Start(cfg Config, tr Transport) (*Runtime, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		cfg:          cfg,
+		tr:           tr,
+		stop:         make(chan struct{}),
+		lastSeen:     make(map[delegate.NodeID]time.Time),
+		suspectUntil: make(map[delegate.NodeID]time.Time),
+		curDelegate:  -1,
+	}
+	node, err := delegate.NewNode(cfg.ID, cfg.Snapshot, cfg.Controller, nodeTransport{r})
+	if err != nil {
+		return nil, err
+	}
+	r.node = node
+	now := time.Now()
+	r.roundStart, r.lastMapTime = now, now
+	r.wg.Add(3)
+	go r.recvLoop()
+	go r.heartbeatLoop()
+	go r.roundLoop()
+	return r, nil
+}
+
+// Stop halts the runtime and closes its transport. It is idempotent.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.tr.Close()
+	r.wg.Wait()
+}
+
+// recvLoop dispatches inbound messages until the transport or runtime
+// stops.
+func (r *Runtime) recvLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case msg, ok := <-r.tr.Recv():
+			if !ok {
+				return
+			}
+			r.handle(msg)
+		}
+	}
+}
+
+// handle processes one inbound message: liveness bookkeeping, protocol
+// routing, and round gossip.
+func (r *Runtime) handle(msg delegate.Message) {
+	now := time.Now()
+	r.mu.Lock()
+	r.lastSeen[msg.From] = now
+	switch msg.Kind {
+	case MsgHeartbeat:
+		r.counters.HeartbeatsReceived++
+	case delegate.MsgReport:
+		r.counters.ReportsReceived++
+		r.enqueueLocked(msg)
+	case delegate.MsgMap:
+		r.enqueueLocked(msg)
+		applied, err := r.node.CollectReports(r.round)
+		if err != nil {
+			r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
+		}
+		if applied {
+			r.counters.MapsInstalled++
+			r.lastMapTime = now
+			r.counters.InstallLatency.Add(now.Sub(r.roundStart).Seconds())
+		}
+	default:
+		// Unknown kinds are dropped at the runtime boundary; the
+		// protocol node only ever sees MsgReport and MsgMap.
+	}
+	// Round gossip: adopt a newer round and report into it at once —
+	// followers are paced by the delegate's announcements, not their
+	// own timers.
+	if msg.Round > r.round {
+		r.round = msg.Round
+		r.roundStart = now
+		if del, ok := lowestID(r.viewLocked(now)); ok && del != r.cfg.ID {
+			r.observeLocked()
+			r.node.SendReport(del, r.round)
+			r.counters.ReportsSent++
+		}
+	}
+	out := r.takeOutboxLocked()
+	r.mu.Unlock()
+	r.sendAll(out)
+}
+
+// enqueueLocked buffers a protocol message for the node, shedding the
+// oldest backlog beyond maxMailbox.
+func (r *Runtime) enqueueLocked(msg delegate.Message) {
+	r.mbox = append(r.mbox, msg)
+	if len(r.mbox) > maxMailbox {
+		r.mbox = append([]delegate.Message(nil), r.mbox[len(r.mbox)-maxMailbox:]...)
+	}
+}
+
+// heartbeatLoop beacons liveness (and the current round) to all peers.
+func (r *Runtime) heartbeatLoop() {
+	defer r.wg.Done()
+	r.sendHeartbeats()
+	tick := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.sendHeartbeats()
+		}
+	}
+}
+
+// sendHeartbeats emits one beacon per peer.
+func (r *Runtime) sendHeartbeats() {
+	r.mu.Lock()
+	round := r.round
+	r.counters.HeartbeatsSent += uint64(len(r.cfg.Members) - 1)
+	r.mu.Unlock()
+	for _, id := range r.cfg.Members {
+		if id == r.cfg.ID {
+			continue
+		}
+		r.tr.Send(delegate.Message{Kind: MsgHeartbeat, From: r.cfg.ID, To: id, Round: round})
+	}
+}
+
+// roundLoop drives the wall-clock tuning cadence.
+func (r *Runtime) roundLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.RoundInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.tick()
+		}
+	}
+}
+
+// tick runs one timer beat: election over the observed view, the
+// round watchdog, and — when this node is the delegate — starting a
+// new round.
+func (r *Runtime) tick() {
+	now := time.Now()
+	r.mu.Lock()
+	view := r.viewLocked(now)
+	del, _ := lowestID(view) // view always contains self
+	// Watchdog: heartbeats without placement maps are not progress.
+	// If the delegate has produced nothing for WatchdogRounds
+	// intervals, suspect it so election moves to the next id.
+	watchdog := time.Duration(r.cfg.WatchdogRounds) * r.cfg.RoundInterval
+	if del != r.cfg.ID && now.Sub(r.lastMapTime) > watchdog {
+		r.suspectUntil[del] = now.Add(r.cfg.FailAfter)
+		r.counters.WatchdogTrips++
+		r.lastMapTime = now // restart the clock; suspect one rank at a time
+		r.cfg.logf("node %d: watchdog: no map for %v, suspecting delegate %d", r.cfg.ID, watchdog, del)
+		view = r.viewLocked(now)
+		del, _ = lowestID(view)
+	}
+	if del != r.curDelegate {
+		if r.curDelegate >= 0 {
+			r.counters.Reelections++
+			r.cfg.logf("node %d: delegate %d -> %d", r.cfg.ID, r.curDelegate, del)
+		}
+		r.curDelegate = del
+	}
+	if del == r.cfg.ID {
+		// This node paces the cluster: open the round, sample itself,
+		// announce the round to peers, and tune after the grace window.
+		r.round++
+		round := r.round
+		r.roundStart = now
+		r.observeLocked()
+		for _, id := range r.cfg.Members {
+			if id == r.cfg.ID {
+				continue
+			}
+			r.outbox = append(r.outbox, delegate.Message{Kind: MsgHeartbeat, From: r.cfg.ID, To: id, Round: round})
+		}
+		r.counters.HeartbeatsSent += uint64(len(r.cfg.Members) - 1)
+		r.wg.Add(1)
+		go r.tune(round)
+	}
+	out := r.takeOutboxLocked()
+	r.mu.Unlock()
+	r.sendAll(out)
+}
+
+// tune waits for a quorum of reports (or the grace deadline), then
+// rescales and broadcasts as the round's delegate.
+func (r *Runtime) tune(round uint64) {
+	defer r.wg.Done()
+	deadline := time.Now().Add(r.cfg.ReportGrace)
+	poll := r.cfg.ReportGrace / 8
+	if poll < 500*time.Microsecond {
+		poll = 500 * time.Microsecond
+	}
+	for {
+		r.mu.Lock()
+		if r.round != round || r.curDelegate != r.cfg.ID {
+			r.mu.Unlock()
+			return // superseded by a newer round or a re-election
+		}
+		if _, err := r.node.CollectReports(round); err != nil {
+			r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
+		}
+		got := r.node.PendingReports() + 1 // + the delegate's own sample
+		r.mu.Unlock()
+		if got >= r.cfg.Quorum || !time.Now().Before(deadline) {
+			break
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(poll):
+		}
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if r.round != round || r.curDelegate != r.cfg.ID {
+		r.mu.Unlock()
+		return
+	}
+	if _, err := r.node.CollectReports(round); err != nil {
+		r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
+	}
+	members := r.tuneMembersLocked(now)
+	r.counters.ReportsPerTune.Add(float64(r.node.PendingReports() + 1))
+	if err := r.node.RunDelegate(round, members); err != nil {
+		r.cfg.logf("node %d: tune round %d: %v", r.cfg.ID, round, err)
+	} else {
+		r.counters.Tunes++
+		r.lastMapTime = now
+	}
+	out := r.takeOutboxLocked()
+	r.mu.Unlock()
+	r.sendAll(out)
+}
+
+// tuneMembersLocked chooses the member set the delegate tunes over:
+// itself, every peer that reported this round, and every peer silent
+// beyond FailAfter (which RunDelegate then marks failed, releasing its
+// region to the survivors). A peer that is demonstrably alive but
+// missed this report window is omitted — the controller treats it as
+// idle instead of evicting it on one lost packet.
+func (r *Runtime) tuneMembersLocked(now time.Time) []delegate.NodeID {
+	reported := make(map[delegate.NodeID]bool)
+	for _, id := range r.node.Reported() {
+		reported[id] = true
+	}
+	members := make([]delegate.NodeID, 0, len(r.cfg.Members))
+	for _, id := range r.cfg.Members {
+		switch {
+		case id == r.cfg.ID:
+			members = append(members, id)
+		case reported[id]:
+			members = append(members, id)
+		case now.Sub(r.lastSeen[id]) > r.cfg.FailAfter:
+			members = append(members, id)
+		}
+	}
+	return members
+}
+
+// observeLocked samples local performance into the node.
+func (r *Runtime) observeLocked() {
+	var requests uint64
+	var latency float64
+	if r.cfg.Observe != nil {
+		requests, latency = r.cfg.Observe(r.node.Map(), r.cfg.ID)
+	}
+	r.node.Observe(requests, latency)
+}
+
+// viewLocked is the observed membership: self plus every peer heard
+// from within FailAfter and not currently suspected by the watchdog.
+func (r *Runtime) viewLocked(now time.Time) []delegate.NodeID {
+	view := make([]delegate.NodeID, 0, len(r.cfg.Members))
+	for _, id := range r.cfg.Members {
+		if id == r.cfg.ID {
+			view = append(view, id)
+			continue
+		}
+		if until, ok := r.suspectUntil[id]; ok {
+			if now.Before(until) {
+				continue
+			}
+			delete(r.suspectUntil, id)
+		}
+		if seen, ok := r.lastSeen[id]; ok && now.Sub(seen) <= r.cfg.FailAfter {
+			view = append(view, id)
+		}
+	}
+	return view
+}
+
+// takeOutboxLocked drains staged outbound messages for sending
+// outside the lock.
+func (r *Runtime) takeOutboxLocked() []delegate.Message {
+	out := r.outbox
+	r.outbox = nil
+	return out
+}
+
+// sendAll pushes messages to the transport; failures are logged, not
+// fatal — an unreachable peer is indistinguishable from a lossy link.
+func (r *Runtime) sendAll(msgs []delegate.Message) {
+	for _, msg := range msgs {
+		if err := r.tr.Send(msg); err != nil {
+			r.cfg.logf("node %d: send to %d: %v", r.cfg.ID, msg.To, err)
+		}
+	}
+}
+
+// lowestID returns the smallest id in view — the paper's election rule.
+func lowestID(view []delegate.NodeID) (delegate.NodeID, bool) {
+	if len(view) == 0 {
+		return -1, false
+	}
+	best := view[0]
+	for _, id := range view[1:] {
+		if id < best {
+			best = id
+		}
+	}
+	return best, true
+}
+
+// ID returns the node's identity.
+func (r *Runtime) ID() delegate.NodeID { return r.cfg.ID }
+
+// Round returns the node's current round.
+func (r *Runtime) Round() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.round
+}
+
+// Delegate returns the node's current view of the delegate (-1 before
+// the first election).
+func (r *Runtime) Delegate() delegate.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.curDelegate
+}
+
+// Fingerprint digests the node's replicated state for convergence
+// checks.
+func (r *Runtime) Fingerprint() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Fingerprint()
+}
+
+// MapRound returns the round of the installed map (monotonic).
+func (r *Runtime) MapRound() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.MapRound()
+}
+
+// Map returns a copy of the node's placement map.
+func (r *Runtime) Map() *anu.Map {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Map().Clone()
+}
+
+// Snapshot returns the encoded placement map — what a restarting peer
+// bootstraps from.
+func (r *Runtime) Snapshot() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Map().Encode()
+}
+
+// View returns the node's observed live membership.
+func (r *Runtime) View() []delegate.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewLocked(time.Now())
+}
+
+// String identifies the runtime in logs.
+func (r *Runtime) String() string {
+	return fmt.Sprintf("cluster.Runtime(node %d)", r.cfg.ID)
+}

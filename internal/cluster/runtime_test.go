@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"anurand/internal/anu"
+	"anurand/internal/delegate"
+	"anurand/internal/hashx"
+)
+
+// bootstrap builds the shared initial map all members start from.
+func bootstrap(t *testing.T, k int) ([]delegate.NodeID, []byte) {
+	t.Helper()
+	ids := make([]delegate.NodeID, k)
+	for i := range ids {
+		ids[i] = delegate.NodeID(i)
+	}
+	m, err := anu.New(hashx.NewFamily(42), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids, m.Encode()
+}
+
+// closedLoopObserve models the paper's cluster: latency grows with the
+// node's region share divided by its speed.
+func closedLoopObserve(speeds map[delegate.NodeID]float64) ObserveFunc {
+	return func(m *anu.Map, id delegate.NodeID) (uint64, float64) {
+		share := float64(m.Length(id)) / float64(anu.Half)
+		return uint64(1 + 1000*share), 0.002 + share/speeds[id]
+	}
+}
+
+// converged reports whether every runtime holds a byte-identical map
+// from the same round (and has installed at least one).
+func converged(rts []*Runtime) bool {
+	if len(rts) == 0 {
+		return true
+	}
+	fp, mr := rts[0].Fingerprint(), rts[0].MapRound()
+	if mr == 0 {
+		return false
+	}
+	for _, rt := range rts[1:] {
+		if rt.Fingerprint() != fp || rt.MapRound() != mr {
+			return false
+		}
+	}
+	return true
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+func TestStartValidation(t *testing.T) {
+	ids, snapshot := bootstrap(t, 3)
+	cn, err := NewChaosNetwork(ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	bad := []Config{
+		{ID: 0, Snapshot: snapshot, RoundInterval: time.Second},                     // no members
+		{ID: 9, Members: ids, Snapshot: snapshot, RoundInterval: time.Second},       // not a member
+		{ID: 0, Members: ids, Snapshot: snapshot},                                   // no cadence
+		{ID: 0, Members: ids, Snapshot: []byte("junk"), RoundInterval: time.Second}, // bad snapshot
+	}
+	for i, cfg := range bad {
+		cfg.Controller = anu.DefaultControllerConfig()
+		if _, err := Start(cfg, cn.Endpoint(delegate.NodeID(50+i))); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRuntimeConvergesOverTCP(t *testing.T) {
+	ids, snapshot := bootstrap(t, 3)
+	speeds := map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5}
+	book := NewAddressBook()
+	rts := make([]*Runtime, 0, len(ids))
+	for _, id := range ids {
+		tr, err := ListenTCP(id, book, DefaultTCPOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := Start(Config{
+			ID:            id,
+			Members:       ids,
+			Snapshot:      snapshot,
+			Controller:    anu.DefaultControllerConfig(),
+			RoundInterval: 40 * time.Millisecond,
+			Observe:       closedLoopObserve(speeds),
+			Logf:          t.Logf,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts = append(rts, rt)
+	}
+	defer func() {
+		for _, rt := range rts {
+			rt.Stop()
+		}
+	}()
+	waitFor(t, 15*time.Second, "TCP cluster convergence", func() bool {
+		return converged(rts) && rts[0].Stats().Tunes >= 3
+	})
+	for _, rt := range rts {
+		s := rt.Stats()
+		if s.Delegate != 0 {
+			t.Errorf("node %d sees delegate %d, want 0", s.ID, s.Delegate)
+		}
+		if len(s.Live) != 3 {
+			t.Errorf("node %d live view %v, want all 3", s.ID, s.Live)
+		}
+	}
+	// The delegate's tunes saw reports beyond its own sample.
+	if s := rts[0].Stats(); s.ReportsPerTune.Max() < 2 {
+		t.Errorf("delegate tuned only on its own sample: %s", s.ReportsPerTune.String())
+	}
+}
+
+// TestChaosSoakConvergence is the acceptance soak: a 5-node cluster on
+// a lossy, duplicating, reordering transport, with the delegate
+// crashed mid-run. All live nodes must converge to byte-identical
+// fingerprints, the installed map round must never move backwards on
+// any node, and an injected stale-round map must be rejected.
+func TestChaosSoakConvergence(t *testing.T) {
+	cn, err := NewChaosNetwork(ChaosConfig{
+		Drop:      0.15,
+		Duplicate: 0.15,
+		MinDelay:  0,
+		MaxDelay:  25 * time.Millisecond,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	ids, snapshot := bootstrap(t, 5)
+	speeds := map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
+	rts := make([]*Runtime, 0, len(ids))
+	for _, id := range ids {
+		rt, err := Start(Config{
+			ID:                id,
+			Members:           ids,
+			Snapshot:          snapshot,
+			Controller:        anu.DefaultControllerConfig(),
+			RoundInterval:     50 * time.Millisecond,
+			HeartbeatInterval: 10 * time.Millisecond,
+			FailAfter:         150 * time.Millisecond,
+			ReportGrace:       30 * time.Millisecond,
+			Observe:           closedLoopObserve(speeds),
+		}, cn.Endpoint(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts = append(rts, rt)
+	}
+	defer func() {
+		for _, rt := range rts {
+			rt.Stop()
+		}
+	}()
+
+	// Monitor: installed map rounds are monotonic on every node for the
+	// whole soak — a stale map is provably never installed over a newer
+	// one.
+	stopMon := make(chan struct{})
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		last := make([]uint64, len(rts))
+		for {
+			select {
+			case <-stopMon:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			for i, rt := range rts {
+				if mr := rt.MapRound(); mr < last[i] {
+					t.Errorf("node %d installed map round regressed %d -> %d", i, last[i], mr)
+				} else {
+					last[i] = mr
+				}
+			}
+		}
+	}()
+
+	time.Sleep(1200 * time.Millisecond) // chaotic steady state under node 0
+
+	rts[0].Stop() // kill the delegate mid-run
+
+	time.Sleep(1200 * time.Millisecond) // re-election and recovery, still under chaos
+
+	// Calm the network (tiny jitter only) and require convergence of the
+	// survivors under the successor delegate.
+	if err := cn.SetConfig(ChaosConfig{MaxDelay: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	live := rts[1:]
+	waitFor(t, 20*time.Second, "survivor convergence after delegate crash", func() bool {
+		if !converged(live) {
+			return false
+		}
+		for _, rt := range live {
+			if rt.Delegate() != 1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The crashed node's region was released to the survivors.
+	m := live[0].Map()
+	if l := m.Length(0); l != 0 {
+		t.Errorf("crashed node still owns %d ticks", l)
+	}
+
+	// Someone observed the re-election.
+	var reelections uint64
+	for _, rt := range live {
+		reelections += rt.Stats().Reelections
+	}
+	if reelections == 0 {
+		t.Error("no node observed a re-election after the delegate crash")
+	}
+
+	// Inject a stale-round map: it must be counted and rejected.
+	target := live[2]
+	beforeStale := target.Stats().StaleMapsRejected
+	beforeRound := target.MapRound()
+	if beforeRound <= 1 {
+		t.Fatalf("soak ended at map round %d; cannot form a stale round", beforeRound)
+	}
+	inj := cn.Endpoint(99)
+	if err := inj.Send(delegate.Message{
+		Kind:    delegate.MsgMap,
+		From:    4,
+		To:      target.ID(),
+		Round:   1,
+		Payload: snapshot,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "stale map rejection", func() bool {
+		return target.Stats().StaleMapsRejected > beforeStale
+	})
+	if mr := target.MapRound(); mr < beforeRound {
+		t.Errorf("stale injection moved map round %d -> %d", beforeRound, mr)
+	}
+
+	close(stopMon)
+	<-monDone
+
+	if fp := cn.Stats(); fp.Dropped == 0 || fp.Duplicated == 0 {
+		t.Errorf("chaos implausible: %+v", fp)
+	}
+}
+
+// filterTransport drops outbound messages matching a predicate —
+// the asymmetric-partition tool for watchdog tests.
+type filterTransport struct {
+	Transport
+	drop func(delegate.Message) bool
+}
+
+func (f filterTransport) Send(msg delegate.Message) error {
+	if f.drop(msg) {
+		return nil
+	}
+	return f.Transport.Send(msg)
+}
+
+// TestWatchdogReelection covers the failure mode heartbeats cannot
+// see: the delegate is alive and beaconing, but its placement maps
+// never arrive. The round watchdog must suspect it and move election
+// to the next id, which then actually tunes.
+func TestWatchdogReelection(t *testing.T) {
+	cn, err := NewChaosNetwork(ChaosConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	ids, snapshot := bootstrap(t, 3)
+	speeds := map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5}
+	rts := make([]*Runtime, 0, len(ids))
+	for _, id := range ids {
+		var tr Transport = cn.Endpoint(id)
+		if id == 0 {
+			// Node 0 heartbeats fine but its maps vanish.
+			tr = filterTransport{Transport: tr, drop: func(m delegate.Message) bool {
+				return m.Kind == delegate.MsgMap
+			}}
+		}
+		rt, err := Start(Config{
+			ID:             id,
+			Members:        ids,
+			Snapshot:       snapshot,
+			Controller:     anu.DefaultControllerConfig(),
+			RoundInterval:  40 * time.Millisecond,
+			WatchdogRounds: 2,
+			Observe:        closedLoopObserve(speeds),
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts = append(rts, rt)
+	}
+	defer func() {
+		for _, rt := range rts {
+			rt.Stop()
+		}
+	}()
+	waitFor(t, 15*time.Second, "watchdog re-election past a silent delegate", func() bool {
+		trips := rts[1].Stats().WatchdogTrips + rts[2].Stats().WatchdogTrips
+		return trips >= 1 && rts[1].Stats().Tunes >= 1 && rts[2].Stats().MapsInstalled >= 1
+	})
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"anurand/internal/delegate"
+	"anurand/internal/metrics"
+)
+
+// counters is the runtime's internal instrumentation, guarded by
+// Runtime.mu.
+type counters struct {
+	Tunes              uint64
+	MapsInstalled      uint64
+	Reelections        uint64
+	WatchdogTrips      uint64
+	ReportsSent        uint64
+	ReportsReceived    uint64
+	HeartbeatsSent     uint64
+	HeartbeatsReceived uint64
+	ReportsPerTune     metrics.Summary
+	InstallLatency     metrics.Summary
+}
+
+// Stats is an operator snapshot of one runtime: where the node thinks
+// the cluster is, and what the protocol has been doing.
+type Stats struct {
+	ID       delegate.NodeID
+	Round    uint64
+	Delegate delegate.NodeID
+	Live     []delegate.NodeID
+	MapRound uint64
+
+	// Tunes counts rounds this node rescaled as delegate.
+	Tunes uint64
+	// MapsInstalled counts placement maps accepted from a delegate.
+	MapsInstalled uint64
+	// StaleMapsRejected counts old-round maps refused by the round
+	// guard — each one is a reordering the protocol survived.
+	StaleMapsRejected uint64
+	// Reelections counts observed delegate changes.
+	Reelections uint64
+	// WatchdogTrips counts delegates suspected for producing no maps.
+	WatchdogTrips uint64
+
+	ReportsSent        uint64
+	ReportsReceived    uint64
+	HeartbeatsSent     uint64
+	HeartbeatsReceived uint64
+
+	// ReportsPerTune summarizes how many reports (including the
+	// delegate's own sample) each tune acted on.
+	ReportsPerTune metrics.Summary
+	// InstallLatency summarizes seconds from learning a round to
+	// installing its map.
+	InstallLatency metrics.Summary
+}
+
+// Stats returns the runtime's operator snapshot.
+func (r *Runtime) Stats() Stats {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		ID:                 r.cfg.ID,
+		Round:              r.round,
+		Delegate:           r.curDelegate,
+		Live:               r.viewLocked(now),
+		MapRound:           r.node.MapRound(),
+		Tunes:              r.counters.Tunes,
+		MapsInstalled:      r.counters.MapsInstalled,
+		StaleMapsRejected:  r.node.StaleMapsRejected(),
+		Reelections:        r.counters.Reelections,
+		WatchdogTrips:      r.counters.WatchdogTrips,
+		ReportsSent:        r.counters.ReportsSent,
+		ReportsReceived:    r.counters.ReportsReceived,
+		HeartbeatsSent:     r.counters.HeartbeatsSent,
+		HeartbeatsReceived: r.counters.HeartbeatsReceived,
+		ReportsPerTune:     r.counters.ReportsPerTune,
+		InstallLatency:     r.counters.InstallLatency,
+	}
+}
+
+// String formats the snapshot for operators.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"node %d: round=%d delegate=%d live=%v mapRound=%d tunes=%d installs=%d stale=%d reelect=%d watchdog=%d reports(sent=%d recv=%d per-tune %s) install-latency %s",
+		s.ID, s.Round, s.Delegate, s.Live, s.MapRound, s.Tunes, s.MapsInstalled,
+		s.StaleMapsRejected, s.Reelections, s.WatchdogTrips,
+		s.ReportsSent, s.ReportsReceived, s.ReportsPerTune.String(), s.InstallLatency.String(),
+	)
+}

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"anurand/internal/delegate"
+	"anurand/internal/metrics"
+	"anurand/internal/rng"
+)
+
+// TCPOptions tunes the TCP transport.
+type TCPOptions struct {
+	// Addr is the listen address. Default "127.0.0.1:0".
+	Addr string
+	// DialTimeout bounds connection establishment to a peer.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one framed write.
+	WriteTimeout time.Duration
+	// IdleTimeout closes inbound connections with no traffic.
+	IdleTimeout time.Duration
+	// MaxRetries is how many times a failed Send is retried (with
+	// exponential backoff and jitter) before giving up.
+	MaxRetries int
+	// BackoffBase is the first retry delay; each retry doubles it.
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay.
+	BackoffMax time.Duration
+	// MaxPayload bounds accepted frame payloads.
+	MaxPayload int
+	// RecvBuffer is the capacity of the inbound message channel.
+	RecvBuffer int
+}
+
+// DefaultTCPOptions returns production-shaped defaults scaled for
+// loopback tests.
+func DefaultTCPOptions() TCPOptions {
+	return TCPOptions{
+		Addr:         "127.0.0.1:0",
+		DialTimeout:  500 * time.Millisecond,
+		WriteTimeout: 500 * time.Millisecond,
+		IdleTimeout:  2 * time.Minute,
+		MaxRetries:   2,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+		MaxPayload:   1 << 20,
+		RecvBuffer:   1024,
+	}
+}
+
+// TCPStats is an operator snapshot of one transport's activity.
+type TCPStats struct {
+	Sent, SendErrors   uint64
+	Dials, Retries     uint64
+	FramesReceived     uint64
+	SendLatencySeconds metrics.Summary
+}
+
+// TCPTransport implements Transport over TCP with one pooled outbound
+// connection per peer. A send that fails mid-stream drops the pooled
+// connection and retries on a fresh dial with exponential backoff and
+// jitter, so a peer restart costs at most one backoff cycle.
+type TCPTransport struct {
+	id   delegate.NodeID
+	book *AddressBook
+	opts TCPOptions
+	ln   net.Listener
+	recv chan delegate.Message
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[delegate.NodeID]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	jitter  *rng.Source
+	sent    uint64
+	sendErr uint64
+	dials   uint64
+	retries uint64
+	frames  uint64
+	sendLat metrics.Summary
+}
+
+// ListenTCP starts a transport listening for peers and registers its
+// address in the book.
+func ListenTCP(id delegate.NodeID, book *AddressBook, opts TCPOptions) (*TCPTransport, error) {
+	if opts.Addr == "" {
+		opts = DefaultTCPOptions()
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d listen: %w", id, err)
+	}
+	t := &TCPTransport{
+		id:      id,
+		book:    book,
+		opts:    opts,
+		ln:      ln,
+		recv:    make(chan delegate.Message, opts.RecvBuffer),
+		done:    make(chan struct{}),
+		conns:   make(map[delegate.NodeID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		jitter:  rng.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
+	}
+	book.Set(id, ln.Addr().String())
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv() <-chan delegate.Message { return t.recv }
+
+// Send implements Transport: it writes the frame on the pooled
+// connection to the destination, dialing (and retrying with backoff)
+// as needed. Returning an error means the message was not handed to
+// the kernel for that peer.
+func (t *TCPTransport) Send(msg delegate.Message) error {
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; attempt <= t.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			t.mu.Lock()
+			t.retries++
+			backoff := t.opts.BackoffBase << (attempt - 1)
+			if backoff > t.opts.BackoffMax {
+				backoff = t.opts.BackoffMax
+			}
+			// Full jitter keeps a burst of retrying senders from
+			// re-colliding in lockstep.
+			backoff = time.Duration(float64(backoff) * (0.5 + 0.5*t.jitter.Float64()))
+			t.mu.Unlock()
+			select {
+			case <-t.done:
+				return fmt.Errorf("cluster: node %d: transport closed", t.id)
+			case <-time.After(backoff):
+			}
+		}
+		conn, err := t.getConn(msg.To)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+		if err := writeFrame(conn, msg); err != nil {
+			// The pooled stream is broken (peer restart, timeout);
+			// drop it so the retry dials fresh.
+			t.dropConn(msg.To, conn)
+			lastErr = err
+			continue
+		}
+		t.mu.Lock()
+		t.sent++
+		t.sendLat.Add(time.Since(start).Seconds())
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Lock()
+	t.sendErr++
+	t.mu.Unlock()
+	return fmt.Errorf("cluster: node %d send to %d: %w", t.id, msg.To, lastErr)
+}
+
+// getConn returns the pooled connection to a peer, dialing if none.
+func (t *TCPTransport) getConn(to delegate.NodeID) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("cluster: node %d: transport closed", t.id)
+	}
+	if conn, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+
+	addr, ok := t.book.Get(to)
+	if !ok {
+		return nil, fmt.Errorf("cluster: node %d: no address for peer %d", t.id, to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dials++
+	if t.closed {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node %d: transport closed", t.id)
+	}
+	if pooled, ok := t.conns[to]; ok {
+		// A concurrent sender won the dial race; use its connection.
+		conn.Close()
+		return pooled, nil
+	}
+	t.conns[to] = conn
+	return conn, nil
+}
+
+// dropConn removes a broken pooled connection.
+func (t *TCPTransport) dropConn(to delegate.NodeID, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	conn.Close()
+}
+
+// acceptLoop serves inbound peer connections until Close.
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serve(conn)
+	}
+}
+
+// serve reads frames off one inbound connection into the recv channel.
+func (t *TCPTransport) serve(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		conn.SetReadDeadline(time.Now().Add(t.opts.IdleTimeout))
+		msg, err := readFrame(conn, t.opts.MaxPayload)
+		if err != nil {
+			return // EOF, idle timeout, or a malformed frame: this stream is done
+		}
+		t.mu.Lock()
+		t.frames++
+		t.mu.Unlock()
+		select {
+		case t.recv <- msg:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Close shuts the listener, pooled connections and inbound streams,
+// then closes the Recv channel.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[delegate.NodeID]net.Conn)
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for conn := range t.inbound {
+		inbound = append(inbound, conn)
+	}
+	t.mu.Unlock()
+
+	close(t.done)
+	t.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	for _, conn := range inbound {
+		conn.Close()
+	}
+	t.wg.Wait()
+	close(t.recv)
+	return nil
+}
+
+// Stats returns a snapshot of the transport's counters.
+func (t *TCPTransport) Stats() TCPStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TCPStats{
+		Sent:               t.sent,
+		SendErrors:         t.sendErr,
+		Dials:              t.dials,
+		Retries:            t.retries,
+		FramesReceived:     t.frames,
+		SendLatencySeconds: t.sendLat,
+	}
+}

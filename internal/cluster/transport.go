@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"anurand/internal/delegate"
+)
+
+// MsgHeartbeat is the runtime's liveness beacon. It rides the delegate
+// wire format with a kind outside the protocol range; the runtime
+// consumes heartbeats itself and never hands them to the Node, so the
+// protocol layer stays ignorant of them. The Round field carries the
+// sender's current round — the delegate's heartbeats are also its
+// round announcements.
+const MsgHeartbeat delegate.MsgKind = 0x10
+
+// Transport moves protocol messages between runtimes. Send may be
+// called from multiple goroutines; it delivers at-most-once per call
+// and reports a definite local failure (an unreachable peer looks like
+// a lost message, not an error, on lossy transports). Recv is the
+// inbound stream for the local node; it may be closed by Close, and
+// consumers must also watch their own stop signal.
+type Transport interface {
+	Send(msg delegate.Message) error
+	Recv() <-chan delegate.Message
+	Close() error
+}
+
+// AddressBook maps node ids to dialable addresses; it is safe for
+// concurrent use so listeners can register while dialers look up.
+type AddressBook struct {
+	mu    sync.RWMutex
+	addrs map[delegate.NodeID]string
+}
+
+// NewAddressBook creates an empty address book.
+func NewAddressBook() *AddressBook {
+	return &AddressBook{addrs: make(map[delegate.NodeID]string)}
+}
+
+// Set registers or replaces the address of a node.
+func (b *AddressBook) Set(id delegate.NodeID, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[id] = addr
+}
+
+// Get returns the registered address of a node.
+func (b *AddressBook) Get(id delegate.NodeID) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	addr, ok := b.addrs[id]
+	return addr, ok
+}
+
+// All returns a copy of the registered addresses.
+func (b *AddressBook) All() map[delegate.NodeID]string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[delegate.NodeID]string, len(b.addrs))
+	for id, addr := range b.addrs {
+		out[id] = addr
+	}
+	return out
+}
+
+// Wire framing shared by every stream transport:
+//
+//	kind u8 | from i32 | to i32 | round u64 | len u32 | payload
+//
+// little-endian, matching the integer-only encodings of package anu.
+const frameHeaderLen = 1 + 4 + 4 + 8 + 4
+
+// writeFrame writes one framed message.
+func writeFrame(w io.Writer, msg delegate.Message) error {
+	buf := make([]byte, frameHeaderLen+len(msg.Payload))
+	buf[0] = byte(msg.Kind)
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(msg.From))
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(msg.To))
+	binary.LittleEndian.PutUint64(buf[9:17], msg.Round)
+	binary.LittleEndian.PutUint32(buf[17:21], uint32(len(msg.Payload)))
+	copy(buf[frameHeaderLen:], msg.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one framed message, rejecting payloads larger than
+// maxPayload so a corrupt length field cannot exhaust memory.
+func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
+	head := make([]byte, frameHeaderLen)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return delegate.Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(head[17:21])
+	if int(n) > maxPayload {
+		return delegate.Message{}, fmt.Errorf("cluster: frame payload %d exceeds limit %d", n, maxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return delegate.Message{}, err
+	}
+	return delegate.Message{
+		Kind:    delegate.MsgKind(head[0]),
+		From:    delegate.NodeID(binary.LittleEndian.Uint32(head[1:5])),
+		To:      delegate.NodeID(binary.LittleEndian.Uint32(head[5:9])),
+		Round:   binary.LittleEndian.Uint64(head[9:17]),
+		Payload: payload,
+	}, nil
+}

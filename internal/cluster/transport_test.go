@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"anurand/internal/delegate"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := delegate.Message{
+		Kind:    delegate.MsgMap,
+		From:    3,
+		To:      1,
+		Round:   math64(),
+		Payload: []byte("payload bytes"),
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.From != in.From || out.To != in.To || out.Round != in.Round {
+		t.Fatalf("header round trip %+v -> %+v", in, out)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload round trip %q -> %q", in.Payload, out.Payload)
+	}
+}
+
+// math64 returns a round value exercising all eight bytes.
+func math64() uint64 { return 0x0123456789abcdef }
+
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	msg := delegate.Message{Kind: delegate.MsgReport, Payload: make([]byte, 64)}
+	if err := writeFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(&buf, 16); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestFrameShortRead(t *testing.T) {
+	if _, err := readFrame(bytes.NewReader([]byte{1, 2, 3}), 1<<10); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	var buf bytes.Buffer
+	msg := delegate.Message{Kind: delegate.MsgReport, Payload: []byte("abcdef")}
+	if err := writeFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := readFrame(bytes.NewReader(trunc), 1<<10); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestAddressBook(t *testing.T) {
+	book := NewAddressBook()
+	if _, ok := book.Get(1); ok {
+		t.Fatal("empty book resolved an address")
+	}
+	book.Set(1, "127.0.0.1:1000")
+	book.Set(2, "127.0.0.1:2000")
+	book.Set(1, "127.0.0.1:1001") // re-registration (restart on a new port)
+	if addr, ok := book.Get(1); !ok || addr != "127.0.0.1:1001" {
+		t.Fatalf("Get(1) = %q/%v", addr, ok)
+	}
+	all := book.All()
+	if len(all) != 2 || all[2] != "127.0.0.1:2000" {
+		t.Fatalf("All() = %v", all)
+	}
+}

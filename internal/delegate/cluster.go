@@ -9,28 +9,54 @@ import (
 )
 
 // MemTransport is an in-memory Transport with deterministic, seedable
-// message loss — enough to exercise the protocol's tolerance of lost
-// reports and lost map updates without wall-clock timing.
+// chaos — message loss, duplication, and one-round delay (which makes
+// old messages arrive after newer ones, i.e. reordering across rounds)
+// — enough to exercise the protocol's tolerance of what real networks
+// do, without wall-clock timing.
 type MemTransport struct {
-	boxes    map[NodeID][]Message
-	src      *rng.Source
-	lossProb float64
-	sent     uint64
-	dropped  uint64
+	boxes map[NodeID][]Message
+	// deferred holds freshly delayed messages; a Deliver promotes them
+	// to due, and a later Deliver hands due messages over after the
+	// current batch — so they arrive a full cycle late and out of order
+	// relative to newer traffic.
+	deferred   map[NodeID][]Message
+	due        map[NodeID][]Message
+	src        *rng.Source
+	lossProb   float64
+	dupProb    float64
+	delayProb  float64
+	sent       uint64
+	dropped    uint64
+	duplicated uint64
+	delayed    uint64
 }
 
 // NewMemTransport creates a lossless in-memory transport.
 func NewMemTransport() *MemTransport {
-	return &MemTransport{boxes: make(map[NodeID][]Message)}
+	return &MemTransport{
+		boxes:    make(map[NodeID][]Message),
+		deferred: make(map[NodeID][]Message),
+		due:      make(map[NodeID][]Message),
+	}
 }
 
 // SetLoss makes the transport drop each message independently with
 // probability p, using a deterministic stream from seed.
 func (t *MemTransport) SetLoss(p float64, seed uint64) {
-	if p < 0 || p >= 1 {
-		panic(fmt.Sprintf("delegate: SetLoss(%g) outside [0, 1)", p))
+	t.SetChaos(p, 0, 0, seed)
+}
+
+// SetChaos configures independent per-message drop, duplicate and
+// delay probabilities with a deterministic stream from seed. A delayed
+// message is held for one Deliver cycle and then handed over after any
+// newer messages — the in-memory model of network reordering.
+func (t *MemTransport) SetChaos(drop, dup, delay float64, seed uint64) {
+	for _, p := range []float64{drop, dup, delay} {
+		if p < 0 || p >= 1 {
+			panic(fmt.Sprintf("delegate: SetChaos probability %g outside [0, 1)", p))
+		}
 	}
-	t.lossProb = p
+	t.lossProb, t.dupProb, t.delayProb = drop, dup, delay
 	t.src = rng.New(seed)
 }
 
@@ -41,18 +67,44 @@ func (t *MemTransport) Send(msg Message) {
 		t.dropped++
 		return
 	}
-	t.boxes[msg.To] = append(t.boxes[msg.To], msg)
+	copies := 1
+	if t.dupProb > 0 && t.src.Float64() < t.dupProb {
+		copies = 2
+		t.duplicated++
+	}
+	for i := 0; i < copies; i++ {
+		if t.delayProb > 0 && t.src.Float64() < t.delayProb {
+			t.deferred[msg.To] = append(t.deferred[msg.To], msg)
+			t.delayed++
+			continue
+		}
+		t.boxes[msg.To] = append(t.boxes[msg.To], msg)
+	}
 }
 
-// Deliver implements Transport.
+// Deliver implements Transport. Messages delayed on a previous cycle
+// are delivered after the current batch — old traffic arriving late.
 func (t *MemTransport) Deliver(to NodeID) []Message {
 	msgs := t.boxes[to]
 	t.boxes[to] = nil
+	if late := t.due[to]; len(late) > 0 {
+		t.due[to] = nil
+		msgs = append(msgs, late...)
+	}
+	if queued := t.deferred[to]; len(queued) > 0 {
+		t.deferred[to] = nil
+		t.due[to] = append(t.due[to], queued...)
+	}
 	return msgs
 }
 
 // Stats returns (sent, dropped) counters.
 func (t *MemTransport) Stats() (sent, dropped uint64) { return t.sent, t.dropped }
+
+// ChaosStats returns (sent, dropped, duplicated, delayed) counters.
+func (t *MemTransport) ChaosStats() (sent, dropped, duplicated, delayed uint64) {
+	return t.sent, t.dropped, t.duplicated, t.delayed
+}
 
 // Cluster is a round-synchronous harness over a set of Nodes: each
 // Step models one tuning interval — local observation, report exchange,

@@ -61,6 +61,12 @@ type Report struct {
 	LatencyMicros uint64
 }
 
+// MaxLatencyMicros is the largest latency a report can carry: 1e18
+// microseconds (~31,700 years). Observe clamps to it so the
+// float64→uint64 conversion is always in range; values beyond it carry
+// no more information than "unusably slow".
+const MaxLatencyMicros uint64 = 1e18
+
 // encodeReport serializes a report payload.
 func encodeReport(r Report) []byte {
 	buf := make([]byte, 16)
@@ -102,6 +108,11 @@ type Node struct {
 	last Report // most recent local measurement
 	// pending accumulates reports received while acting as delegate.
 	pending map[NodeID]Report
+	// mapRound is the round of the last installed map; MsgMap from an
+	// earlier round is stale and must never overwrite a newer placement.
+	mapRound uint64
+	// staleMaps counts rejected stale map messages (instrumentation).
+	staleMaps uint64
 }
 
 // NewNode creates an agent with its own copy of the initial map. All
@@ -149,6 +160,7 @@ func (n *Node) Fingerprint() uint64 {
 // would.
 func (n *Node) Crash() {
 	n.up = false
+	n.last = Report{}
 	n.pending = make(map[NodeID]Report)
 	n.ctl.Reset()
 }
@@ -156,7 +168,11 @@ func (n *Node) Crash() {
 // Restart brings a crashed node back using a fresh snapshot obtained
 // from a live peer (in a real cluster, from shared storage or the
 // delegate). Its smoothing state starts empty — the protocol tolerates
-// that because the delegate is stateless.
+// that because the delegate is stateless. The pre-crash measurement is
+// zeroed: the first report after a restart must describe the restarted
+// process, not replay load data from before the crash. The round guard
+// also resets — the snapshot is the node's new baseline and any map
+// that arrives afterwards is newer than what the node knows.
 func (n *Node) Restart(snapshot []byte) error {
 	m, err := anu.Decode(snapshot)
 	if err != nil {
@@ -164,17 +180,31 @@ func (n *Node) Restart(snapshot []byte) error {
 	}
 	n.m = m
 	n.up = true
+	n.last = Report{}
+	n.pending = make(map[NodeID]Report)
+	n.mapRound = 0
 	return nil
 }
 
 // Observe records the node's local measurement for the elapsed interval.
+// Latencies are clamped to [0, MaxLatencyMicros/1e6] seconds: negative
+// and NaN inputs become 0, while +Inf and absurdly large values saturate
+// instead of hitting the platform-dependent behaviour of an
+// out-of-range float64→uint64 conversion.
 func (n *Node) Observe(requests uint64, meanLatencySeconds float64) {
 	if meanLatencySeconds < 0 || math.IsNaN(meanLatencySeconds) {
 		meanLatencySeconds = 0
 	}
+	micros := meanLatencySeconds * 1e6
+	var latency uint64
+	if micros >= float64(MaxLatencyMicros) { // catches +Inf too
+		latency = MaxLatencyMicros
+	} else {
+		latency = uint64(micros)
+	}
 	n.last = Report{
 		Requests:      requests,
-		LatencyMicros: uint64(meanLatencySeconds * 1e6),
+		LatencyMicros: latency,
 	}
 }
 
@@ -213,12 +243,20 @@ func (n *Node) CollectReports(round uint64) (mapApplied bool, err error) {
 			}
 			n.pending[msg.From] = rep
 		case MsgMap:
+			if msg.Round < n.mapRound {
+				// A reordered or duplicated map from an older round
+				// must never overwrite a newer placement: installed
+				// map rounds are monotonic.
+				n.staleMaps++
+				continue
+			}
 			m, derr := anu.Decode(msg.Payload)
 			if derr != nil {
 				// A corrupt map must never be installed.
 				continue
 			}
 			n.m = m
+			n.mapRound = msg.Round
 			mapApplied = true
 		default:
 			return mapApplied, fmt.Errorf("delegate: node %d: unknown message kind %d", n.id, msg.Kind)
@@ -231,6 +269,25 @@ func (n *Node) CollectReports(round uint64) (mapApplied bool, err error) {
 // currently holds as delegate — a progress probe for transports that
 // deliver asynchronously.
 func (n *Node) PendingReports() int { return len(n.pending) }
+
+// Reported returns the ids whose reports the node currently holds as
+// delegate, in unspecified order.
+func (n *Node) Reported() []NodeID {
+	out := make([]NodeID, 0, len(n.pending))
+	for id := range n.pending {
+		out = append(out, id)
+	}
+	return out
+}
+
+// MapRound returns the round of the node's installed map: 0 until the
+// first install (or after a Restart), then monotonically non-decreasing
+// for the life of the process.
+func (n *Node) MapRound() uint64 { return n.mapRound }
+
+// StaleMapsRejected returns how many stale-round map messages the node
+// has refused to install.
+func (n *Node) StaleMapsRejected() uint64 { return n.staleMaps }
 
 // RunDelegate executes the delegate role for one round over the reports
 // collected so far: servers that did not report are treated as failed
@@ -261,6 +318,12 @@ func (n *Node) RunDelegate(round uint64, members []NodeID) error {
 		return err
 	}
 	n.pending = make(map[NodeID]Report)
+	// The delegate's own map is now the round's authoritative placement;
+	// stamping it keeps the round guard effective if this node later
+	// receives a late broadcast from a previous delegate.
+	if round > n.mapRound {
+		n.mapRound = round
+	}
 
 	snapshot := n.m.Encode()
 	for _, id := range members {

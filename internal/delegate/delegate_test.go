@@ -1,6 +1,7 @@
 package delegate
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -297,6 +298,159 @@ func TestSharedStateIsSnapshotSized(t *testing.T) {
 	snapLen := len(c.Node(0).Map().Encode())
 	if snapLen == 0 || snapLen > 4096 {
 		t.Fatalf("snapshot size %d implausible for k=5", snapLen)
+	}
+}
+
+// TestStaleMapRoundIgnored is the regression test for the map round
+// guard: a reordered MsgMap from an old round must never overwrite a
+// newer placement, while genuinely newer maps still install.
+func TestStaleMapRoundIgnored(t *testing.T) {
+	c := testCluster(t, 2)
+	staleSnapshot := c.Node(1).Map().Encode() // the bootstrap placement
+	speeds := map[NodeID]float64{0: 1, 1: 9}
+	for round := 0; round < 5; round++ {
+		observeHeterogeneous(c, speeds)
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := c.Node(1)
+	if n.MapRound() != c.Round() {
+		t.Fatalf("map round %d, want %d", n.MapRound(), c.Round())
+	}
+	before := n.Fingerprint()
+	// A delayed duplicate of the round-1 broadcast arrives now.
+	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Round: 1, Payload: staleSnapshot})
+	applied, err := n.CollectReports(c.Round())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied || n.Fingerprint() != before {
+		t.Fatal("stale-round map was installed over a newer placement")
+	}
+	if n.StaleMapsRejected() != 1 {
+		t.Fatalf("StaleMapsRejected = %d, want 1", n.StaleMapsRejected())
+	}
+	if n.MapRound() != c.Round() {
+		t.Fatalf("map round moved backwards to %d", n.MapRound())
+	}
+	// A newer round still installs.
+	next := c.Round() + 10
+	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Round: next, Payload: c.Node(0).Map().Encode()})
+	applied, err = n.CollectReports(c.Round())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied || n.MapRound() != next {
+		t.Fatalf("newer map not installed (applied=%v round=%d)", applied, n.MapRound())
+	}
+}
+
+// TestObserveClampsExtremeLatency is the regression test for the
+// overflow clamp: +Inf and astronomically large latencies must
+// saturate at MaxLatencyMicros instead of hitting the
+// platform-dependent out-of-range float64→uint64 conversion.
+func TestObserveClampsExtremeLatency(t *testing.T) {
+	c := testCluster(t, 2)
+	n := c.Node(0)
+	cases := []struct {
+		latency float64
+		want    uint64
+	}{
+		{0.5, 500000},
+		{-3, 0},
+		{math.NaN(), 0},
+		{math.Inf(1), MaxLatencyMicros},
+		{1.8e13, MaxLatencyMicros}, // the old uint64 overflow threshold
+		{1e300, MaxLatencyMicros},  // far beyond any uint64
+		{float64(MaxLatencyMicros), MaxLatencyMicros}, // exactly at the cap (in seconds ×1e6)
+	}
+	for _, tc := range cases {
+		n.Observe(7, tc.latency)
+		if n.last.LatencyMicros != tc.want {
+			t.Errorf("Observe(%g) -> %d micros, want %d", tc.latency, n.last.LatencyMicros, tc.want)
+		}
+	}
+}
+
+// TestRestartClearsPreCrashReport is the regression test for stale
+// report replay: a freshly restarted node must not re-send load data
+// measured before the crash.
+func TestRestartClearsPreCrashReport(t *testing.T) {
+	c := testCluster(t, 3)
+	n := c.Node(2)
+	n.Observe(5000, 1.25)
+	n.Crash()
+	if err := n.Restart(c.Node(0).Map().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if n.last != (Report{}) {
+		t.Fatalf("restarted node still holds pre-crash report %+v", n.last)
+	}
+	// The first post-restart report on the wire is the zero report, not
+	// the pre-crash measurement.
+	n.SendReport(0, 9)
+	got := c.Transport().Deliver(0)
+	if len(got) != 1 {
+		t.Fatalf("expected 1 message, got %d", len(got))
+	}
+	rep, err := decodeReport(got[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != (Report{}) {
+		t.Fatalf("restarted node replayed stale report %+v", rep)
+	}
+}
+
+// TestChaosTransportConvergence runs the protocol over seeded drop,
+// duplicate and delay chaos and asserts the protocol invariants: the
+// installed map round never moves backwards on any node, and once the
+// chaos stops, every node reaches a byte-identical fingerprint within
+// a bounded number of rounds.
+func TestChaosTransportConvergence(t *testing.T) {
+	c := testCluster(t, 5)
+	c.Transport().SetChaos(0.2, 0.3, 0.3, 11)
+	speeds := paperSpeeds()
+	prevRounds := make(map[NodeID]uint64)
+	for round := 0; round < 40; round++ {
+		observeHeterogeneous(c, speeds)
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range c.Nodes {
+			if mr := n.MapRound(); mr < prevRounds[n.ID()] {
+				t.Fatalf("round %d: node %d map round regressed %d -> %d",
+					round, n.ID(), prevRounds[n.ID()], mr)
+			} else {
+				prevRounds[n.ID()] = mr
+			}
+		}
+	}
+	var stale uint64
+	for _, n := range c.Nodes {
+		stale += n.StaleMapsRejected()
+	}
+	if stale == 0 {
+		t.Fatal("chaos produced no stale-map deliveries; the guard went unexercised")
+	}
+	// Chaos off: the self-healing protocol converges within a bounded
+	// number of clean rounds (two flush the delay queues, then every
+	// broadcast reaches everyone).
+	c.Transport().SetChaos(0, 0, 0, 11)
+	const bound = 5
+	for round := 0; round < bound; round++ {
+		observeHeterogeneous(c, speeds)
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Converged() {
+		t.Fatalf("nodes did not converge within %d clean rounds", bound)
+	}
+	_, _, duplicated, delayed := c.Transport().ChaosStats()
+	if duplicated == 0 || delayed == 0 {
+		t.Fatalf("chaos implausible: duplicated=%d delayed=%d", duplicated, delayed)
 	}
 }
 
