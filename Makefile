@@ -3,14 +3,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race bench vet fmt figures examples clean
+.PHONY: all check build test race bench bench-lookup bench-figs bench-smoke bench-gate vet fmt figures examples clean
 
 all: check
 
-# The default gate: compile, unit tests, static analysis, and the
-# race detector over the concurrent internals (including the chaos
-# soak in internal/cluster).
-check: build test vet race
+# The default gate: compile, unit tests, static analysis, the race
+# detector over the concurrent code (including the chaos soak in
+# internal/cluster and the RCU stress test in the root package), and a
+# smoke run of every benchmark so a broken benchmark can't land.
+check: build test vet race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -19,10 +20,37 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race . ./internal/...
 
-bench:
-	$(GO) test -bench=. -benchmem ./...
+# Record benchmark baselines: the lookup/hash micro-benchmarks into
+# BENCH_lookup.json and the paper-figure benchmarks into
+# BENCH_figs.json. Intermediate text files (not pipes) so a go test
+# failure stops the recipe under plain POSIX sh.
+bench: bench-lookup bench-figs
+
+bench-lookup:
+	$(GO) test -run='^$$' -bench='Balancer|Hash|Lookup|SetWeights' -benchmem . ./internal/... > BENCH_lookup.txt
+	$(GO) run ./cmd/benchjson -o BENCH_lookup.json < BENCH_lookup.txt
+	rm -f BENCH_lookup.txt
+
+bench-figs:
+	$(GO) test -run='^$$' -bench='Fig' -benchtime=1x -benchmem . > BENCH_figs.txt
+	$(GO) run ./cmd/benchjson -o BENCH_figs.json < BENCH_figs.txt
+	rm -f BENCH_figs.txt
+
+# Cheap benchmark liveness check for the default gate: 10 iterations of
+# everything, output discarded — catches benchmarks that panic or fail,
+# not performance changes.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=10x ./... > /dev/null
+
+# Compare a fresh micro-benchmark run against the committed baseline
+# and fail on >30% ns/op regressions. Meaningful on hardware comparable
+# to the machine that recorded BENCH_lookup.json.
+bench-gate:
+	$(GO) test -run='^$$' -bench='Balancer|Hash|Lookup|SetWeights' -benchmem . ./internal/... > BENCH_gate.txt
+	$(GO) run ./cmd/benchjson -gate BENCH_lookup.json < BENCH_gate.txt > /dev/null
+	rm -f BENCH_gate.txt
 
 vet:
 	$(GO) vet ./...
@@ -45,3 +73,4 @@ examples:
 
 clean:
 	$(GO) clean -testcache
+	rm -f BENCH_lookup.txt BENCH_figs.txt BENCH_gate.txt

@@ -36,6 +36,7 @@ package anurand
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"anurand/internal/anu"
 	"anurand/internal/hashx"
@@ -124,12 +125,21 @@ type Options struct {
 
 // Balancer is a thread-safe ANU placement map with its feedback
 // controller — the embeddable form of the paper's load-management
-// system. Lookups take a read lock and are cheap (a couple of hash
-// probes in expectation); tuning and membership changes serialize behind
-// a write lock.
+// system.
+//
+// Concurrency model (RCU-style snapshots): the placement map is an
+// immutable snapshot published through an atomic pointer. Readers
+// (Lookup, LookupProbes, LookupBatch, Shares, Snapshot, …) load the
+// pointer and never take a lock, never block a writer, and scale
+// linearly with cores. Writers (Tune, Fail, Recover, AddServer,
+// RemoveServer) serialize behind a mutex, clone the current map, mutate
+// the clone, and publish it; a failed mutation publishes nothing, so
+// readers always observe a complete, invariant-satisfying placement.
+// Writes are O(servers + partitions) — a few microseconds, at the
+// paper's tuning cadence of minutes.
 type Balancer struct {
-	mu  sync.RWMutex
-	m   *anu.Map
+	cur atomic.Pointer[anu.Map] // current immutable placement snapshot
+	mu  sync.Mutex              // serializes writers; guards ctl
 	ctl *anu.Controller
 }
 
@@ -153,7 +163,9 @@ func NewWithOptions(servers []ServerID, opts Options) (*Balancer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("anurand: %w", err)
 	}
-	return &Balancer{m: m, ctl: anu.NewController(cfg)}, nil
+	b := &Balancer{ctl: anu.NewController(cfg)}
+	b.cur.Store(m)
+	return b, nil
 }
 
 // Restore reconstructs a Balancer from a Snapshot, as a node would on
@@ -167,15 +179,35 @@ func Restore(snapshot []byte, opts Options) (*Balancer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("anurand: %w", err)
 	}
-	return &Balancer{m: m, ctl: anu.NewController(cfg)}, nil
+	b := &Balancer{ctl: anu.NewController(cfg)}
+	b.cur.Store(m)
+	return b, nil
+}
+
+// snapshot returns the current immutable placement map. The result must
+// be treated as read-only; mutators work on clones and republish.
+func (b *Balancer) snapshot() *anu.Map { return b.cur.Load() }
+
+// mutate runs f on a private clone of the current map under the writer
+// lock and publishes the clone only if f succeeds, so a failed
+// operation leaves the visible placement untouched.
+func (b *Balancer) mutate(f func(m *anu.Map) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	clone := b.cur.Load().Clone()
+	if err := f(clone); err != nil {
+		return err
+	}
+	b.cur.Store(clone)
+	return nil
 }
 
 // Lookup returns the server responsible for key. The boolean is false
-// only when every server has failed.
+// only when every server has failed. Lookup is lock-free and
+// allocation-free: it reads the current placement snapshot and performs
+// a couple of hash probes in expectation.
 func (b *Balancer) Lookup(key string) (ServerID, bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	id, _ := b.m.Lookup(key)
+	id, _ := b.snapshot().Lookup(key)
 	if id == anu.NoServer {
 		return 0, false
 	}
@@ -185,13 +217,39 @@ func (b *Balancer) Lookup(key string) (ServerID, bool) {
 // LookupProbes returns the placement along with the number of hash
 // probes used (expected two under half occupancy).
 func (b *Balancer) LookupProbes(key string) (ServerID, int, bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	id, probes := b.m.Lookup(key)
+	id, probes := b.snapshot().Lookup(key)
 	if id == anu.NoServer {
 		return 0, probes, false
 	}
 	return ServerID(id), probes, true
+}
+
+// NoOwner is stored by LookupBatch for keys that cannot be placed
+// (every server has failed).
+const NoOwner ServerID = -1
+
+// LookupBatch resolves keys[i] into owners[i] for every key, against a
+// single placement snapshot — concurrent tuning never splits a batch
+// across two placements. It returns the number of keys that resolved to
+// a live server; unresolved entries are set to NoOwner. owners must be
+// at least as long as keys. Like Lookup, the batch path is lock-free
+// and allocation-free.
+func (b *Balancer) LookupBatch(keys []string, owners []ServerID) int {
+	if len(owners) < len(keys) {
+		panic(fmt.Sprintf("anurand: LookupBatch: %d owners for %d keys", len(owners), len(keys)))
+	}
+	m := b.snapshot()
+	resolved := 0
+	for i, key := range keys {
+		id, _ := m.Lookup(key)
+		if id == anu.NoServer {
+			owners[i] = NoOwner
+			continue
+		}
+		owners[i] = ServerID(id)
+		resolved++
+	}
+	return resolved
 }
 
 // Tune applies one feedback round from per-server latency reports and
@@ -207,9 +265,12 @@ func (b *Balancer) Tune(reports []Report) (bool, error) {
 			Failed:   r.Failed,
 		}
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	changed, err := b.ctl.Tune(b.m, rs)
+	var changed bool
+	err := b.mutate(func(m *anu.Map) error {
+		var err error
+		changed, err = b.ctl.Tune(m, rs)
+		return err
+	})
 	if err != nil {
 		return changed, fmt.Errorf("anurand: %w", err)
 	}
@@ -219,31 +280,23 @@ func (b *Balancer) Tune(reports []Report) (bool, error) {
 // AddServer commissions a new server with an equal share of the mapped
 // interval, repartitioning if needed.
 func (b *Balancer) AddServer(id ServerID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.m.AddServer(anu.ServerID(id))
+	return b.mutate(func(m *anu.Map) error { return m.AddServer(anu.ServerID(id)) })
 }
 
 // RemoveServer decommissions a server; its load fails over to the
 // survivors.
 func (b *Balancer) RemoveServer(id ServerID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.m.RemoveServer(anu.ServerID(id))
+	return b.mutate(func(m *anu.Map) error { return m.RemoveServer(anu.ServerID(id)) })
 }
 
 // Fail records a server failure; only its file sets move.
 func (b *Balancer) Fail(id ServerID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.m.Fail(anu.ServerID(id))
+	return b.mutate(func(m *anu.Map) error { return m.Fail(anu.ServerID(id)) })
 }
 
 // Recover re-admits a failed server with an equal share.
 func (b *Balancer) Recover(id ServerID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.m.Recover(anu.ServerID(id))
+	return b.mutate(func(m *anu.Map) error { return m.Recover(anu.ServerID(id)) })
 }
 
 // Advisory flags a server the controller considers incompetent for this
@@ -257,8 +310,8 @@ type Advisory struct {
 
 // Advisories lists servers currently flagged as incompetent.
 func (b *Balancer) Advisories() []Advisory {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	advs := b.ctl.Advisories()
 	out := make([]Advisory, len(advs))
 	for i, a := range advs {
@@ -270,9 +323,7 @@ func (b *Balancer) Advisories() []Advisory {
 // Servers returns the member ids in ascending order (including failed,
 // zero-share members).
 func (b *Balancer) Servers() []ServerID {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	ids := b.m.Servers()
+	ids := b.snapshot().Servers()
 	out := make([]ServerID, len(ids))
 	for i, id := range ids {
 		out[i] = ServerID(id)
@@ -282,12 +333,12 @@ func (b *Balancer) Servers() []ServerID {
 
 // Shares returns each server's fraction of the mapped interval
 // (fractions sum to 1 across live servers; failed servers report 0).
+// All fractions come from one placement snapshot.
 func (b *Balancer) Shares() map[ServerID]float64 {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	total := float64(b.m.TotalMapped())
-	out := make(map[ServerID]float64, b.m.K())
-	for id, l := range b.m.Lengths() {
+	m := b.snapshot()
+	total := float64(m.TotalMapped())
+	out := make(map[ServerID]float64, m.K())
+	for id, l := range m.Lengths() {
 		if total == 0 {
 			out[ServerID(id)] = 0
 		} else {
@@ -300,38 +351,28 @@ func (b *Balancer) Shares() map[ServerID]float64 {
 // Snapshot serializes the placement map — the only state a delegate
 // replicates to the cluster. Its size is O(servers).
 func (b *Balancer) Snapshot() []byte {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.m.Encode()
+	return b.snapshot().Encode()
 }
 
 // SharedStateSize returns len(Snapshot()).
 func (b *Balancer) SharedStateSize() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.m.SharedStateSize()
+	return b.snapshot().SharedStateSize()
 }
 
 // Partitions returns the current partition count of the unit interval,
 // 2^(ceil(lg k)+1) for k servers.
 func (b *Balancer) Partitions() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.m.Partitions()
+	return b.snapshot().Partitions()
 }
 
 // K returns the number of member servers.
 func (b *Balancer) K() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.m.K()
+	return b.snapshot().K()
 }
 
 // Render draws the unit interval as an ASCII bar (one digit per cell
 // for the owning server, '.' for unmapped space) — the picture of the
 // paper's Figure 2, for logs and operator tooling.
 func (b *Balancer) Render(width int) string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.m.Render(width)
+	return b.snapshot().Render(width)
 }

@@ -1,0 +1,174 @@
+package anurand
+
+// Concurrency stress coverage for the RCU lookup data plane: readers
+// hammer the lock-free paths while writers churn the placement. Run
+// under the race detector (`make race`), this is the proof that
+// snapshot publication is sound — every lookup observes a complete,
+// invariant-satisfying placement no matter how the mutators interleave.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentReadersUnderMutation asserts that with at least one
+// server always live, every concurrent Lookup resolves to a member id,
+// batches resolve fully against one snapshot, shares stay normalized,
+// and snapshots taken mid-churn decode cleanly.
+func TestConcurrentReadersUnderMutation(t *testing.T) {
+	const (
+		baseServers = 8
+		addedMax    = 4 // ids baseServers..baseServers+addedMax-1 are commissioned mid-run
+		readers     = 8
+		writerOps   = 300
+	)
+	ids := make([]ServerID, baseServers)
+	for i := range ids {
+		ids[i] = ServerID(i)
+	}
+	b, err := New(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	member := func(id ServerID) bool { return id >= 0 && id < baseServers+addedMax }
+
+	var stop atomic.Bool
+	errs := make(chan error, readers+3)
+	var readWG, writeWG sync.WaitGroup
+
+	// Readers: single lookups, probe-counted lookups, batches, shares,
+	// snapshots. They run until the writers finish.
+	for g := 0; g < readers; g++ {
+		readWG.Add(1)
+		go func(g int) {
+			defer readWG.Done()
+			keys := make([]string, 16)
+			owners := make([]ServerID, len(keys))
+			for i := range keys {
+				keys[i] = fmt.Sprintf("reader-%d/fileset-%04d", g, i)
+			}
+			for i := 0; !stop.Load(); i++ {
+				key := keys[i%len(keys)]
+				owner, ok := b.Lookup(key)
+				if !ok {
+					errs <- fmt.Errorf("reader %d: lookup failed with live servers", g)
+					return
+				}
+				if !member(owner) {
+					errs <- fmt.Errorf("reader %d: lookup returned non-member %d", g, owner)
+					return
+				}
+				if owner, probes, ok := b.LookupProbes(key); !ok || probes < 1 || !member(owner) {
+					errs <- fmt.Errorf("reader %d: LookupProbes = (%d, %d, %v)", g, owner, probes, ok)
+					return
+				}
+				if n := b.LookupBatch(keys, owners); n != len(keys) {
+					errs <- fmt.Errorf("reader %d: batch resolved %d/%d keys", g, n, len(keys))
+					return
+				}
+				for _, o := range owners {
+					if !member(o) {
+						errs <- fmt.Errorf("reader %d: batch returned non-member %d", g, o)
+						return
+					}
+				}
+				if i%8 == 0 {
+					var sum float64
+					for id, s := range b.Shares() {
+						if s < 0 || s > 1 {
+							errs <- fmt.Errorf("reader %d: share of %d is %g", g, id, s)
+							return
+						}
+						sum += s
+					}
+					if sum < 0.999 || sum > 1.001 {
+						errs <- fmt.Errorf("reader %d: shares sum to %g", g, sum)
+						return
+					}
+				}
+				if i%16 == 0 {
+					if _, err := Restore(b.Snapshot(), Options{}); err != nil {
+						errs <- fmt.Errorf("reader %d: snapshot does not decode: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Writer 1: tuning rounds with shifting latencies.
+	writeWG.Add(1)
+	go func() {
+		defer writeWG.Done()
+		for i := 0; i < writerOps; i++ {
+			reports := make([]Report, baseServers)
+			for j := range reports {
+				reports[j] = Report{
+					Server:         ServerID(j),
+					Requests:       100 + uint64(i%7)*10,
+					LatencySeconds: 0.5 + float64((i+j)%9)*0.25,
+				}
+			}
+			if _, err := b.Tune(reports); err != nil {
+				errs <- fmt.Errorf("tune: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writer 2: fail/recover cycles over servers 1..3, at most one down
+	// at a time so lookups always have live owners.
+	writeWG.Add(1)
+	go func() {
+		defer writeWG.Done()
+		for i := 0; i < writerOps; i++ {
+			id := ServerID(1 + i%3)
+			if err := b.Fail(id); err != nil {
+				errs <- fmt.Errorf("fail %d: %v", id, err)
+				return
+			}
+			if err := b.Recover(id); err != nil {
+				errs <- fmt.Errorf("recover %d: %v", id, err)
+				return
+			}
+		}
+	}()
+
+	// Writer 3: commission new servers mid-run (forces repartitioning
+	// while readers are in flight).
+	writeWG.Add(1)
+	go func() {
+		defer writeWG.Done()
+		for i := 0; i < addedMax; i++ {
+			if err := b.AddServer(ServerID(baseServers + i)); err != nil {
+				errs <- fmt.Errorf("add %d: %v", baseServers+i, err)
+				return
+			}
+		}
+	}()
+
+	// Wait for the writers, then release the readers and collect any
+	// reported failures.
+	writeWG.Wait()
+	stop.Store(true)
+	readWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The churned balancer must still satisfy every decode-side
+	// invariant (Decode runs CheckInvariants).
+	if _, err := Restore(b.Snapshot(), Options{}); err != nil {
+		t.Fatalf("final snapshot invalid: %v", err)
+	}
+	if got := b.K(); got != baseServers+addedMax {
+		t.Fatalf("K = %d after commissioning, want %d", got, baseServers+addedMax)
+	}
+}

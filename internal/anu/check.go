@@ -106,6 +106,9 @@ func (m *Map) CheckInvariants() error {
 	if total != Half && total != 0 {
 		return fmt.Errorf("anu: total mapped measure %d violates half occupancy (want %d or 0)", total, Half)
 	}
+	if m.total != total {
+		return fmt.Errorf("anu: total-mapped cache %d != measured %d", m.total, total)
+	}
 	if total == Half && free == 0 {
 		return fmt.Errorf("anu: no free partition available (recovery guarantee broken)")
 	}

@@ -125,6 +125,7 @@ func Decode(data []byte) (*Map, error) {
 		}
 		m.regions[id] = r
 		m.order = append(m.order, id)
+		m.total += r.length
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("anu: Decode: %w", d.err)

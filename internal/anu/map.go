@@ -104,6 +104,11 @@ type Map struct {
 	order     []ServerID // sorted ids, kept for deterministic iteration
 	maxProbes int
 
+	// total caches the sum of all region lengths (Half, or 0 when every
+	// server has failed). SetLengths maintains it, so the lookup
+	// fallback and share reporting never rescan the partitions.
+	total Ticks
+
 	// freed buffers the partitions released during the current
 	// SetLengths call. Growers claim these "warm" partitions before
 	// virgin ones: warm space was already mapped, so re-owning it only
@@ -225,13 +230,7 @@ func (m *Map) Lengths() map[ServerID]Ticks {
 
 // TotalMapped returns the sum of all region lengths. It equals Half
 // whenever at least one server has nonzero length.
-func (m *Map) TotalMapped() Ticks {
-	var sum Ticks
-	for _, r := range m.regions {
-		sum += r.length
-	}
-	return sum
-}
+func (m *Map) TotalMapped() Ticks { return m.total }
 
 // SetMaxProbes overrides the re-hash probe budget (for ablation).
 // Values < 1 are clamped to 1.
@@ -243,17 +242,18 @@ func (m *Map) SetMaxProbes(n int) {
 }
 
 // OwnerAt returns the server owning tick x, or NoServer if x is
-// unmapped.
+// unmapped. Partition widths are powers of two, so the partition index
+// and intra-partition offset are a shift and a mask, not a division.
 func (m *Map) OwnerAt(x Ticks) ServerID {
 	if x >= Unit {
 		return NoServer
 	}
-	w := m.Width()
-	p := &m.parts[x/Ticks(w)]
+	shift := UnitBits - m.partBits
+	p := &m.parts[x>>shift]
 	if p.owner == NoServer {
 		return NoServer
 	}
-	if x%w < p.occ {
+	if x&(Ticks(1)<<shift-1) < p.occ {
 		return p.owner
 	}
 	return NoServer
@@ -267,14 +267,28 @@ func (m *Map) OwnerAt(x Ticks) ServerID {
 // has nonzero length. If the map is entirely empty, Lookup returns
 // (NoServer, probes).
 func (m *Map) Lookup(name string) (ServerID, int) {
+	return m.LookupDigest(hashx.Prehash(name))
+}
+
+// LookupDigest is Lookup for a name pre-hashed with hashx.Prehash —
+// the allocation-free hot path for callers that can cache digests
+// (batch routers, the simulator's per-request placement). The probe
+// chain hashes the digest against the family's precomputed per-round
+// tweaks, so each probe is two multiplies and a table read.
+func (m *Map) LookupDigest(d hashx.Digest) (ServerID, int) {
+	shift := UnitBits - m.partBits
+	mask := Ticks(1)<<shift - 1
 	var first Ticks
 	for r := 0; r < m.maxProbes; r++ {
-		x := Ticks(m.family.Unit(name, r, uint64(Unit)))
+		// Top UnitBits bits of the 64-bit hash, i.e. Unit()'s mapping
+		// onto [0, Unit).
+		x := Ticks(m.family.HashDigest(d, r) >> (64 - UnitBits))
 		if r == 0 {
 			first = x
 		}
-		if owner := m.OwnerAt(x); owner != NoServer {
-			return owner, r + 1
+		p := &m.parts[x>>shift]
+		if p.owner != NoServer && x&mask < p.occ {
+			return p.owner, r + 1
 		}
 	}
 	return m.rankFallback(first), m.maxProbes
@@ -361,6 +375,7 @@ func (m *Map) Clone() *Map {
 		regions:   make(map[ServerID]*region, len(m.regions)),
 		order:     append([]ServerID(nil), m.order...),
 		maxProbes: m.maxProbes,
+		total:     m.total,
 	}
 	for id, r := range m.regions {
 		c.regions[id] = &region{

@@ -48,6 +48,7 @@ func (m *Map) SetLengths(lengths map[ServerID]Ticks) error {
 			m.acquire(r, target-r.length)
 		}
 	}
+	m.total = sum
 	return nil
 }
 

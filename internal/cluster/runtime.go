@@ -3,10 +3,12 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anurand/internal/anu"
 	"anurand/internal/delegate"
+	"anurand/internal/hashx"
 )
 
 // maxMailbox bounds buffered protocol messages so a confused peer
@@ -28,6 +30,13 @@ type Runtime struct {
 	tr   Transport
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// placement is the node's data plane: an immutable snapshot of the
+	// installed map, republished whenever the protocol installs or
+	// produces a new placement. Request routing (Lookup, LookupBatch)
+	// reads it without touching mu, so the protocol's lock never stalls
+	// the serving path.
+	placement atomic.Pointer[anu.Map]
 
 	mu           sync.Mutex
 	node         *delegate.Node
@@ -78,6 +87,7 @@ func Start(cfg Config, tr Transport) (*Runtime, error) {
 		return nil, err
 	}
 	r.node = node
+	r.placement.Store(node.Map().Clone())
 	now := time.Now()
 	r.roundStart, r.lastMapTime = now, now
 	r.wg.Add(3)
@@ -140,6 +150,7 @@ func (r *Runtime) handle(msg delegate.Message) {
 			r.counters.MapsInstalled++
 			r.lastMapTime = now
 			r.counters.InstallLatency.Add(now.Sub(r.roundStart).Seconds())
+			r.publishPlacementLocked()
 		}
 	default:
 		// Unknown kinds are dropped at the runtime boundary; the
@@ -280,8 +291,12 @@ func (r *Runtime) tune(round uint64) {
 			r.mu.Unlock()
 			return // superseded by a newer round or a re-election
 		}
-		if _, err := r.node.CollectReports(round); err != nil {
+		applied, err := r.node.CollectReports(round)
+		if err != nil {
 			r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
+		}
+		if applied {
+			r.publishPlacementLocked()
 		}
 		got := r.node.PendingReports() + 1 // + the delegate's own sample
 		r.mu.Unlock()
@@ -300,8 +315,13 @@ func (r *Runtime) tune(round uint64) {
 		r.mu.Unlock()
 		return
 	}
-	if _, err := r.node.CollectReports(round); err != nil {
-		r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
+	if applied, err := r.node.CollectReports(round); err != nil || applied {
+		if err != nil {
+			r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
+		}
+		if applied {
+			r.publishPlacementLocked()
+		}
 	}
 	members := r.tuneMembersLocked(now)
 	r.counters.ReportsPerTune.Add(float64(r.node.PendingReports() + 1))
@@ -310,6 +330,7 @@ func (r *Runtime) tune(round uint64) {
 	} else {
 		r.counters.Tunes++
 		r.lastMapTime = now
+		r.publishPlacementLocked()
 	}
 	out := r.takeOutboxLocked()
 	r.mu.Unlock()
@@ -436,6 +457,50 @@ func (r *Runtime) MapRound() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.node.MapRound()
+}
+
+// publishPlacementLocked snapshots the node's current map into the
+// lock-free data plane. Must be called with r.mu held, after any
+// protocol step that installed or produced a new placement. The clone
+// is immutable once stored: readers share it, the protocol never
+// touches it again.
+func (r *Runtime) publishPlacementLocked() {
+	r.placement.Store(r.node.Map().Clone())
+}
+
+// Lookup routes a key on the node's current placement snapshot. It is
+// the data-plane entry point: lock-free and allocation-free, it never
+// contends with heartbeats, report collection, or tuning. The boolean
+// is false only when every server in the placement has failed.
+func (r *Runtime) Lookup(key string) (anu.ServerID, bool) {
+	id, _ := r.placement.Load().Lookup(key)
+	return id, id != anu.NoServer
+}
+
+// LookupDigest is Lookup for a key pre-hashed with hashx.Prehash.
+func (r *Runtime) LookupDigest(d hashx.Digest) (anu.ServerID, bool) {
+	id, _ := r.placement.Load().LookupDigest(d)
+	return id, id != anu.NoServer
+}
+
+// LookupBatch resolves keys[i] into owners[i] against one placement
+// snapshot (a concurrent map install never splits a batch), returning
+// the number of keys that resolved. Unresolved entries are set to
+// anu.NoServer. owners must be at least as long as keys.
+func (r *Runtime) LookupBatch(keys []string, owners []anu.ServerID) int {
+	if len(owners) < len(keys) {
+		panic(fmt.Sprintf("cluster: LookupBatch: %d owners for %d keys", len(owners), len(keys)))
+	}
+	m := r.placement.Load()
+	resolved := 0
+	for i, key := range keys {
+		id, _ := m.Lookup(key)
+		owners[i] = id
+		if id != anu.NoServer {
+			resolved++
+		}
+	}
+	return resolved
 }
 
 // Map returns a copy of the node's placement map.

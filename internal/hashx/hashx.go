@@ -11,53 +11,122 @@
 // the finalizer decorrelates the rounds, so the probes behave like
 // independent uniform draws — the property the half-occupancy analysis
 // (miss probability 2^-r after r rounds) relies on.
+//
+// Because the FNV digest does not depend on the round and the tweak does
+// not depend on the key, a lookup's re-hash chain can hash the key once
+// (Prehash) and derive every probe from the digest and a precomputed
+// tweak table — the contention-free hot path the placement layer uses.
+// Both paths produce bit-identical values: placement is an on-the-wire
+// agreement between nodes, so h_r(key) can never change.
 package hashx
 
-import "anurand/internal/rng"
+import (
+	"math/bits"
+
+	"anurand/internal/rng"
+)
 
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
+
+	// tweakRounds is the number of per-round tweaks precomputed at
+	// family construction. It matches the placement layer's probe budget
+	// (anu.DefaultMaxProbes); later rounds fall back to deriving the
+	// tweak on the fly, with identical results.
+	tweakRounds = 64
+
+	// tweakStep and tweakSalt derive the round-r tweak as
+	// Mix64(seed + r*tweakStep + tweakSalt). These constants are part of
+	// the wire agreement; changing them re-places every file set.
+	tweakStep = 0x9e3779b97f4a7c15
+	tweakSalt = 0x632be59bd9b4e019
 )
 
+// Digest is the round-independent part of a family hash: the FNV-1a
+// digest of the key. Computing it once and probing with HashDigest or
+// UnitDigest avoids re-reading the key on every re-hash round.
+type Digest uint64
+
 // Family is a deterministic family of 64-bit hash functions. The zero
-// value uses seed zero and is valid; all nodes of a cluster must
-// construct their Family with the same seed to address the same
-// placement.
+// value uses seed zero and is valid (it derives tweaks on demand); all
+// nodes of a cluster must construct their Family with the same seed to
+// address the same placement. Families built with NewFamily carry a
+// precomputed per-round tweak table and are cheap to copy (the table is
+// shared, immutable).
 type Family struct {
-	seed uint64
+	seed   uint64
+	tweaks *[tweakRounds]uint64
 }
 
 // NewFamily returns the hash family identified by seed.
-func NewFamily(seed uint64) Family { return Family{seed: seed} }
+func NewFamily(seed uint64) Family {
+	t := new([tweakRounds]uint64)
+	for r := range t {
+		t[r] = deriveTweak(seed, r)
+	}
+	return Family{seed: seed, tweaks: t}
+}
 
 // Seed returns the family's seed.
 func (f Family) Seed() uint64 { return f.seed }
 
-// Hash returns h_round(key), the round-th member of the family applied
-// to key.
-func (f Family) Hash(key string, round int) uint64 {
+// deriveTweak computes the per-round tweak from first principles — the
+// slow path the table caches.
+func deriveTweak(seed uint64, round int) uint64 {
+	return rng.Mix64(seed + uint64(round)*tweakStep + tweakSalt)
+}
+
+// tweak returns the round's tweak, from the table when available.
+func (f Family) tweak(round int) uint64 {
+	if f.tweaks != nil && uint(round) < tweakRounds {
+		return f.tweaks[round]
+	}
+	return deriveTweak(f.seed, round)
+}
+
+// Prehash returns the round-independent digest of key, to be combined
+// with any round via HashDigest or UnitDigest.
+func Prehash(key string) Digest {
 	h := uint64(fnvOffset)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= fnvPrime
 	}
-	// Derive a per-round tweak from the seed, then mix it with the
-	// digest so rounds are decorrelated even for similar keys.
-	tweak := rng.Mix64(f.seed + uint64(round)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019)
-	return rng.Mix64(h ^ tweak)
+	return Digest(h)
+}
+
+// Hash returns h_round(key), the round-th member of the family applied
+// to key.
+func (f Family) Hash(key string, round int) uint64 {
+	return f.HashDigest(Prehash(key), round)
+}
+
+// HashDigest returns h_round for a key whose digest was computed with
+// Prehash. It is bit-identical to Hash on the original key.
+func (f Family) HashDigest(d Digest, round int) uint64 {
+	// Mix the per-round tweak with the digest so rounds are decorrelated
+	// even for similar keys.
+	return rng.Mix64(uint64(d) ^ f.tweak(round))
 }
 
 // Unit returns h_round(key) mapped onto [0, unit) ticks of a discrete
 // unit interval. unit must be a power of two (the interval package uses
 // 1<<62); the top bits of the hash are kept, which preserves uniformity.
 func (f Family) Unit(key string, round int, unit uint64) uint64 {
+	return f.HashDigest(Prehash(key), round) >> unitShift(unit)
+}
+
+// UnitDigest is Unit for a pre-hashed key.
+func (f Family) UnitDigest(d Digest, round int, unit uint64) uint64 {
+	return f.HashDigest(d, round) >> unitShift(unit)
+}
+
+// unitShift returns the right-shift that maps a 64-bit hash onto
+// [0, unit) for power-of-two unit: 64 - log2(unit).
+func unitShift(unit uint64) uint {
 	if unit == 0 || unit&(unit-1) != 0 {
 		panic("hashx: Unit requires a power-of-two interval size")
 	}
-	shift := uint(64)
-	for u := unit; u > 1; u >>= 1 {
-		shift--
-	}
-	return f.Hash(key, round) >> shift
+	return uint(65 - bits.Len64(unit))
 }

@@ -3,8 +3,11 @@ package hashx
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"anurand/internal/rng"
 )
 
 func TestHashDeterministic(t *testing.T) {
@@ -81,12 +84,97 @@ func TestUnitRangeAndUniformity(t *testing.T) {
 }
 
 func TestUnitPanicsOnNonPowerOfTwo(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Unit(unit=1000) did not panic")
+	const wantMsg = "hashx: Unit requires a power-of-two interval size"
+	for _, unit := range []uint64{0, 3, 1000, 1<<62 + 1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Unit(unit=%d) did not panic", unit)
+				}
+				if msg, ok := r.(string); !ok || msg != wantMsg {
+					t.Fatalf("Unit(unit=%d) panic message %q, want %q", unit, r, wantMsg)
+				}
+			}()
+			NewFamily(0).Unit("x", 0, unit)
+		}()
+	}
+}
+
+// refHash is the original, from-first-principles implementation of the
+// family (FNV-1a digest, per-round splitmix64 tweak, final mix). The
+// production code now routes through a precomputed tweak table and a
+// reusable key digest; this reference pins the agreement.
+func refHash(seed uint64, key string, round int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	tweak := rng.Mix64(seed + uint64(round)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019)
+	return rng.Mix64(h ^ tweak)
+}
+
+// refUnit is the original Unit implementation with its shift-search
+// loop.
+func refUnit(seed uint64, key string, round int, unit uint64) uint64 {
+	shift := uint(64)
+	for u := unit; u > 1; u >>= 1 {
+		shift--
+	}
+	return refHash(seed, key, round) >> shift
+}
+
+// TestHashGoldenEquivalence asserts the tweak-table fast path is
+// bit-identical to the reference implementation for seeds {0, 1,
+// random} across rounds 0..63 (the precomputed range) and a few rounds
+// beyond it (the derive-on-demand fallback). Placement compatibility is
+// an on-the-wire invariant: a single differing bit moves file sets
+// between servers mid-upgrade.
+func TestHashGoldenEquivalence(t *testing.T) {
+	randomSeed := rand.Uint64()
+	seeds := []uint64{0, 1, randomSeed}
+	keys := []string{"", "a", "fileset-001", "/usr/share/doc", "\x00\xff"}
+	units := []uint64{1, 2, 1 << 10, 1 << 62, 1 << 63}
+	for _, seed := range seeds {
+		f := NewFamily(seed)
+		for round := 0; round < 70; round++ {
+			for _, key := range keys {
+				d := Prehash(key)
+				want := refHash(seed, key, round)
+				if got := f.Hash(key, round); got != want {
+					t.Fatalf("seed %#x: Hash(%q, %d) = %#x, want %#x", seed, key, round, got, want)
+				}
+				if got := f.HashDigest(d, round); got != want {
+					t.Fatalf("seed %#x: HashDigest(%q, %d) = %#x, want %#x", seed, key, round, got, want)
+				}
+				for _, unit := range units {
+					wantU := refUnit(seed, key, round, unit)
+					if got := f.Unit(key, round, unit); got != wantU {
+						t.Fatalf("seed %#x: Unit(%q, %d, %d) = %d, want %d", seed, key, round, unit, got, wantU)
+					}
+					if got := f.UnitDigest(d, round, unit); got != wantU {
+						t.Fatalf("seed %#x: UnitDigest(%q, %d, %d) = %d, want %d", seed, key, round, unit, got, wantU)
+					}
+				}
+			}
 		}
-	}()
-	NewFamily(0).Unit("x", 0, 1000)
+	}
+}
+
+// TestZeroValueFamilyEquivalence pins the documented contract that the
+// zero value Family (no tweak table) behaves exactly like
+// NewFamily(0).
+func TestZeroValueFamilyEquivalence(t *testing.T) {
+	var zero Family
+	built := NewFamily(0)
+	for round := 0; round < 8; round++ {
+		for _, key := range []string{"", "x", "fileset-3141"} {
+			if zero.Hash(key, round) != built.Hash(key, round) {
+				t.Fatalf("zero-value Family diverges from NewFamily(0) on (%q, %d)", key, round)
+			}
+		}
+	}
 }
 
 func TestUnitSmallIntervals(t *testing.T) {

@@ -13,7 +13,12 @@ import (
 // by the delegate's latency-feedback controller. It starts with no
 // knowledge of server capabilities and converges by observation alone.
 type ANU struct {
-	names      []string
+	names []string
+	// digests caches hashx.Prehash of every file-set name: the
+	// simulator calls Place once per request, and the digest is the
+	// per-key half of the hash — only the per-round tweak varies along
+	// the probe chain.
+	digests    []hashx.Digest
 	m          *anu.Map
 	controller *anu.Controller
 }
@@ -31,8 +36,14 @@ func NewANU(family hashx.Family, fileSets []workload.FileSet, servers []ServerID
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("policy: NewANU: %w", err)
 	}
+	names := fileSetNames(fileSets)
+	digests := make([]hashx.Digest, len(names))
+	for i, name := range names {
+		digests[i] = hashx.Prehash(name)
+	}
 	return &ANU{
-		names:      fileSetNames(fileSets),
+		names:      names,
+		digests:    digests,
 		m:          m,
 		controller: anu.NewController(cfg),
 	}, nil
@@ -42,12 +53,13 @@ func NewANU(family hashx.Family, fileSets []workload.FileSet, servers []ServerID
 func (a *ANU) Name() string { return "anu" }
 
 // Place implements Placer by hashing the file set's name into the unit
-// interval with re-probing.
+// interval with re-probing. The name's digest is precomputed, so a
+// placement costs only the probe chain's mixes.
 func (a *ANU) Place(fs int) ServerID {
-	if fs < 0 || fs >= len(a.names) {
+	if fs < 0 || fs >= len(a.digests) {
 		return NoServer
 	}
-	id, _ := a.m.Lookup(a.names[fs])
+	id, _ := a.m.LookupDigest(a.digests[fs])
 	return id
 }
 
