@@ -2,16 +2,18 @@
 # tools are required beyond the Go toolchain.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all check build test race bench bench-lookup bench-figs bench-smoke bench-gate vet fmt figures examples clean
+.PHONY: all check build test race bench bench-lookup bench-figs bench-smoke bench-gate fuzz-smoke lint vet fmt figures examples clean
 
 all: check
 
 # The default gate: compile, unit tests, static analysis, the race
-# detector over the concurrent code (including the chaos soak in
-# internal/cluster and the RCU stress test in the root package), and a
-# smoke run of every benchmark so a broken benchmark can't land.
-check: build test vet race bench-smoke
+# detector over the concurrent code (including the crash-restart chaos
+# soak in internal/cluster and the RCU stress test in the root
+# package), a timeboxed run of every fuzz target, and a smoke run of
+# every benchmark so a broken benchmark can't land.
+check: build test lint race fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +53,23 @@ bench-gate:
 	$(GO) test -run='^$$' -bench='Balancer|Hash|Lookup|SetWeights' -benchmem . ./internal/... > BENCH_gate.txt
 	$(GO) run ./cmd/benchjson -gate BENCH_lookup.json < BENCH_gate.txt > /dev/null
 	rm -f BENCH_gate.txt
+
+# Timeboxed coverage-guided fuzzing of every fuzz target (FUZZTIME per
+# target; go only allows one -fuzz pattern per package invocation).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/anu
+	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/workload
+	$(GO) test -run='^$$' -fuzz='^FuzzJournalRecover$$' -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=$(FUZZTIME) ./internal/cluster
+
+# Static analysis: vet always; staticcheck when installed (the repo
+# stays pure-stdlib, so the tool is optional and skipped gracefully).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
 
 vet:
 	$(GO) vet ./...

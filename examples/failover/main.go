@@ -1,12 +1,16 @@
-// Failover: ANU's behaviour under failure, recovery and commissioning.
+// Failover: crash a node mid-round and restart it from its journal.
 //
-// The example walks the Balancer through the cluster lifecycle of
-// Section 4: a server fails (its region collapses, survivors absorb the
-// space, only its file sets move), recovers (it gets an equal share
-// back), and a brand-new server is commissioned (the unit interval
-// repartitions — which moves nothing by itself — and the newcomer takes
-// a share). At each step the example measures exactly how many keys
-// moved, demonstrating load locality.
+// The example runs a five-node delegate cluster on a lossy in-memory
+// network, with every node journaling each installed placement (map +
+// view epoch + round) to disk. It then kills one node, damages its
+// journal tail the way an interrupted write would, and restarts the
+// process from the surviving bytes: the node rejoins at the recovered
+// (epoch, round) — not at the bootstrap snapshot — and a replayed map
+// from a superseded epoch bounces off its install fence instead of
+// rolling the placement back. This is the durability story behind the
+// paper's recovery argument: half-occupancy guarantees a free partition
+// for a recovering server, and the journal guarantees the server comes
+// back knowing which placement it had agreed to.
 //
 // Run with: go run ./examples/failover
 package main
@@ -14,115 +18,175 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"time"
 
-	"anurand"
+	"anurand/internal/anu"
+	"anurand/internal/cluster"
+	"anurand/internal/delegate"
+	"anurand/internal/hashx"
+	"anurand/internal/journal"
 )
-
-const keys = 10000
 
 func main() {
 	log.SetFlags(0)
 
-	b, err := anurand.New([]anurand.ServerID{0, 1, 2, 3})
+	ids := []delegate.NodeID{0, 1, 2, 3, 4}
+	m, err := anu.New(hashx.NewFamily(42), ids)
+	check(err)
+	snapshot := m.Encode()
+	speeds := map[delegate.NodeID]float64{0: 1, 1: 2, 2: 4, 3: 6, 4: 8}
+
+	cn, err := cluster.NewChaosNetwork(cluster.ChaosConfig{
+		Drop:      0.10,
+		Duplicate: 0.05,
+		MaxDelay:  10 * time.Millisecond,
+		Seed:      7,
+	})
+	check(err)
+	defer cn.Close()
+
+	dir, err := os.MkdirTemp("", "anurand-failover")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	journals := make([]*journal.Journal, len(ids))
+	openJournal := func(i int) {
+		j, err := journal.Open(filepath.Join(dir, fmt.Sprintf("node%d.wal", i)), journal.Options{})
+		check(err)
+		journals[i] = j
+	}
+	start := func(i int) *cluster.Runtime {
+		rt, err := cluster.Start(cluster.Config{
+			ID:                ids[i],
+			Members:           ids,
+			Snapshot:          snapshot,
+			Controller:        anu.DefaultControllerConfig(),
+			RoundInterval:     40 * time.Millisecond,
+			HeartbeatInterval: 8 * time.Millisecond,
+			FailAfter:         120 * time.Millisecond,
+			Observe: func(m *anu.Map, id delegate.NodeID) (uint64, float64) {
+				share := float64(m.Length(id)) / float64(anu.Half)
+				return uint64(1 + 1000*share), 0.002 + share/speeds[id]
+			},
+			Journal: journals[i],
+		}, cn.Endpoint(ids[i]))
+		check(err)
+		return rt
+	}
+
+	rts := make([]*cluster.Runtime, len(ids))
+	for i := range ids {
+		openJournal(i)
+		rts[i] = start(i)
+	}
+	defer func() {
+		for _, rt := range rts {
+			rt.Stop()
+		}
+		for _, j := range journals {
+			j.Close()
+		}
+	}()
+
+	fmt.Printf("5 nodes tuning over a lossy network, journaling every installed placement\n\n")
+	waitUntil("initial convergence", 20*time.Second, func() bool {
+		return convergedAll(rts) && rts[2].MapRound() >= 4
+	})
+	s := rts[2].Stats()
+	fmt.Printf("converged: node 2 installed map fence (epoch %d, round %d), journal holds %d appends\n",
+		s.MapEpoch, s.MapRound, s.Journal.Appends)
+
+	// --- crash node 2 mid-round, tearing its last journal write -------
+	victim := 2
+	rts[victim].Stop()
+	durable, _ := journals[victim].Last()
+	chaosJ := journal.NewChaos(journals[victim], 99)
+	if kind, ok, err := chaosJ.InjectTailFault(); err != nil {
+		log.Fatal(err)
+	} else if ok {
+		fmt.Printf("\nnode 2 killed mid-round; injected a %v into its journal tail\n", kind)
+	}
+	check(journals[victim].Close())
+
+	// --- restart from the damaged journal ------------------------------
+	openJournal(victim)
+	rec, ok := journals[victim].Last()
+	if !ok {
+		log.Fatal("journal recovered no record")
+	}
+	js := journals[victim].Stats()
+	fmt.Printf("reopened journal: recovered %d record(s), truncated %d torn tail(s)\n",
+		js.RecordsRecovered, js.TornTailsTruncated)
+	fmt.Printf("recovered fence (epoch %d, round %d) — durable state at the kill was (epoch %d, round %d)\n",
+		rec.Epoch, rec.Round, durable.Epoch, durable.Round)
+
+	rts[victim] = start(victim)
+	rs := rts[victim].Stats()
+	fmt.Printf("node 2 restarted: resumes at (epoch %d, round %d), not the bootstrap snapshot\n",
+		rs.RecoveredEpoch, rs.RecoveredRound)
+
+	// --- a superseded delegate replays an old map -----------------------
+	// The restarted node's fence rejects it even though its round number
+	// raced far ahead while the stale delegate was partitioned.
+	if rec.Epoch > 0 {
+		inj := cn.Endpoint(99)
+		check(inj.Send(delegate.Message{
+			Kind:    delegate.MsgMap,
+			From:    4,
+			To:      ids[victim],
+			Epoch:   rec.Epoch - 1,
+			Round:   rec.Round + 1000,
+			Payload: snapshot,
+		}))
+		waitUntil("stale-epoch rejection", 10*time.Second, func() bool {
+			return rts[victim].Stats().StaleEpochsRejected > 0
+		})
+		fmt.Printf("replayed map from epoch %d round %d: rejected by the fence, placement untouched\n",
+			rec.Epoch-1, rec.Round+1000)
+	}
+
+	// --- reconvergence ---------------------------------------------------
+	waitUntil("reconvergence", 20*time.Second, func() bool {
+		return convergedAll(rts) && rts[victim].MapRound() > rec.Round
+	})
+	fmt.Printf("\ncluster reconverged; per-node view:\n")
+	for _, rt := range rts {
+		fmt.Printf("  %s\n", rt.Stats())
+	}
+	if err := rts[victim].Map().CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconverged map passes CheckInvariants (incl. half-occupancy for recovery headroom)\n")
+}
+
+func convergedAll(rts []*cluster.Runtime) bool {
+	fp, mr := rts[0].Fingerprint(), rts[0].MapRound()
+	if mr == 0 {
+		return false
+	}
+	for _, rt := range rts[1:] {
+		if rt.Fingerprint() != fp || rt.MapRound() != mr {
+			return false
+		}
+	}
+	return true
+}
+
+func waitUntil(what string, d time.Duration, cond func() bool) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("timed out waiting for %s", what)
+}
+
+func check(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cluster of %d servers, %d partitions, %d B shared state\n",
-		b.K(), b.Partitions(), b.SharedStateSize())
-
-	before := placements(b)
-	show(b, "initial")
-
-	// --- failure -----------------------------------------------------
-	if err := b.Fail(2); err != nil {
-		log.Fatal(err)
-	}
-	after := placements(b)
-	fmt.Printf("\nserver 2 fails:\n")
-	fmt.Printf("  keys moved: %d of %d (%.1f%%) — only server 2's keys relocate\n",
-		moved(before, after), keys, 100*float64(moved(before, after))/keys)
-	fromFailed, others := 0, 0
-	for k, owner := range before {
-		if after[k] != owner {
-			if owner == 2 {
-				fromFailed++
-			} else {
-				others++
-			}
-		}
-	}
-	fmt.Printf("  of those, %d were on the failed server; %d elsewhere (boundary growth)\n", fromFailed, others)
-	show(b, "after failure")
-
-	// --- recovery ----------------------------------------------------
-	before = placements(b)
-	if err := b.Recover(2); err != nil {
-		log.Fatal(err)
-	}
-	after = placements(b)
-	fmt.Printf("\nserver 2 recovers:\n")
-	fmt.Printf("  keys moved: %d (%.1f%%) — survivors scale back to make room\n",
-		moved(before, after), 100*float64(moved(before, after))/keys)
-	show(b, "after recovery")
-
-	// --- commissioning ------------------------------------------------
-	before = placements(b)
-	parts := b.Partitions()
-	if err := b.AddServer(4); err != nil {
-		log.Fatal(err)
-	}
-	after = placements(b)
-	fmt.Printf("\nserver 4 commissioned:\n")
-	if b.Partitions() != parts {
-		fmt.Printf("  interval repartitioned %d -> %d partitions (repartitioning itself moves nothing)\n",
-			parts, b.Partitions())
-	}
-	fmt.Printf("  keys moved: %d (%.1f%%) — roughly the newcomer's 1/%d share\n",
-		moved(before, after), 100*float64(moved(before, after))/keys, b.K())
-	show(b, "after commissioning")
-
-	// --- the snapshot other nodes replicate ---------------------------
-	snap := b.Snapshot()
-	c, err := anurand.Restore(snap, anurand.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	disagree := 0
-	orig, rest := placements(b), placements(c)
-	for k := range orig {
-		if orig[k] != rest[k] {
-			disagree++
-		}
-	}
-	fmt.Printf("\nreplicated state: %d bytes; restored node disagrees on %d of %d keys\n",
-		len(snap), disagree, keys)
-}
-
-func placements(b *anurand.Balancer) map[string]anurand.ServerID {
-	out := make(map[string]anurand.ServerID, keys)
-	for i := 0; i < keys; i++ {
-		key := fmt.Sprintf("fileset/%05d", i)
-		if id, ok := b.Lookup(key); ok {
-			out[key] = id
-		}
-	}
-	return out
-}
-
-func moved(a, b map[string]anurand.ServerID) int {
-	n := 0
-	for k, owner := range a {
-		if b[k] != owner {
-			n++
-		}
-	}
-	return n
-}
-
-func show(b *anurand.Balancer, label string) {
-	fmt.Printf("  shares %-18s", label+":")
-	for _, id := range b.Servers() {
-		fmt.Printf("  s%d=%5.1f%%", id, 100*b.Shares()[id])
-	}
-	fmt.Println()
 }

@@ -2,9 +2,12 @@
 //
 // Five management agents run in one process, each listening on a
 // loopback TCP port, driven by the internal/cluster runtime: wall-clock
-// rounds, heartbeat liveness, and delegate-paced tuning. Halfway
-// through, the delegate is killed; the next-lowest agent takes over
-// because the delegate is stateless (Section 4 of the paper).
+// rounds, heartbeat liveness, and delegate-paced tuning, with every
+// installed placement journaled to disk. Halfway through, the delegate
+// is killed; the next-lowest agent takes over because the delegate is
+// stateless (Section 4 of the paper). The killed node then restarts
+// from its journal and rejoins at its recovered (epoch, round) fence
+// rather than the bootstrap snapshot.
 //
 // Run with: go run ./examples/tcpcluster
 package main
@@ -12,12 +15,15 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"anurand/internal/anu"
 	"anurand/internal/cluster"
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
+	"anurand/internal/journal"
 )
 
 const numNodes = 5
@@ -46,9 +52,27 @@ func main() {
 	}
 	snapshot := m.Encode()
 
+	dir, err := os.MkdirTemp("", "anurand-tcpcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	journals := make([]*journal.Journal, numNodes)
+	for i := range journals {
+		j, err := journal.Open(filepath.Join(dir, fmt.Sprintf("node%d.wal", i)), journal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		journals[i] = j
+	}
+	defer func() {
+		for _, j := range journals {
+			j.Close()
+		}
+	}()
+
 	book := cluster.NewAddressBook()
-	rts := make([]*cluster.Runtime, numNodes)
-	for i, id := range ids {
+	start := func(i int, id delegate.NodeID) *cluster.Runtime {
 		tr, err := cluster.ListenTCP(id, book, cluster.DefaultTCPOptions())
 		if err != nil {
 			log.Fatal(err)
@@ -60,12 +84,17 @@ func main() {
 			Controller:    anu.DefaultControllerConfig(),
 			RoundInterval: 100 * time.Millisecond,
 			Observe:       observe,
+			Journal:       journals[i],
 		}, tr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rts[i] = rt
 		log.Printf("node %d listening on %s", id, tr.Addr())
+		return rt
+	}
+	rts := make([]*cluster.Runtime, numNodes)
+	for i, id := range ids {
+		rts[i] = start(i, id)
 	}
 
 	time.Sleep(2 * time.Second)
@@ -79,6 +108,34 @@ func main() {
 		fmt.Printf("  node %d: delegate=%d round=%d map=%012x share=%5.1f%%  %s\n",
 			s.ID, s.Delegate, s.MapRound, rt.Fingerprint()&0xffffffffffff,
 			100*float64(rt.Map().Length(s.ID))/float64(anu.Half), s.String())
+	}
+
+	// Restart the killed node from its journal: a real restart reopens
+	// the WAL from disk, so do the same here.
+	if err := journals[0].Close(); err != nil {
+		log.Fatal(err)
+	}
+	j, err := journal.Open(filepath.Join(dir, "node0.wal"), journal.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	journals[0] = j
+	log.Printf("restarting node 0 from its journal")
+	rts[0] = start(0, ids[0])
+	time.Sleep(2 * time.Second)
+
+	fmt.Println("\nafter journal-recovery restart of node 0:")
+	for _, rt := range rts {
+		s := rt.Stats()
+		fmt.Printf("  node %d: delegate=%d round=%d map=%012x share=%5.1f%%  %s\n",
+			s.ID, s.Delegate, s.MapRound, rt.Fingerprint()&0xffffffffffff,
+			100*float64(rt.Map().Length(s.ID))/float64(anu.Half), s.String())
 		rt.Stop()
 	}
+	s0 := rts[0].Stats()
+	if !s0.Recovered {
+		log.Fatal("node 0 did not recover from its journal")
+	}
+	fmt.Printf("\nnode 0 recovered from journal at (epoch %d, round %d): %d record(s) replayed, %d torn tail(s) truncated\n",
+		s0.RecoveredEpoch, s0.RecoveredRound, s0.Journal.RecordsRecovered, s0.Journal.TornTailsTruncated)
 }

@@ -78,11 +78,13 @@ func (cn *ChaosNetwork) SetConfig(cfg ChaosConfig) error {
 	return nil
 }
 
-// Endpoint creates (or returns) the transport endpoint for a node.
+// Endpoint creates (or returns) the transport endpoint for a node. A
+// closed endpoint is replaced by a fresh one: a restarted process binds
+// a new socket, and anything queued for its dead predecessor vanishes.
 func (cn *ChaosNetwork) Endpoint(id delegate.NodeID) *ChaosEndpoint {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
-	if ep, ok := cn.eps[id]; ok {
+	if ep, ok := cn.eps[id]; ok && !ep.closed {
 		return ep
 	}
 	ep := &ChaosEndpoint{

@@ -24,9 +24,20 @@
 // but is demonstrably alive is left idle rather than evicted.
 //
 // Wire invariant established here and in package delegate: installed
-// map rounds are monotonic. A reordered or duplicated MsgMap from an
-// older round is counted and dropped, never installed over a newer
-// placement.
+// placements are fenced by the (epoch, round) pair. The view epoch
+// increments each time a node takes over as delegate and rides every
+// heartbeat and map message; a reordered, duplicated, or
+// partition-replayed MsgMap carrying a lower pair is counted and
+// dropped, never installed over a newer placement — even one whose raw
+// round number raced ahead under a superseded delegate.
+//
+// Durability is opt-in: give Config a Journal and every installed
+// placement is appended (with its fence) and fsynced, and a restarted
+// Runtime resumes from the journal's last record — map, epoch and round
+// — instead of the bootstrap snapshot, so it rejoins without replaying
+// a stale map and keeps rejecting anything older than what it
+// persisted. With Journal nil the runtime is exactly the in-memory
+// system it was before.
 package cluster
 
 import (
@@ -35,14 +46,28 @@ import (
 
 	"anurand/internal/anu"
 	"anurand/internal/delegate"
+	"anurand/internal/journal"
 )
 
 // ObserveFunc samples the local server's performance for the elapsed
 // interval: the number of requests served and their mean latency in
-// seconds. It is called with the runtime's lock held and must not call
-// back into the Runtime; m is the node's current placement map,
-// read-only.
+// seconds. It is called without the runtime's lock, so it may call back
+// into the Runtime (Stats, Lookup, ...); m is the node's published
+// placement snapshot, immutable and read-only.
 type ObserveFunc func(m *anu.Map, id delegate.NodeID) (requests uint64, meanLatencySeconds float64)
+
+// Journal persists installed placements. Implementations must make
+// Append durable before returning (the runtime treats a nil error as
+// "this placement survives a crash") and must keep the monotone rule:
+// a record that does not supersede the last one is skipped, not an
+// error. *journal.Journal and *journal.ChaosJournal implement it. The
+// caller owns the journal's lifecycle; the Runtime never closes it.
+type Journal interface {
+	// Last returns the newest recovered or appended record.
+	Last() (journal.Record, bool)
+	// Append durably records an installed placement.
+	Append(rec journal.Record) error
+}
 
 // Config configures one node's runtime.
 type Config struct {
@@ -82,6 +107,11 @@ type Config struct {
 	// Observe samples local performance each round. Optional; when nil
 	// the node reports zero load.
 	Observe ObserveFunc
+	// Journal, when non-nil, makes installed placements durable: every
+	// install is appended with its (epoch, round) fence, and Start
+	// recovers the journal's last record — resuming from the persisted
+	// placement instead of Snapshot. Nil keeps the in-memory behavior.
+	Journal Journal
 	// Logf receives diagnostic messages. Optional.
 	Logf func(format string, args ...any)
 }

@@ -9,6 +9,7 @@ import (
 	"anurand/internal/anu"
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
+	"anurand/internal/journal"
 )
 
 // maxMailbox bounds buffered protocol messages so a confused peer
@@ -44,8 +45,18 @@ type Runtime struct {
 	mbox         []delegate.Message // inbound protocol messages for the node
 	lastSeen     map[delegate.NodeID]time.Time
 	suspectUntil map[delegate.NodeID]time.Time
-	round        uint64
-	roundStart   time.Time
+	// epoch is the view epoch: bumped when this node takes over as
+	// delegate, adopted from any higher epoch observed on the wire, and
+	// stamped into every outbound message. Together with the round it
+	// fences installs — see package delegate.
+	epoch      uint64
+	round      uint64
+	roundStart time.Time
+	// journalStage is the placement staged for the journal under mu and
+	// appended (fsynced) outside it; Journal.Append's own monotone guard
+	// keeps racing flushes safe.
+	journalStage *journal.Record
+	recovered    *journal.Record // the record Start resumed from, if any
 	lastMapTime  time.Time
 	curDelegate  delegate.NodeID
 	stopped      bool
@@ -69,6 +80,16 @@ func (nt nodeTransport) Deliver(to delegate.NodeID) []delegate.Message {
 
 // Start brings up a runtime on the given transport and begins
 // heartbeating and round-driving immediately.
+//
+// With a configured Journal, Start recovers the journal's last record
+// and resumes from it: the persisted map replaces cfg.Snapshot as the
+// bootstrap placement, and the node's install fence and the runtime's
+// epoch and round resume at the persisted (epoch, round) — the restart
+// rejoins where it crashed instead of replaying the seed placement. A
+// journaled map that no longer decodes is an error, never a silent
+// fallback: the journal's CRC framing already rejected disk damage, so
+// an undecodable record means the operator pointed the node at the
+// wrong file.
 func Start(cfg Config, tr Transport) (*Runtime, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -82,9 +103,25 @@ func Start(cfg Config, tr Transport) (*Runtime, error) {
 		suspectUntil: make(map[delegate.NodeID]time.Time),
 		curDelegate:  -1,
 	}
-	node, err := delegate.NewNode(cfg.ID, cfg.Snapshot, cfg.Controller, nodeTransport{r})
+	snapshot := cfg.Snapshot
+	if cfg.Journal != nil {
+		if rec, ok := cfg.Journal.Last(); ok {
+			snapshot = rec.Map
+			r.recovered = &rec
+			r.epoch = rec.Epoch
+			r.round = rec.Round
+		}
+	}
+	node, err := delegate.NewNode(cfg.ID, snapshot, cfg.Controller, nodeTransport{r})
 	if err != nil {
+		if r.recovered != nil {
+			return nil, fmt.Errorf("cluster: node %d: journaled placement unusable: %w", cfg.ID, err)
+		}
 		return nil, err
+	}
+	if r.recovered != nil {
+		node.Resume(r.recovered.Epoch, r.recovered.Round)
+		cfg.logf("node %d: resumed from journal at epoch %d round %d", cfg.ID, r.recovered.Epoch, r.recovered.Round)
 	}
 	r.node = node
 	r.placement.Store(node.Map().Clone())
@@ -129,11 +166,17 @@ func (r *Runtime) recvLoop() {
 }
 
 // handle processes one inbound message: liveness bookkeeping, protocol
-// routing, and round gossip.
+// routing, and epoch/round gossip.
 func (r *Runtime) handle(msg delegate.Message) {
 	now := time.Now()
 	r.mu.Lock()
 	r.lastSeen[msg.From] = now
+	// Epoch gossip: the view epoch is a cluster-wide maximum carried on
+	// every message, so a node that slept through a re-election learns
+	// the new epoch from the first heartbeat it receives.
+	if msg.Epoch > r.epoch {
+		r.epoch = msg.Epoch
+	}
 	switch msg.Kind {
 	case MsgHeartbeat:
 		r.counters.HeartbeatsReceived++
@@ -158,19 +201,53 @@ func (r *Runtime) handle(msg delegate.Message) {
 	}
 	// Round gossip: adopt a newer round and report into it at once —
 	// followers are paced by the delegate's announcements, not their
-	// own timers.
+	// own timers. The report itself is sent by observeAndReport after
+	// the lock is released, because sampling calls the user's observer.
+	reportTo := delegate.NodeID(-1)
+	var reportEpoch, reportRound uint64
 	if msg.Round > r.round {
 		r.round = msg.Round
 		r.roundStart = now
 		if del, ok := lowestID(r.viewLocked(now)); ok && del != r.cfg.ID {
-			r.observeLocked()
-			r.node.SendReport(del, r.round)
-			r.counters.ReportsSent++
+			reportTo, reportEpoch, reportRound = del, r.epoch, r.round
 		}
 	}
 	out := r.takeOutboxLocked()
+	rec := r.takeJournalLocked()
 	r.mu.Unlock()
 	r.sendAll(out)
+	r.flushJournal(rec)
+	if reportTo >= 0 {
+		r.observeAndReport(reportTo, reportEpoch, reportRound)
+	}
+}
+
+// observeAndReport samples local performance and sends the report for
+// the given round. The observer runs without the runtime lock — it may
+// call back into Stats or the lookup path — so the report is only sent
+// if the round is still current when the lock is retaken.
+func (r *Runtime) observeAndReport(to delegate.NodeID, epoch, round uint64) {
+	requests, latency := r.sample()
+	r.mu.Lock()
+	if r.stopped || r.round != round {
+		r.mu.Unlock()
+		return
+	}
+	r.node.Observe(requests, latency)
+	r.node.SendReport(to, epoch, round)
+	r.counters.ReportsSent++
+	out := r.takeOutboxLocked()
+	r.mu.Unlock()
+	r.sendAll(out)
+}
+
+// sample invokes the configured observer against the published
+// placement snapshot, outside the runtime lock.
+func (r *Runtime) sample() (requests uint64, meanLatencySeconds float64) {
+	if r.cfg.Observe == nil {
+		return 0, 0
+	}
+	return r.cfg.Observe(r.placement.Load(), r.cfg.ID)
 }
 
 // enqueueLocked buffers a protocol message for the node, shedding the
@@ -201,14 +278,14 @@ func (r *Runtime) heartbeatLoop() {
 // sendHeartbeats emits one beacon per peer.
 func (r *Runtime) sendHeartbeats() {
 	r.mu.Lock()
-	round := r.round
+	epoch, round := r.epoch, r.round
 	r.counters.HeartbeatsSent += uint64(len(r.cfg.Members) - 1)
 	r.mu.Unlock()
 	for _, id := range r.cfg.Members {
 		if id == r.cfg.ID {
 			continue
 		}
-		r.tr.Send(delegate.Message{Kind: MsgHeartbeat, From: r.cfg.ID, To: id, Round: round})
+		r.tr.Send(delegate.Message{Kind: MsgHeartbeat, From: r.cfg.ID, To: id, Epoch: epoch, Round: round})
 	}
 }
 
@@ -252,33 +329,54 @@ func (r *Runtime) tick() {
 			r.counters.Reelections++
 			r.cfg.logf("node %d: delegate %d -> %d", r.cfg.ID, r.curDelegate, del)
 		}
+		if del == r.cfg.ID {
+			// This node is taking over as delegate: open a new view
+			// epoch so every map the previous delegate may still have
+			// in flight is fenced out by (epoch, round) ordering.
+			r.epoch++
+		}
 		r.curDelegate = del
 	}
-	if del == r.cfg.ID {
-		// This node paces the cluster: open the round, sample itself,
-		// announce the round to peers, and tune after the grace window.
+	isDelegate := del == r.cfg.ID
+	var epoch, round uint64
+	if isDelegate {
+		// This node paces the cluster: open the round, announce it to
+		// peers, and tune after the grace window. The self-sample runs
+		// after the lock is released (the observer may call back in).
 		r.round++
-		round := r.round
+		epoch, round = r.epoch, r.round
 		r.roundStart = now
-		r.observeLocked()
 		for _, id := range r.cfg.Members {
 			if id == r.cfg.ID {
 				continue
 			}
-			r.outbox = append(r.outbox, delegate.Message{Kind: MsgHeartbeat, From: r.cfg.ID, To: id, Round: round})
+			r.outbox = append(r.outbox, delegate.Message{Kind: MsgHeartbeat, From: r.cfg.ID, To: id, Epoch: epoch, Round: round})
 		}
 		r.counters.HeartbeatsSent += uint64(len(r.cfg.Members) - 1)
-		r.wg.Add(1)
-		go r.tune(round)
 	}
 	out := r.takeOutboxLocked()
 	r.mu.Unlock()
 	r.sendAll(out)
+	if !isDelegate {
+		return
+	}
+	requests, latency := r.sample()
+	r.mu.Lock()
+	if r.stopped || r.round != round || r.curDelegate != r.cfg.ID {
+		r.mu.Unlock()
+		return // superseded while sampling
+	}
+	r.node.Observe(requests, latency)
+	// tick runs on the wg-counted roundLoop goroutine, so the counter
+	// cannot reach zero before this Add.
+	r.wg.Add(1)
+	go r.tune(epoch, round)
+	r.mu.Unlock()
 }
 
 // tune waits for a quorum of reports (or the grace deadline), then
 // rescales and broadcasts as the round's delegate.
-func (r *Runtime) tune(round uint64) {
+func (r *Runtime) tune(epoch, round uint64) {
 	defer r.wg.Done()
 	deadline := time.Now().Add(r.cfg.ReportGrace)
 	poll := r.cfg.ReportGrace / 8
@@ -299,7 +397,9 @@ func (r *Runtime) tune(round uint64) {
 			r.publishPlacementLocked()
 		}
 		got := r.node.PendingReports() + 1 // + the delegate's own sample
+		rec := r.takeJournalLocked()
 		r.mu.Unlock()
+		r.flushJournal(rec)
 		if got >= r.cfg.Quorum || !time.Now().Before(deadline) {
 			break
 		}
@@ -325,7 +425,7 @@ func (r *Runtime) tune(round uint64) {
 	}
 	members := r.tuneMembersLocked(now)
 	r.counters.ReportsPerTune.Add(float64(r.node.PendingReports() + 1))
-	if err := r.node.RunDelegate(round, members); err != nil {
+	if err := r.node.RunDelegate(epoch, round, members); err != nil {
 		r.cfg.logf("node %d: tune round %d: %v", r.cfg.ID, round, err)
 	} else {
 		r.counters.Tunes++
@@ -333,8 +433,10 @@ func (r *Runtime) tune(round uint64) {
 		r.publishPlacementLocked()
 	}
 	out := r.takeOutboxLocked()
+	rec := r.takeJournalLocked()
 	r.mu.Unlock()
 	r.sendAll(out)
+	r.flushJournal(rec)
 }
 
 // tuneMembersLocked chooses the member set the delegate tunes over:
@@ -360,16 +462,6 @@ func (r *Runtime) tuneMembersLocked(now time.Time) []delegate.NodeID {
 		}
 	}
 	return members
-}
-
-// observeLocked samples local performance into the node.
-func (r *Runtime) observeLocked() {
-	var requests uint64
-	var latency float64
-	if r.cfg.Observe != nil {
-		requests, latency = r.cfg.Observe(r.node.Map(), r.cfg.ID)
-	}
-	r.node.Observe(requests, latency)
 }
 
 // viewLocked is the observed membership: self plus every peer heard
@@ -436,6 +528,20 @@ func (r *Runtime) Round() uint64 {
 	return r.round
 }
 
+// Epoch returns the node's current view epoch.
+func (r *Runtime) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// MapEpoch returns the view epoch of the installed map (monotonic).
+func (r *Runtime) MapEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.MapEpoch()
+}
+
 // Delegate returns the node's current view of the delegate (-1 before
 // the first election).
 func (r *Runtime) Delegate() delegate.NodeID {
@@ -460,12 +566,46 @@ func (r *Runtime) MapRound() uint64 {
 }
 
 // publishPlacementLocked snapshots the node's current map into the
-// lock-free data plane. Must be called with r.mu held, after any
-// protocol step that installed or produced a new placement. The clone
-// is immutable once stored: readers share it, the protocol never
+// lock-free data plane and, with a journal configured, stages the
+// placement for a durable append. Must be called with r.mu held, after
+// any protocol step that installed or produced a new placement. The
+// clone is immutable once stored: readers share it, the protocol never
 // touches it again.
 func (r *Runtime) publishPlacementLocked() {
 	r.placement.Store(r.node.Map().Clone())
+	if r.cfg.Journal != nil {
+		r.journalStage = &journal.Record{
+			Epoch: r.node.MapEpoch(),
+			Round: r.node.MapRound(),
+			Map:   r.node.Map().Encode(),
+		}
+	}
+}
+
+// takeJournalLocked drains the staged journal record for flushing
+// outside the lock.
+func (r *Runtime) takeJournalLocked() *journal.Record {
+	rec := r.journalStage
+	r.journalStage = nil
+	return rec
+}
+
+// flushJournal appends a staged record, fsyncing, outside the runtime
+// lock so disk latency never stalls the protocol. Append's internal
+// monotone guard makes concurrent flushes safe regardless of order; a
+// failure is counted and logged — the in-memory placement is already
+// live, so the node keeps serving and retries durability on the next
+// install.
+func (r *Runtime) flushJournal(rec *journal.Record) {
+	if rec == nil {
+		return
+	}
+	if err := r.cfg.Journal.Append(*rec); err != nil {
+		r.cfg.logf("node %d: journal append (epoch %d round %d): %v", r.cfg.ID, rec.Epoch, rec.Round, err)
+		r.mu.Lock()
+		r.counters.JournalAppendErrors++
+		r.mu.Unlock()
+	}
 }
 
 // Lookup routes a key on the node's current placement snapshot. It is

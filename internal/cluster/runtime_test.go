@@ -251,6 +251,7 @@ func TestChaosSoakConvergence(t *testing.T) {
 		Kind:    delegate.MsgMap,
 		From:    4,
 		To:      target.ID(),
+		Epoch:   target.MapEpoch(), // same epoch: exercises the round guard
 		Round:   1,
 		Payload: snapshot,
 	}); err != nil {
@@ -261,6 +262,30 @@ func TestChaosSoakConvergence(t *testing.T) {
 	})
 	if mr := target.MapRound(); mr < beforeRound {
 		t.Errorf("stale injection moved map round %d -> %d", beforeRound, mr)
+	}
+
+	// And a stale-epoch map with a racing round number: the epoch fence
+	// must reject it even though its round is far ahead.
+	beforeEpochStale := target.Stats().StaleEpochsRejected
+	fenceEpoch, fenceRound := target.MapEpoch(), target.MapRound()
+	if fenceEpoch == 0 {
+		t.Fatalf("soak ended at map epoch 0; cannot form a stale epoch")
+	}
+	if err := inj.Send(delegate.Message{
+		Kind:    delegate.MsgMap,
+		From:    4,
+		To:      target.ID(),
+		Epoch:   fenceEpoch - 1,
+		Round:   fenceRound + 1000,
+		Payload: snapshot,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "stale epoch rejection", func() bool {
+		return target.Stats().StaleEpochsRejected > beforeEpochStale
+	})
+	if me, mr := target.MapEpoch(), target.MapRound(); me < fenceEpoch || (me == fenceEpoch && mr < fenceRound) {
+		t.Errorf("stale-epoch injection moved fence (%d,%d) -> (%d,%d)", fenceEpoch, fenceRound, me, mr)
 	}
 
 	close(stopMon)

@@ -5,40 +5,48 @@ import (
 	"time"
 
 	"anurand/internal/delegate"
+	"anurand/internal/journal"
 	"anurand/internal/metrics"
 )
 
 // counters is the runtime's internal instrumentation, guarded by
 // Runtime.mu.
 type counters struct {
-	Tunes              uint64
-	MapsInstalled      uint64
-	Reelections        uint64
-	WatchdogTrips      uint64
-	ReportsSent        uint64
-	ReportsReceived    uint64
-	HeartbeatsSent     uint64
-	HeartbeatsReceived uint64
-	ReportsPerTune     metrics.Summary
-	InstallLatency     metrics.Summary
+	Tunes               uint64
+	MapsInstalled       uint64
+	Reelections         uint64
+	WatchdogTrips       uint64
+	ReportsSent         uint64
+	ReportsReceived     uint64
+	HeartbeatsSent      uint64
+	HeartbeatsReceived  uint64
+	JournalAppendErrors uint64
+	ReportsPerTune      metrics.Summary
+	InstallLatency      metrics.Summary
 }
 
 // Stats is an operator snapshot of one runtime: where the node thinks
 // the cluster is, and what the protocol has been doing.
 type Stats struct {
 	ID       delegate.NodeID
+	Epoch    uint64
 	Round    uint64
 	Delegate delegate.NodeID
 	Live     []delegate.NodeID
+	MapEpoch uint64
 	MapRound uint64
 
 	// Tunes counts rounds this node rescaled as delegate.
 	Tunes uint64
 	// MapsInstalled counts placement maps accepted from a delegate.
 	MapsInstalled uint64
-	// StaleMapsRejected counts old-round maps refused by the round
-	// guard — each one is a reordering the protocol survived.
+	// StaleMapsRejected counts old-round maps refused by the fence —
+	// each one is a reordering the protocol survived.
 	StaleMapsRejected uint64
+	// StaleEpochsRejected counts maps from superseded view epochs
+	// refused by the fence — each one is a partitioned or deposed
+	// delegate that failed to roll the placement back.
+	StaleEpochsRejected uint64
 	// Reelections counts observed delegate changes.
 	Reelections uint64
 	// WatchdogTrips counts delegates suspected for producing no maps.
@@ -48,6 +56,21 @@ type Stats struct {
 	ReportsReceived    uint64
 	HeartbeatsSent     uint64
 	HeartbeatsReceived uint64
+
+	// Recovered reports whether Start resumed from a journal record
+	// rather than the bootstrap snapshot; RecoveredEpoch/RecoveredRound
+	// give the fence it resumed at.
+	Recovered      bool
+	RecoveredEpoch uint64
+	RecoveredRound uint64
+	// JournalAppendErrors counts installed placements that could not be
+	// made durable (the append or its fsync failed). The node keeps
+	// serving from memory and retries on the next install.
+	JournalAppendErrors uint64
+	// Journal carries the journal's own durability counters (records
+	// recovered, torn tails truncated, fsync errors, compactions) when
+	// the configured Journal exposes them; zero otherwise.
+	Journal journal.Stats
 
 	// ReportsPerTune summarizes how many reports (including the
 	// delegate's own sample) each tune acted on.
@@ -61,33 +84,56 @@ type Stats struct {
 func (r *Runtime) Stats() Stats {
 	now := time.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return Stats{
-		ID:                 r.cfg.ID,
-		Round:              r.round,
-		Delegate:           r.curDelegate,
-		Live:               r.viewLocked(now),
-		MapRound:           r.node.MapRound(),
-		Tunes:              r.counters.Tunes,
-		MapsInstalled:      r.counters.MapsInstalled,
-		StaleMapsRejected:  r.node.StaleMapsRejected(),
-		Reelections:        r.counters.Reelections,
-		WatchdogTrips:      r.counters.WatchdogTrips,
-		ReportsSent:        r.counters.ReportsSent,
-		ReportsReceived:    r.counters.ReportsReceived,
-		HeartbeatsSent:     r.counters.HeartbeatsSent,
-		HeartbeatsReceived: r.counters.HeartbeatsReceived,
-		ReportsPerTune:     r.counters.ReportsPerTune,
-		InstallLatency:     r.counters.InstallLatency,
+	s := Stats{
+		ID:                  r.cfg.ID,
+		Epoch:               r.epoch,
+		Round:               r.round,
+		Delegate:            r.curDelegate,
+		Live:                r.viewLocked(now),
+		MapEpoch:            r.node.MapEpoch(),
+		MapRound:            r.node.MapRound(),
+		Tunes:               r.counters.Tunes,
+		MapsInstalled:       r.counters.MapsInstalled,
+		StaleMapsRejected:   r.node.StaleMapsRejected(),
+		StaleEpochsRejected: r.node.StaleEpochsRejected(),
+		Reelections:         r.counters.Reelections,
+		WatchdogTrips:       r.counters.WatchdogTrips,
+		ReportsSent:         r.counters.ReportsSent,
+		ReportsReceived:     r.counters.ReportsReceived,
+		HeartbeatsSent:      r.counters.HeartbeatsSent,
+		HeartbeatsReceived:  r.counters.HeartbeatsReceived,
+		JournalAppendErrors: r.counters.JournalAppendErrors,
+		ReportsPerTune:      r.counters.ReportsPerTune,
+		InstallLatency:      r.counters.InstallLatency,
 	}
+	if r.recovered != nil {
+		s.Recovered = true
+		s.RecoveredEpoch = r.recovered.Epoch
+		s.RecoveredRound = r.recovered.Round
+	}
+	r.mu.Unlock()
+	// The journal has its own lock; query it outside ours.
+	if js, ok := r.cfg.Journal.(interface{ Stats() journal.Stats }); ok {
+		s.Journal = js.Stats()
+	}
+	return s
 }
 
 // String formats the snapshot for operators.
 func (s Stats) String() string {
-	return fmt.Sprintf(
-		"node %d: round=%d delegate=%d live=%v mapRound=%d tunes=%d installs=%d stale=%d reelect=%d watchdog=%d reports(sent=%d recv=%d per-tune %s) install-latency %s",
-		s.ID, s.Round, s.Delegate, s.Live, s.MapRound, s.Tunes, s.MapsInstalled,
-		s.StaleMapsRejected, s.Reelections, s.WatchdogTrips,
+	out := fmt.Sprintf(
+		"node %d: epoch=%d round=%d delegate=%d live=%v map=(%d,%d) tunes=%d installs=%d stale=%d staleEpoch=%d reelect=%d watchdog=%d reports(sent=%d recv=%d per-tune %s) install-latency %s",
+		s.ID, s.Epoch, s.Round, s.Delegate, s.Live, s.MapEpoch, s.MapRound, s.Tunes, s.MapsInstalled,
+		s.StaleMapsRejected, s.StaleEpochsRejected, s.Reelections, s.WatchdogTrips,
 		s.ReportsSent, s.ReportsReceived, s.ReportsPerTune.String(), s.InstallLatency.String(),
 	)
+	if s.Recovered {
+		out += fmt.Sprintf(" recovered=(%d,%d)", s.RecoveredEpoch, s.RecoveredRound)
+	}
+	if s.Journal != (journal.Stats{}) || s.JournalAppendErrors > 0 {
+		out += fmt.Sprintf(" journal(recovered=%d torn=%d appends=%d skipped=%d compactions=%d fsync-errs=%d append-errs=%d)",
+			s.Journal.RecordsRecovered, s.Journal.TornTailsTruncated, s.Journal.Appends,
+			s.Journal.AppendsSkipped, s.Journal.Compactions, s.Journal.SyncErrors, s.JournalAppendErrors)
+	}
+	return out
 }

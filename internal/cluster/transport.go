@@ -67,34 +67,44 @@ func (b *AddressBook) All() map[delegate.NodeID]string {
 	return out
 }
 
-// Wire framing shared by every stream transport:
+// Wire framing shared by every stream transport (version 2 — version 1
+// had no ver or epoch field and is rejected by its incompatible layout):
 //
-//	kind u8 | from i32 | to i32 | round u64 | len u32 | payload
+//	ver u8 | kind u8 | from i32 | to i32 | epoch u64 | round u64 | len u32 | payload
 //
 // little-endian, matching the integer-only encodings of package anu.
-const frameHeaderLen = 1 + 4 + 4 + 8 + 4
+const (
+	frameVersion   = 2
+	frameHeaderLen = 1 + 1 + 4 + 4 + 8 + 8 + 4
+)
 
 // writeFrame writes one framed message.
 func writeFrame(w io.Writer, msg delegate.Message) error {
 	buf := make([]byte, frameHeaderLen+len(msg.Payload))
-	buf[0] = byte(msg.Kind)
-	binary.LittleEndian.PutUint32(buf[1:5], uint32(msg.From))
-	binary.LittleEndian.PutUint32(buf[5:9], uint32(msg.To))
-	binary.LittleEndian.PutUint64(buf[9:17], msg.Round)
-	binary.LittleEndian.PutUint32(buf[17:21], uint32(len(msg.Payload)))
+	buf[0] = frameVersion
+	buf[1] = byte(msg.Kind)
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(msg.From))
+	binary.LittleEndian.PutUint32(buf[6:10], uint32(msg.To))
+	binary.LittleEndian.PutUint64(buf[10:18], msg.Epoch)
+	binary.LittleEndian.PutUint64(buf[18:26], msg.Round)
+	binary.LittleEndian.PutUint32(buf[26:30], uint32(len(msg.Payload)))
 	copy(buf[frameHeaderLen:], msg.Payload)
 	_, err := w.Write(buf)
 	return err
 }
 
-// readFrame reads one framed message, rejecting payloads larger than
-// maxPayload so a corrupt length field cannot exhaust memory.
+// readFrame reads one framed message, rejecting unknown frame versions
+// and payloads larger than maxPayload so a corrupt length field cannot
+// exhaust memory.
 func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
 	head := make([]byte, frameHeaderLen)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return delegate.Message{}, err
 	}
-	n := binary.LittleEndian.Uint32(head[17:21])
+	if head[0] != frameVersion {
+		return delegate.Message{}, fmt.Errorf("cluster: frame version %d, want %d", head[0], frameVersion)
+	}
+	n := binary.LittleEndian.Uint32(head[26:30])
 	if int(n) > maxPayload {
 		return delegate.Message{}, fmt.Errorf("cluster: frame payload %d exceeds limit %d", n, maxPayload)
 	}
@@ -103,10 +113,11 @@ func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
 		return delegate.Message{}, err
 	}
 	return delegate.Message{
-		Kind:    delegate.MsgKind(head[0]),
-		From:    delegate.NodeID(binary.LittleEndian.Uint32(head[1:5])),
-		To:      delegate.NodeID(binary.LittleEndian.Uint32(head[5:9])),
-		Round:   binary.LittleEndian.Uint64(head[9:17]),
+		Kind:    delegate.MsgKind(head[1]),
+		From:    delegate.NodeID(binary.LittleEndian.Uint32(head[2:6])),
+		To:      delegate.NodeID(binary.LittleEndian.Uint32(head[6:10])),
+		Epoch:   binary.LittleEndian.Uint64(head[10:18]),
+		Round:   binary.LittleEndian.Uint64(head[18:26]),
 		Payload: payload,
 	}, nil
 }

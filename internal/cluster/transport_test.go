@@ -12,6 +12,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		Kind:    delegate.MsgMap,
 		From:    3,
 		To:      1,
+		Epoch:   0xfedcba9876543210,
 		Round:   math64(),
 		Payload: []byte("payload bytes"),
 	}
@@ -23,11 +24,23 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Kind != in.Kind || out.From != in.From || out.To != in.To || out.Round != in.Round {
+	if out.Kind != in.Kind || out.From != in.From || out.To != in.To || out.Epoch != in.Epoch || out.Round != in.Round {
 		t.Fatalf("header round trip %+v -> %+v", in, out)
 	}
 	if !bytes.Equal(out.Payload, in.Payload) {
 		t.Fatalf("payload round trip %q -> %q", in.Payload, out.Payload)
+	}
+}
+
+func TestFrameRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, delegate.Message{Kind: delegate.MsgReport, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] = 1 // a v1 peer (or garbage) on the wire
+	if _, err := readFrame(bytes.NewReader(raw), 1<<10); err == nil {
+		t.Fatal("wrong frame version accepted")
 	}
 }
 

@@ -115,6 +115,11 @@ type Cluster struct {
 	Nodes []*Node
 	tr    *MemTransport
 	round uint64
+	// epoch is the view epoch: it increments whenever the election
+	// produces a different delegate than the previous step, so maps from
+	// a superseded delegate are fenced out by (epoch, round) ordering.
+	epoch   uint64
+	lastDel NodeID
 }
 
 // NewCluster builds a cluster of k agents sharing one initial map.
@@ -132,7 +137,7 @@ func NewCluster(k int, hashSeed uint64, cfg anu.ControllerConfig) (*Cluster, err
 	}
 	snapshot := m.Encode()
 	tr := NewMemTransport()
-	c := &Cluster{tr: tr}
+	c := &Cluster{tr: tr, lastDel: -1}
 	for _, id := range ids {
 		n, err := NewNode(id, snapshot, cfg, tr)
 		if err != nil {
@@ -148,6 +153,9 @@ func (c *Cluster) Transport() *MemTransport { return c.tr }
 
 // Round returns the number of completed tuning rounds.
 func (c *Cluster) Round() uint64 { return c.round }
+
+// Epoch returns the current view epoch.
+func (c *Cluster) Epoch() uint64 { return c.epoch }
 
 // Node returns the agent with the given id, or nil.
 func (c *Cluster) Node(id NodeID) *Node {
@@ -183,9 +191,13 @@ func (c *Cluster) Step() (NodeID, error) {
 	if !ok {
 		return -1, fmt.Errorf("delegate: no live nodes")
 	}
+	if del != c.lastDel {
+		c.epoch++
+		c.lastDel = del
+	}
 	for _, n := range c.Nodes {
 		if n.ID() != del {
-			n.SendReport(del, c.round)
+			n.SendReport(del, c.epoch, c.round)
 		}
 	}
 	// The delegate drains its inbox, runs the rescale, and broadcasts.
@@ -193,7 +205,7 @@ func (c *Cluster) Step() (NodeID, error) {
 	if _, err := delNode.CollectReports(c.round); err != nil {
 		return del, err
 	}
-	if err := delNode.RunDelegate(c.round, c.Members()); err != nil {
+	if err := delNode.RunDelegate(c.epoch, c.round, c.Members()); err != nil {
 		return del, err
 	}
 	// Everyone else installs the newest map they received.

@@ -45,10 +45,17 @@ const (
 
 // Message is one protocol datagram. Payload is the wire encoding of a
 // Report (MsgReport) or a placement map (MsgMap).
+//
+// Epoch is the view epoch of the sender: it increments each time a new
+// delegate takes over, so a map broadcast is ordered by the (Epoch,
+// Round) pair rather than the round alone. Round numbers keep rising
+// within an epoch; a re-election starts a higher epoch and thereby
+// fences out everything the previous delegate may still have in flight.
 type Message struct {
 	Kind    MsgKind
 	From    NodeID
 	To      NodeID
+	Epoch   uint64
 	Round   uint64
 	Payload []byte
 }
@@ -108,11 +115,28 @@ type Node struct {
 	last Report // most recent local measurement
 	// pending accumulates reports received while acting as delegate.
 	pending map[NodeID]Report
-	// mapRound is the round of the last installed map; MsgMap from an
-	// earlier round is stale and must never overwrite a newer placement.
+	// (mapEpoch, mapRound) is the fence of the last installed map: a
+	// MsgMap with a lexicographically lower pair is stale and must never
+	// overwrite a newer placement — not even one with a higher round, if
+	// it comes from a superseded epoch. This is what stops a formerly
+	// partitioned delegate, whose round counter may have raced ahead,
+	// from rolling the cluster back when it reconnects.
+	mapEpoch uint64
 	mapRound uint64
-	// staleMaps counts rejected stale map messages (instrumentation).
-	staleMaps uint64
+	// staleMaps counts maps rejected for a stale round within the current
+	// epoch; staleEpochs counts maps rejected for a superseded epoch.
+	staleMaps   uint64
+	staleEpochs uint64
+}
+
+// supersedes reports whether fence (e, r) is at least fence (oe, or):
+// epochs order first, rounds break ties. Equal pairs supersede, so a
+// duplicated broadcast of the current map reinstalls harmlessly.
+func supersedes(e, r, oe, or uint64) bool {
+	if e != oe {
+		return e > oe
+	}
+	return r >= or
 }
 
 // NewNode creates an agent with its own copy of the initial map. All
@@ -182,8 +206,18 @@ func (n *Node) Restart(snapshot []byte) error {
 	n.up = true
 	n.last = Report{}
 	n.pending = make(map[NodeID]Report)
+	n.mapEpoch = 0
 	n.mapRound = 0
 	return nil
+}
+
+// Resume restores the node's install fence after a durable restart: the
+// caller recovered (epoch, round) — and the matching map snapshot passed
+// to Restart — from a journal, so the node must reject any install older
+// than what it already persisted.
+func (n *Node) Resume(epoch, round uint64) {
+	n.mapEpoch = epoch
+	n.mapRound = round
 }
 
 // Observe records the node's local measurement for the elapsed interval.
@@ -209,7 +243,7 @@ func (n *Node) Observe(requests uint64, meanLatencySeconds float64) {
 }
 
 // SendReport transmits the node's measurement to the given delegate.
-func (n *Node) SendReport(to NodeID, round uint64) {
+func (n *Node) SendReport(to NodeID, epoch, round uint64) {
 	if !n.up {
 		return
 	}
@@ -217,6 +251,7 @@ func (n *Node) SendReport(to NodeID, round uint64) {
 		Kind:    MsgReport,
 		From:    n.id,
 		To:      to,
+		Epoch:   epoch,
 		Round:   round,
 		Payload: encodeReport(n.last),
 	})
@@ -243,11 +278,15 @@ func (n *Node) CollectReports(round uint64) (mapApplied bool, err error) {
 			}
 			n.pending[msg.From] = rep
 		case MsgMap:
-			if msg.Round < n.mapRound {
-				// A reordered or duplicated map from an older round
-				// must never overwrite a newer placement: installed
-				// map rounds are monotonic.
-				n.staleMaps++
+			if !supersedes(msg.Epoch, msg.Round, n.mapEpoch, n.mapRound) {
+				// A reordered, duplicated or partition-replayed map
+				// carrying an older (epoch, round) must never overwrite
+				// a newer placement: installed fences are monotonic.
+				if msg.Epoch < n.mapEpoch {
+					n.staleEpochs++
+				} else {
+					n.staleMaps++
+				}
 				continue
 			}
 			m, derr := anu.Decode(msg.Payload)
@@ -256,6 +295,7 @@ func (n *Node) CollectReports(round uint64) (mapApplied bool, err error) {
 				continue
 			}
 			n.m = m
+			n.mapEpoch = msg.Epoch
 			n.mapRound = msg.Round
 			mapApplied = true
 		default:
@@ -282,19 +322,28 @@ func (n *Node) Reported() []NodeID {
 
 // MapRound returns the round of the node's installed map: 0 until the
 // first install (or after a Restart), then monotonically non-decreasing
-// for the life of the process.
+// within an epoch for the life of the process.
 func (n *Node) MapRound() uint64 { return n.mapRound }
+
+// MapEpoch returns the view epoch of the node's installed map: 0 until
+// the first install (or after a Restart), then monotonically
+// non-decreasing for the life of the process.
+func (n *Node) MapEpoch() uint64 { return n.mapEpoch }
 
 // StaleMapsRejected returns how many stale-round map messages the node
 // has refused to install.
 func (n *Node) StaleMapsRejected() uint64 { return n.staleMaps }
+
+// StaleEpochsRejected returns how many map messages from superseded
+// epochs the node has refused to install.
+func (n *Node) StaleEpochsRejected() uint64 { return n.staleEpochs }
 
 // RunDelegate executes the delegate role for one round over the reports
 // collected so far: servers that did not report are treated as failed
 // (the paper's failure handling — a silent server's region goes to the
 // survivors), the controller rescales the map, and the new map is
 // broadcast to every member. The pending report set is cleared.
-func (n *Node) RunDelegate(round uint64, members []NodeID) error {
+func (n *Node) RunDelegate(epoch, round uint64, members []NodeID) error {
 	if !n.up {
 		return fmt.Errorf("delegate: node %d is down", n.id)
 	}
@@ -319,9 +368,10 @@ func (n *Node) RunDelegate(round uint64, members []NodeID) error {
 	}
 	n.pending = make(map[NodeID]Report)
 	// The delegate's own map is now the round's authoritative placement;
-	// stamping it keeps the round guard effective if this node later
+	// stamping the fence keeps the guard effective if this node later
 	// receives a late broadcast from a previous delegate.
-	if round > n.mapRound {
+	if supersedes(epoch, round, n.mapEpoch, n.mapRound) {
+		n.mapEpoch = epoch
 		n.mapRound = round
 	}
 
@@ -334,6 +384,7 @@ func (n *Node) RunDelegate(round uint64, members []NodeID) error {
 			Kind:    MsgMap,
 			From:    n.id,
 			To:      id,
+			Epoch:   epoch,
 			Round:   round,
 			Payload: snapshot,
 		})

@@ -320,7 +320,7 @@ func TestStaleMapRoundIgnored(t *testing.T) {
 	}
 	before := n.Fingerprint()
 	// A delayed duplicate of the round-1 broadcast arrives now.
-	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Round: 1, Payload: staleSnapshot})
+	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Epoch: c.Epoch(), Round: 1, Payload: staleSnapshot})
 	applied, err := n.CollectReports(c.Round())
 	if err != nil {
 		t.Fatal(err)
@@ -336,13 +336,100 @@ func TestStaleMapRoundIgnored(t *testing.T) {
 	}
 	// A newer round still installs.
 	next := c.Round() + 10
-	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Round: next, Payload: c.Node(0).Map().Encode()})
+	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Epoch: c.Epoch(), Round: next, Payload: c.Node(0).Map().Encode()})
 	applied, err = n.CollectReports(c.Round())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !applied || n.MapRound() != next {
 		t.Fatalf("newer map not installed (applied=%v round=%d)", applied, n.MapRound())
+	}
+}
+
+// TestStaleEpochFenced is the regression test for epoch fencing: a map
+// from a superseded view epoch must be rejected even when its round
+// number is far ahead of the installed one — the partitioned-delegate
+// scenario a round guard alone cannot catch — while a higher epoch
+// installs even at a lower round.
+func TestStaleEpochFenced(t *testing.T) {
+	c := testCluster(t, 2)
+	oldSnapshot := c.Node(1).Map().Encode()
+	speeds := map[NodeID]float64{0: 1, 1: 9}
+	for round := 0; round < 3; round++ {
+		observeHeterogeneous(c, speeds)
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := c.Node(1)
+	epoch, round := n.MapEpoch(), n.MapRound()
+	if epoch == 0 {
+		t.Fatal("harness never assigned an epoch")
+	}
+	before := n.Fingerprint()
+	// A delegate from a superseded epoch wakes up with a round counter
+	// that raced far ahead while it was partitioned.
+	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Epoch: epoch - 1, Round: round + 1000, Payload: oldSnapshot})
+	applied, err := n.CollectReports(c.Round())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied || n.Fingerprint() != before {
+		t.Fatal("stale-epoch map was installed over a newer placement")
+	}
+	if n.StaleEpochsRejected() != 1 {
+		t.Fatalf("StaleEpochsRejected = %d, want 1", n.StaleEpochsRejected())
+	}
+	if n.MapEpoch() != epoch || n.MapRound() != round {
+		t.Fatalf("fence moved to (%d, %d), want (%d, %d)", n.MapEpoch(), n.MapRound(), epoch, round)
+	}
+	// A later epoch installs even though its round restarts lower.
+	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Epoch: epoch + 1, Round: 1, Payload: c.Node(0).Map().Encode()})
+	applied, err = n.CollectReports(c.Round())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied || n.MapEpoch() != epoch+1 || n.MapRound() != 1 {
+		t.Fatalf("higher-epoch map not installed (applied=%v fence=(%d,%d))", applied, n.MapEpoch(), n.MapRound())
+	}
+}
+
+// TestResumeRestoresFence verifies durable-restart semantics: after
+// Restart with a journal-recovered snapshot, Resume re-arms the install
+// fence so replayed older maps are still rejected.
+func TestResumeRestoresFence(t *testing.T) {
+	c := testCluster(t, 2)
+	oldSnapshot := c.Node(1).Map().Encode()
+	speeds := map[NodeID]float64{0: 1, 1: 9}
+	for round := 0; round < 3; round++ {
+		observeHeterogeneous(c, speeds)
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := c.Node(1)
+	epoch, round := n.MapEpoch(), n.MapRound()
+	recovered := n.Map().Encode()
+	n.Crash()
+	if err := n.Restart(recovered); err != nil {
+		t.Fatal(err)
+	}
+	n.Resume(epoch, round)
+	if n.MapEpoch() != epoch || n.MapRound() != round {
+		t.Fatalf("Resume fence = (%d, %d), want (%d, %d)", n.MapEpoch(), n.MapRound(), epoch, round)
+	}
+	// The pre-crash bootstrap map replayed at a lower (epoch, round)
+	// must not install after the durable restart.
+	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: 1, Epoch: epoch - 1, Round: round + 50, Payload: oldSnapshot})
+	applied, err := n.CollectReports(c.Round())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatal("replayed stale map installed after durable restart")
+	}
+	if n.StaleEpochsRejected() != 1 {
+		t.Fatalf("StaleEpochsRejected = %d, want 1", n.StaleEpochsRejected())
 	}
 }
 
@@ -389,7 +476,7 @@ func TestRestartClearsPreCrashReport(t *testing.T) {
 	}
 	// The first post-restart report on the wire is the zero report, not
 	// the pre-crash measurement.
-	n.SendReport(0, 9)
+	n.SendReport(0, 1, 9)
 	got := c.Transport().Deliver(0)
 	if len(got) != 1 {
 		t.Fatalf("expected 1 message, got %d", len(got))
