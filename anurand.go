@@ -26,6 +26,13 @@
 //		{Server: 2, Requests: 150, LatencySeconds: 0.4},
 //	})
 //
+// The Balancer is a thin concurrency shell over a pluggable placement
+// strategy (internal/placement). ANU randomization is the default;
+// Options.Strategy selects an alternative such as the bounded-load
+// consistent-hash ring, and every strategy runs under the same tuning,
+// snapshot, and failure machinery — that is what makes the paper's
+// comparisons apples-to-apples.
+//
 // The repository also contains the paper's full evaluation apparatus: a
 // discrete-event cluster simulator, the synthetic and trace-like
 // workload generators, the three comparison systems (simple
@@ -35,11 +42,12 @@ package anurand
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"anurand/internal/anu"
-	"anurand/internal/hashx"
+	"anurand/internal/placement"
 )
 
 // ServerID identifies a server. IDs are assigned by the caller, must be
@@ -92,6 +100,33 @@ func DefaultTuning() Tuning {
 	}
 }
 
+// Validate rejects nonsensical knob values with a field-level message.
+// Zero means "use the default" throughout, so only negative or NaN
+// values are field errors here; positive values outside a knob's valid
+// range (for example MaxStep <= 1) are reported by the controller's own
+// validation with the ranges attached.
+func (t Tuning) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Gamma", t.Gamma},
+		{"MaxStep", t.MaxStep},
+		{"MaxShrink", t.MaxShrink},
+		{"DeadBand", t.DeadBand},
+		{"MinWeight", t.MinWeight},
+		{"Smoothing", t.Smoothing},
+	} {
+		if math.IsNaN(f.v) {
+			return fmt.Errorf("anurand: Tuning.%s is NaN; leave it zero to use the default", f.name)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("anurand: Tuning.%s is negative (%g); tuning knobs must be positive, or zero to use the default", f.name, f.v)
+		}
+	}
+	return nil
+}
+
 func (t Tuning) toConfig() anu.ControllerConfig {
 	def := anu.DefaultControllerConfig()
 	cfg := anu.ControllerConfig{
@@ -121,104 +156,138 @@ type Options struct {
 	// Tuning overrides controller parameters; zero fields keep
 	// defaults.
 	Tuning Tuning
+	// Strategy selects the placement strategy by registered name
+	// ("anu", "chord", "chord-bounded"). Empty means ANU, the paper's
+	// scheme. In Restore, a non-empty Strategy additionally asserts the
+	// snapshot's tag: a snapshot from a different strategy is rejected
+	// instead of silently adopted.
+	Strategy string
+	// LoadBound is the bounded-load factor for the "chord-bounded"
+	// strategy: no server should carry more than LoadBound times the
+	// mean per-server request rate. Zero means the default (1.25);
+	// other strategies ignore it.
+	LoadBound float64
 }
 
-// Balancer is a thread-safe ANU placement map with its feedback
-// controller — the embeddable form of the paper's load-management
-// system.
+func (o Options) placementOptions() placement.Options {
+	return placement.Options{
+		HashSeed:   o.HashSeed,
+		Controller: o.Tuning.toConfig(),
+		LoadBound:  o.LoadBound,
+	}
+}
+
+func (o Options) strategyName() string {
+	if o.Strategy == "" {
+		return placement.StrategyANU
+	}
+	return o.Strategy
+}
+
+// Strategies lists the registered placement strategy names accepted by
+// Options.Strategy.
+func Strategies() []string { return placement.Names() }
+
+// Balancer is a thread-safe placement strategy with its feedback
+// machinery — the embeddable form of the paper's load-management
+// system. The default strategy is the paper's ANU map + controller.
 //
-// Concurrency model (RCU-style snapshots): the placement map is an
+// Concurrency model (RCU-style snapshots): the placement strategy is an
 // immutable snapshot published through an atomic pointer. Readers
 // (Lookup, LookupProbes, LookupBatch, Shares, Snapshot, …) load the
 // pointer and never take a lock, never block a writer, and scale
 // linearly with cores. Writers (Tune, Fail, Recover, AddServer,
-// RemoveServer) serialize behind a mutex, clone the current map, mutate
-// the clone, and publish it; a failed mutation publishes nothing, so
-// readers always observe a complete, invariant-satisfying placement.
-// Writes are O(servers + partitions) — a few microseconds, at the
-// paper's tuning cadence of minutes.
+// RemoveServer) serialize behind a mutex, clone the current strategy,
+// mutate the clone, and publish it; a failed mutation publishes
+// nothing, so readers always observe a complete, invariant-satisfying
+// placement. Writes are O(servers + partitions) — a few microseconds,
+// at the paper's tuning cadence of minutes.
 type Balancer struct {
-	cur atomic.Pointer[anu.Map] // current immutable placement snapshot
-	mu  sync.Mutex              // serializes writers; guards ctl
-	ctl *anu.Controller
+	cur atomic.Pointer[placement.Strategy] // current immutable placement snapshot
+	mu  sync.Mutex                         // serializes writers
 }
 
 // New creates a Balancer over the given servers with equal initial
-// regions and default options.
+// shares and default options (ANU strategy).
 func New(servers []ServerID) (*Balancer, error) {
 	return NewWithOptions(servers, Options{})
 }
 
 // NewWithOptions creates a Balancer with explicit options.
 func NewWithOptions(servers []ServerID, opts Options) (*Balancer, error) {
-	ids := make([]anu.ServerID, len(servers))
-	for i, s := range servers {
-		ids[i] = anu.ServerID(s)
+	if err := opts.Tuning.Validate(); err != nil {
+		return nil, err
 	}
-	m, err := anu.New(hashx.NewFamily(opts.HashSeed), ids)
+	ids := make([]placement.ServerID, len(servers))
+	for i, s := range servers {
+		ids[i] = placement.ServerID(s)
+	}
+	s, err := placement.New(opts.strategyName(), ids, opts.placementOptions())
 	if err != nil {
 		return nil, fmt.Errorf("anurand: %w", err)
 	}
-	cfg := opts.Tuning.toConfig()
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("anurand: %w", err)
-	}
-	b := &Balancer{ctl: anu.NewController(cfg)}
-	b.cur.Store(m)
+	b := &Balancer{}
+	b.cur.Store(&s)
 	return b, nil
 }
 
 // Restore reconstructs a Balancer from a Snapshot, as a node would on
-// receiving the delegate's replicated state.
+// receiving the delegate's replicated state. The snapshot carries its
+// strategy tag; set Options.Strategy to additionally assert it.
 func Restore(snapshot []byte, opts Options) (*Balancer, error) {
-	m, err := anu.Decode(snapshot)
+	if err := opts.Tuning.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := placement.Decode(snapshot, opts.placementOptions())
 	if err != nil {
 		return nil, fmt.Errorf("anurand: %w", err)
 	}
-	cfg := opts.Tuning.toConfig()
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("anurand: %w", err)
+	if opts.Strategy != "" && s.Name() != opts.Strategy {
+		return nil, fmt.Errorf("anurand: snapshot carries strategy %q, want %q", s.Name(), opts.Strategy)
 	}
-	b := &Balancer{ctl: anu.NewController(cfg)}
-	b.cur.Store(m)
+	b := &Balancer{}
+	b.cur.Store(&s)
 	return b, nil
 }
 
-// snapshot returns the current immutable placement map. The result must
-// be treated as read-only; mutators work on clones and republish.
-func (b *Balancer) snapshot() *anu.Map { return b.cur.Load() }
+// strategy returns the current immutable placement strategy. The result
+// must be treated as read-only; mutators work on clones and republish.
+func (b *Balancer) strategy() placement.Strategy { return *b.cur.Load() }
 
-// mutate runs f on a private clone of the current map under the writer
-// lock and publishes the clone only if f succeeds, so a failed
+// Strategy returns the active placement strategy's registered name.
+func (b *Balancer) Strategy() string { return b.strategy().Name() }
+
+// mutate runs f on a private clone of the current strategy under the
+// writer lock and publishes the clone only if f succeeds, so a failed
 // operation leaves the visible placement untouched.
-func (b *Balancer) mutate(f func(m *anu.Map) error) error {
+func (b *Balancer) mutate(f func(s placement.Strategy) error) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	clone := b.cur.Load().Clone()
+	clone := (*b.cur.Load()).Clone()
 	if err := f(clone); err != nil {
 		return err
 	}
-	b.cur.Store(clone)
+	b.cur.Store(&clone)
 	return nil
 }
 
 // Lookup returns the server responsible for key. The boolean is false
-// only when every server has failed. Lookup is lock-free and
-// allocation-free: it reads the current placement snapshot and performs
-// a couple of hash probes in expectation.
+// only when every server has failed. Lookup is lock-free: it reads the
+// current placement snapshot and resolves the key against it.
 func (b *Balancer) Lookup(key string) (ServerID, bool) {
-	id, _ := b.snapshot().Lookup(key)
-	if id == anu.NoServer {
+	id, ok := b.strategy().Lookup(key)
+	if !ok {
 		return 0, false
 	}
 	return ServerID(id), true
 }
 
-// LookupProbes returns the placement along with the number of hash
-// probes used (expected two under half occupancy).
+// LookupProbes returns the placement along with the number of
+// data-structure probes used (hash probes for ANU — expected two under
+// half occupancy — or ring probes for the chord strategies).
 func (b *Balancer) LookupProbes(key string) (ServerID, int, bool) {
-	id, probes := b.snapshot().Lookup(key)
-	if id == anu.NoServer {
+	id, probes, ok := b.strategy().LookupProbes(key)
+	if !ok {
 		return 0, probes, false
 	}
 	return ServerID(id), probes, true
@@ -232,17 +301,16 @@ const NoOwner ServerID = -1
 // single placement snapshot — concurrent tuning never splits a batch
 // across two placements. It returns the number of keys that resolved to
 // a live server; unresolved entries are set to NoOwner. owners must be
-// at least as long as keys. Like Lookup, the batch path is lock-free
-// and allocation-free.
+// at least as long as keys. Like Lookup, the batch path is lock-free.
 func (b *Balancer) LookupBatch(keys []string, owners []ServerID) int {
 	if len(owners) < len(keys) {
 		panic(fmt.Sprintf("anurand: LookupBatch: %d owners for %d keys", len(owners), len(keys)))
 	}
-	m := b.snapshot()
+	s := b.strategy()
 	resolved := 0
 	for i, key := range keys {
-		id, _ := m.Lookup(key)
-		if id == anu.NoServer {
+		id, ok := s.Lookup(key)
+		if !ok {
 			owners[i] = NoOwner
 			continue
 		}
@@ -253,22 +321,23 @@ func (b *Balancer) LookupBatch(keys []string, owners []ServerID) int {
 }
 
 // Tune applies one feedback round from per-server latency reports and
-// reports whether any region changed. It is the delegate's operation;
-// in a cluster, distribute Snapshot() to the other nodes afterwards.
+// reports whether the placement changed. It is the delegate's
+// operation; in a cluster, distribute Snapshot() to the other nodes
+// afterwards.
 func (b *Balancer) Tune(reports []Report) (bool, error) {
-	rs := make([]anu.Report, len(reports))
+	rs := make([]placement.Report, len(reports))
 	for i, r := range reports {
-		rs[i] = anu.Report{
-			Server:   anu.ServerID(r.Server),
+		rs[i] = placement.Report{
+			Server:   placement.ServerID(r.Server),
 			Requests: r.Requests,
 			Latency:  r.LatencySeconds,
 			Failed:   r.Failed,
 		}
 	}
 	var changed bool
-	err := b.mutate(func(m *anu.Map) error {
+	err := b.mutate(func(s placement.Strategy) error {
 		var err error
-		changed, err = b.ctl.Tune(m, rs)
+		changed, err = s.Tune(rs)
 		return err
 	})
 	if err != nil {
@@ -277,26 +346,26 @@ func (b *Balancer) Tune(reports []Report) (bool, error) {
 	return changed, nil
 }
 
-// AddServer commissions a new server with an equal share of the mapped
-// interval, repartitioning if needed.
+// AddServer commissions a new server with an equal share of the key
+// space.
 func (b *Balancer) AddServer(id ServerID) error {
-	return b.mutate(func(m *anu.Map) error { return m.AddServer(anu.ServerID(id)) })
+	return b.mutate(func(s placement.Strategy) error { return s.AddServer(placement.ServerID(id)) })
 }
 
 // RemoveServer decommissions a server; its load fails over to the
 // survivors.
 func (b *Balancer) RemoveServer(id ServerID) error {
-	return b.mutate(func(m *anu.Map) error { return m.RemoveServer(anu.ServerID(id)) })
+	return b.mutate(func(s placement.Strategy) error { return s.RemoveServer(placement.ServerID(id)) })
 }
 
 // Fail records a server failure; only its file sets move.
 func (b *Balancer) Fail(id ServerID) error {
-	return b.mutate(func(m *anu.Map) error { return m.Fail(anu.ServerID(id)) })
+	return b.mutate(func(s placement.Strategy) error { return s.Fail(placement.ServerID(id)) })
 }
 
 // Recover re-admits a failed server with an equal share.
 func (b *Balancer) Recover(id ServerID) error {
-	return b.mutate(func(m *anu.Map) error { return m.Recover(anu.ServerID(id)) })
+	return b.mutate(func(s placement.Strategy) error { return s.Recover(placement.ServerID(id)) })
 }
 
 // Advisory flags a server the controller considers incompetent for this
@@ -308,14 +377,19 @@ type Advisory struct {
 	Rounds int
 }
 
-// Advisories lists servers currently flagged as incompetent.
+// Advisories lists servers currently flagged as incompetent. Only the
+// ANU strategy produces advisories; other strategies return nil.
 func (b *Balancer) Advisories() []Advisory {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	advs := b.ctl.Advisories()
+	a, ok := b.strategy().(*placement.ANU)
+	if !ok {
+		return nil
+	}
+	advs := a.Controller().Advisories()
 	out := make([]Advisory, len(advs))
-	for i, a := range advs {
-		out[i] = Advisory{Server: ServerID(a.Server), Rounds: a.Rounds}
+	for i, adv := range advs {
+		out[i] = Advisory{Server: ServerID(adv.Server), Rounds: adv.Rounds}
 	}
 	return out
 }
@@ -323,7 +397,7 @@ func (b *Balancer) Advisories() []Advisory {
 // Servers returns the member ids in ascending order (including failed,
 // zero-share members).
 func (b *Balancer) Servers() []ServerID {
-	ids := b.snapshot().Servers()
+	ids := b.strategy().Servers()
 	out := make([]ServerID, len(ids))
 	for i, id := range ids {
 		out[i] = ServerID(id)
@@ -331,48 +405,52 @@ func (b *Balancer) Servers() []ServerID {
 	return out
 }
 
-// Shares returns each server's fraction of the mapped interval
-// (fractions sum to 1 across live servers; failed servers report 0).
-// All fractions come from one placement snapshot.
+// Shares returns each server's fraction of the key space (fractions sum
+// to 1 across live servers; failed servers report 0). All fractions
+// come from one placement snapshot.
 func (b *Balancer) Shares() map[ServerID]float64 {
-	m := b.snapshot()
-	total := float64(m.TotalMapped())
-	out := make(map[ServerID]float64, m.K())
-	for id, l := range m.Lengths() {
-		if total == 0 {
-			out[ServerID(id)] = 0
-		} else {
-			out[ServerID(id)] = float64(l) / total
-		}
+	shares := b.strategy().Shares()
+	out := make(map[ServerID]float64, len(shares))
+	for id, s := range shares {
+		out[ServerID(id)] = s
 	}
 	return out
 }
 
-// Snapshot serializes the placement map — the only state a delegate
-// replicates to the cluster. Its size is O(servers).
+// Snapshot serializes the placement — the only state a delegate
+// replicates to the cluster. The bytes carry the strategy's tag; its
+// size is O(servers).
 func (b *Balancer) Snapshot() []byte {
-	return b.snapshot().Encode()
+	return b.strategy().Encode()
 }
 
 // SharedStateSize returns len(Snapshot()).
 func (b *Balancer) SharedStateSize() int {
-	return b.snapshot().SharedStateSize()
+	return b.strategy().SharedStateSize()
 }
 
-// Partitions returns the current partition count of the unit interval,
-// 2^(ceil(lg k)+1) for k servers.
+// Partitions returns the current partition count of the ANU unit
+// interval, 2^(ceil(lg k)+1) for k servers, or 0 for strategies without
+// partitions.
 func (b *Balancer) Partitions() int {
-	return b.snapshot().Partitions()
+	if a, ok := b.strategy().(*placement.ANU); ok {
+		return a.Map().Partitions()
+	}
+	return 0
 }
 
 // K returns the number of member servers.
 func (b *Balancer) K() int {
-	return b.snapshot().K()
+	return len(b.strategy().Servers())
 }
 
-// Render draws the unit interval as an ASCII bar (one digit per cell
-// for the owning server, '.' for unmapped space) — the picture of the
-// paper's Figure 2, for logs and operator tooling.
+// Render draws the ANU unit interval as an ASCII bar (one digit per
+// cell for the owning server, '.' for unmapped space) — the picture of
+// the paper's Figure 2, for logs and operator tooling. Strategies
+// without an interval render as an empty string.
 func (b *Balancer) Render(width int) string {
-	return b.snapshot().Render(width)
+	if a, ok := b.strategy().(*placement.ANU); ok {
+		return a.Map().Render(width)
+	}
+	return ""
 }

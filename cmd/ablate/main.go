@@ -20,6 +20,7 @@ import (
 	"anurand/internal/chordring"
 	"anurand/internal/clustersim"
 	"anurand/internal/hashx"
+	"anurand/internal/placement"
 	"anurand/internal/policy"
 	"anurand/internal/rng"
 	"anurand/internal/workload"
@@ -131,14 +132,15 @@ func sweepDChoice() {
 	const n, m = 16, 4800
 	fmt.Printf("%-8s %-18s %-18s\n", "d", "max excess (items)", "max/mean ratio")
 	for _, d := range []int{1, 2, 3, 4} {
-		ids := make([]policy.ServerID, n)
+		ids := make([]placement.ServerID, n)
 		for i := range ids {
-			ids[i] = policy.ServerID(i)
+			ids[i] = placement.ServerID(i)
 		}
-		mp, err := anu.New(hashx.NewFamily(42), ids)
+		s, err := placement.New(placement.StrategyANU, ids, placement.Options{HashSeed: 42})
 		if err != nil {
 			log.Fatal(err)
 		}
+		mp := s.(*placement.ANU).Map() // LookupD is an ANU-specific probe-count experiment
 		counts := make(map[anu.ServerID]float64, n)
 		for i := 0; i < m; i++ {
 			id, _ := mp.LookupD(fmt.Sprintf("fileset/%05d", i), d, func(s anu.ServerID) float64 { return counts[s] })
@@ -159,28 +161,31 @@ func sweepDChoice() {
 // replicate the full VP->server table at every node (O(V) state, one
 // probe) or keep it in a Chord-style ring (O(log n) state per node,
 // O(log n) probes). ANU's region table is the third point: O(k) state,
-// ~2 hash probes, no ring maintenance.
+// ~2 hash probes, no ring maintenance. Both measured schemes are built
+// through the placement registry — the same construction path the
+// networked runtime uses.
 func sweepVPAddressing() {
 	fmt.Println("# VP addressing: replicated table vs Chord-style ring vs ANU")
 	fmt.Printf("%-26s %-22s %-14s\n", "scheme", "state per node (B)", "probes/lookup")
-	fam := hashx.NewFamily(42)
 	for _, n := range []int{5, 50, 500} {
 		numVP := 10 * n // the paper's v=10 upper end
 		fmt.Printf("-- %d servers, %d virtual processors --\n", n, numVP)
 		fmt.Printf("%-26s %-22d %-14.1f\n", "replicated VP table", 8*numVP, 1.0)
 
-		nodes := make([]chordring.NodeID, n)
-		for i := range nodes {
-			nodes[i] = chordring.NodeID(i)
+		ids := make([]placement.ServerID, n)
+		for i := range ids {
+			ids[i] = placement.ServerID(i)
 		}
-		ring, err := chordring.New(fam, nodes)
+		opts := placement.Options{HashSeed: 42}
+		cs, err := placement.New(placement.StrategyChord, ids, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		ring := cs.(*placement.Chord).Ring().Ring()
 		src := rng.New(uint64(n))
 		total, lookups := 0, 2000
 		for i := 0; i < lookups; i++ {
-			_, hops, err := ring.Route(nodes[src.Intn(n)], fmt.Sprintf("vp/%d", i%numVP))
+			_, hops, err := ring.Route(chordring.NodeID(ids[src.Intn(n)]), fmt.Sprintf("vp/%d", i%numVP))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -188,20 +193,16 @@ func sweepVPAddressing() {
 		}
 		fmt.Printf("%-26s %-22d %-14.1f\n", "chord ring", ring.StateBytes(), float64(total)/float64(lookups))
 
-		ids := make([]policy.ServerID, n)
-		for i := range ids {
-			ids[i] = policy.ServerID(i)
-		}
-		m, err := anu.New(fam, ids)
+		as, err := placement.New(placement.StrategyANU, ids, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		probes, keyLookups := 0, 2000
 		for i := 0; i < keyLookups; i++ {
-			_, p := m.Lookup(fmt.Sprintf("fs/%d", i))
+			_, p, _ := as.LookupProbes(fmt.Sprintf("fs/%d", i))
 			probes += p
 		}
-		fmt.Printf("%-26s %-22d %-14.1f\n", "anu region table", m.SharedStateSize(), float64(probes)/float64(keyLookups))
+		fmt.Printf("%-26s %-22d %-14.1f\n", "anu region table", as.SharedStateSize(), float64(probes)/float64(keyLookups))
 	}
 }
 

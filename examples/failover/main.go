@@ -27,6 +27,7 @@ import (
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
 	"anurand/internal/journal"
+	"anurand/internal/placement"
 )
 
 func main() {
@@ -66,8 +67,8 @@ func main() {
 			RoundInterval:     40 * time.Millisecond,
 			HeartbeatInterval: 8 * time.Millisecond,
 			FailAfter:         120 * time.Millisecond,
-			Observe: func(m *anu.Map, id delegate.NodeID) (uint64, float64) {
-				share := float64(m.Length(id)) / float64(anu.Half)
+			Observe: func(p placement.Strategy, id delegate.NodeID) (uint64, float64) {
+				share := p.Shares()[id]
 				return uint64(1 + 1000*share), 0.002 + share/speeds[id]
 			},
 			Journal: journals[i],

@@ -24,6 +24,7 @@ import (
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
 	"anurand/internal/journal"
+	"anurand/internal/placement"
 )
 
 const numNodes = 5
@@ -33,8 +34,8 @@ var speeds = map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
 
 // observe models a closed-loop workload: latency grows with the share
 // of the hash space a node owns, divided by its machine speed.
-func observe(m *anu.Map, id delegate.NodeID) (uint64, float64) {
-	share := float64(m.Length(id)) / float64(anu.Half)
+func observe(p placement.Strategy, id delegate.NodeID) (uint64, float64) {
+	share := p.Shares()[id]
 	return uint64(1 + 1000*share), 0.002 + share/speeds[id]
 }
 

@@ -1,0 +1,246 @@
+package chordring
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bounded is the bounded-load variant of the consistent-hash ring, after
+// "Consistent Hashing with Bounded Loads" (Mirrokni, Thorup, Zadimoghaddam):
+// no bin may carry more than c times the average load, and overflow
+// spills forward along the ring. Two adaptations make the idea work in
+// this system's information model, where load is only known from the
+// per-interval latency/request reports the delegate already collects:
+//
+//   - Load is measured, not counted: a tuning round computes each node's
+//     share of the interval's requests and derives a per-node shed
+//     fraction — how much of the node's arc it must give up to get back
+//     under the bound.
+//   - Shedding is deterministic and stateless at read time: a node with
+//     shed fraction s forwards the keys in the first s of its arc
+//     (measured from its predecessor's point) to the next live node, so
+//     every reader computes the same owner from the same encoded state,
+//     with no per-lookup counters.
+//
+// Failed nodes are skipped entirely: their whole arc falls to the next
+// live successor, the standard consistent-hashing failover. A forwarded
+// key lands on the next live node regardless of that node's own shed,
+// which bounds the walk at one extra hop past the live successor scan.
+type Bounded struct {
+	ring *Ring
+	// failed nodes own nothing; their arcs spill to the next live node.
+	failed map[NodeID]bool
+	// shed[n] in [0, 1) is the prefix fraction of n's arc forwarded on.
+	shed map[NodeID]float64
+}
+
+// NewBounded wraps a ring with empty failure and shed state. The ring is
+// owned by the Bounded afterwards.
+func NewBounded(ring *Ring) *Bounded {
+	return &Bounded{
+		ring:   ring,
+		failed: make(map[NodeID]bool),
+		shed:   make(map[NodeID]float64),
+	}
+}
+
+// Ring exposes the underlying ring (routing experiments read fingers and
+// hop counts from it).
+func (b *Bounded) Ring() *Ring { return b.ring }
+
+// Clone returns a deep copy; the copy may be mutated independently.
+func (b *Bounded) Clone() *Bounded {
+	nb := &Bounded{
+		ring:   b.ring.Clone(),
+		failed: make(map[NodeID]bool, len(b.failed)),
+		shed:   make(map[NodeID]float64, len(b.shed)),
+	}
+	for id, f := range b.failed {
+		nb.failed[id] = f
+	}
+	for id, s := range b.shed {
+		nb.shed[id] = s
+	}
+	return nb
+}
+
+// SetFailed marks or clears a node's failure. Unknown nodes are an
+// error so a typo cannot silently black-hole half the ring.
+func (b *Bounded) SetFailed(id NodeID, failed bool) error {
+	if _, ok := b.ring.byID[id]; !ok {
+		return fmt.Errorf("chordring: SetFailed: unknown node %d", id)
+	}
+	if failed {
+		b.failed[id] = true
+	} else {
+		delete(b.failed, id)
+	}
+	return nil
+}
+
+// Failed reports whether a node is marked failed.
+func (b *Bounded) Failed(id NodeID) bool { return b.failed[id] }
+
+// Has reports ring membership (failed members included).
+func (b *Bounded) Has(id NodeID) bool {
+	_, ok := b.ring.byID[id]
+	return ok
+}
+
+// SetShed sets the fraction of a node's arc forwarded to its live
+// successor. frac must be in [0, 1): a node may shed load, not vanish —
+// failure handles that.
+func (b *Bounded) SetShed(id NodeID, frac float64) error {
+	if _, ok := b.ring.byID[id]; !ok {
+		return fmt.Errorf("chordring: SetShed: unknown node %d", id)
+	}
+	if math.IsNaN(frac) || frac < 0 || frac >= 1 {
+		return fmt.Errorf("chordring: SetShed: fraction %g outside [0, 1)", frac)
+	}
+	if frac == 0 {
+		delete(b.shed, id)
+	} else {
+		b.shed[id] = frac
+	}
+	return nil
+}
+
+// Shed returns a node's current shed fraction.
+func (b *Bounded) Shed(id NodeID) float64 { return b.shed[id] }
+
+// Join adds a node (live, shedding nothing).
+func (b *Bounded) Join(id NodeID) error { return b.ring.Join(id) }
+
+// Leave removes a node and drops its failure/shed state.
+func (b *Bounded) Leave(id NodeID) error {
+	if err := b.ring.Leave(id); err != nil {
+		return err
+	}
+	delete(b.failed, id)
+	delete(b.shed, id)
+	return nil
+}
+
+// LiveCount returns the number of non-failed members.
+func (b *Bounded) LiveCount() int { return b.ring.N() - len(b.failed) }
+
+// nextLive returns the ring index of the first non-failed member
+// strictly after idx (wrapping; idx itself is reached after a full lap).
+// ok is false when every member is failed.
+func (b *Bounded) nextLive(idx int) (int, bool) {
+	n := len(b.ring.ids)
+	for step := 1; step <= n; step++ {
+		j := (idx + step) % n
+		if !b.failed[b.ring.ids[j]] {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// Owner returns the node responsible for key under the bounded-load
+// rule, along with the number of ring probes taken (1 for a direct hit,
+// +1 per forwarding hop). ok is false only when every node has failed.
+func (b *Bounded) Owner(key string) (NodeID, int, bool) {
+	n := len(b.ring.ids)
+	p := b.ring.keyPoint(key)
+	idx := b.ring.successorIndex(p)
+	probes := 1
+	if b.failed[b.ring.ids[idx]] {
+		// The successor is down: its whole arc spills to the next live
+		// node, which accepts the key unconditionally.
+		next, ok := b.nextLive(idx)
+		if !ok {
+			return 0, probes, false
+		}
+		return b.ring.ids[next], probes + 1, true
+	}
+	id := b.ring.ids[idx]
+	s := b.shed[id]
+	if s == 0 || n == 1 {
+		return id, probes, true
+	}
+	// The owner is live but shedding: keys in the first s of its arc
+	// (measured from the predecessor's point) forward to the next live
+	// node. Wrapping subtraction keeps the arithmetic exact mod 2^64.
+	pred := (idx - 1 + n) % n
+	arc := b.ring.points[idx] - b.ring.points[pred]
+	if arc == 0 {
+		return id, probes, true // colliding points; never shed
+	}
+	offset := p - b.ring.points[pred] // in [1, arc] for keys owned by idx
+	if offset > point(s*float64(arc)) {
+		return id, probes, true
+	}
+	next, ok := b.nextLive(idx)
+	if !ok || next == idx {
+		return id, probes, true // nowhere to shed to
+	}
+	return b.ring.ids[next], probes + 1, true
+}
+
+// Shares returns each member's fraction of the key space under the
+// current failure and shed state (live fractions sum to 1; failed
+// members report 0). It is the closed form of the Owner walk: a failed
+// node's arc goes to its next live successor, and a shedding node's
+// prefix goes to the next live node after it.
+func (b *Bounded) Shares() map[NodeID]float64 {
+	n := len(b.ring.ids)
+	out := make(map[NodeID]float64, n)
+	for _, id := range b.ring.ids {
+		out[id] = 0
+	}
+	if b.LiveCount() == 0 {
+		return out
+	}
+	const circle = float64(1<<63) * 2 // 2^64
+	for i, id := range b.ring.ids {
+		pred := (i - 1 + n) % n
+		var arcF float64
+		if n == 1 {
+			arcF = 1
+		} else {
+			arcF = float64(b.ring.points[i]-b.ring.points[pred]) / circle
+		}
+		if b.failed[id] {
+			if next, ok := b.nextLive(i); ok {
+				out[b.ring.ids[next]] += arcF
+			}
+			continue
+		}
+		s := b.shed[id]
+		next, ok := b.nextLive(i)
+		if s == 0 || !ok || next == i {
+			out[id] += arcF
+			continue
+		}
+		out[id] += arcF * (1 - s)
+		out[b.ring.ids[next]] += arcF * s
+	}
+	return out
+}
+
+// Members returns the member ids in ascending id order (including
+// failed members).
+func (b *Bounded) Members() []NodeID {
+	ids := append([]NodeID(nil), b.ring.ids...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Clone returns a deep copy of the ring; the copy may Join and Leave
+// independently of the original.
+func (r *Ring) Clone() *Ring {
+	nr := &Ring{
+		family:  r.family,
+		points:  append([]point(nil), r.points...),
+		ids:     append([]NodeID(nil), r.ids...),
+		byID:    make(map[NodeID]point, len(r.byID)),
+		fingers: r.fingers, // rebuilt wholesale on mutation, never edited in place
+	}
+	for id, p := range r.byID {
+		nr.byID[id] = p
+	}
+	return nr
+}

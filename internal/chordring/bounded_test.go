@@ -1,0 +1,192 @@
+package chordring
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"anurand/internal/hashx"
+)
+
+func newBounded(t *testing.T, n int) *Bounded {
+	t.Helper()
+	nodes := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = NodeID(i)
+	}
+	r, err := New(hashx.NewFamily(42), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewBounded(r)
+}
+
+func TestBoundedOwnerMatchesRingWhenIdle(t *testing.T) {
+	b := newBounded(t, 8)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("fs/%d", i)
+		id, probes, ok := b.Owner(key)
+		if !ok || probes != 1 {
+			t.Fatalf("Owner(%q) = (%d, %d, %v)", key, id, probes, ok)
+		}
+		if want := b.Ring().Owner(key); id != want {
+			t.Fatalf("idle bounded owner %d, ring owner %d for %q", id, want, key)
+		}
+	}
+}
+
+func TestBoundedFailedNodeSpillsToLiveSuccessor(t *testing.T) {
+	b := newBounded(t, 6)
+	victim := b.Ring().Owner("hot-key")
+	if err := b.SetFailed(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	id, probes, ok := b.Owner("hot-key")
+	if !ok || id == victim {
+		t.Fatalf("failed node still owns the key: (%d, %v)", id, ok)
+	}
+	if probes != 2 {
+		t.Errorf("spill took %d probes, want 2", probes)
+	}
+	// Keys not owned by the victim are unaffected.
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k/%d", i)
+		if b.Ring().Owner(key) == victim {
+			continue
+		}
+		id, _, ok := b.Owner(key)
+		if !ok || id != b.Ring().Owner(key) {
+			t.Fatalf("unrelated key %q moved to %d", key, id)
+		}
+	}
+	// Recovery restores the original placement.
+	if err := b.SetFailed(victim, false); err != nil {
+		t.Fatal(err)
+	}
+	if id, _, _ := b.Owner("hot-key"); id != victim {
+		t.Fatalf("recovered node did not regain its key (owner %d, want %d)", id, victim)
+	}
+}
+
+func TestBoundedAllFailed(t *testing.T) {
+	b := newBounded(t, 3)
+	for _, id := range b.Members() {
+		if err := b.SetFailed(id, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := b.Owner("anything"); ok {
+		t.Fatal("all-failed ring still places keys")
+	}
+	for id, s := range b.Shares() {
+		if s != 0 {
+			t.Errorf("all-failed ring reports share %g for %d", s, id)
+		}
+	}
+}
+
+func TestBoundedShedMovesPrefixFraction(t *testing.T) {
+	b := newBounded(t, 5)
+	const shedFrac = 0.5
+	target := NodeID(2)
+	if err := b.SetShed(target, shedFrac); err != nil {
+		t.Fatal(err)
+	}
+	var owned, kept int
+	for i := 0; i < 20000; i++ {
+		key := fmt.Sprintf("probe/%d", i)
+		if b.Ring().Owner(key) != target {
+			continue
+		}
+		owned++
+		if id, _, ok := b.Owner(key); ok && id == target {
+			kept++
+		}
+	}
+	if owned < 500 {
+		t.Fatalf("target owns only %d sample keys; test underpowered", owned)
+	}
+	got := float64(kept) / float64(owned)
+	if math.Abs(got-(1-shedFrac)) > 0.1 {
+		t.Errorf("shed %.2f kept %.3f of keys, want ~%.2f", shedFrac, got, 1-shedFrac)
+	}
+	// Shares agree with the sampled behaviour: the target's share dropped
+	// by about half relative to its unshed arc.
+	unshed := newBounded(t, 5)
+	before := unshed.Shares()[target]
+	after := b.Shares()[target]
+	if math.Abs(after-before*(1-shedFrac)) > 0.05 {
+		t.Errorf("Shares: shed share %g, want ~%g", after, before*(1-shedFrac))
+	}
+}
+
+func TestBoundedSharesSumToOne(t *testing.T) {
+	b := newBounded(t, 7)
+	b.SetFailed(1, true)
+	b.SetShed(3, 0.25)
+	b.SetShed(5, 0.75)
+	var sum float64
+	for _, s := range b.Shares() {
+		if s < 0 {
+			t.Fatalf("negative share %g", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %g, want 1", sum)
+	}
+	if s := b.Shares()[1]; s != 0 {
+		t.Errorf("failed node has share %g", s)
+	}
+}
+
+func TestBoundedValidation(t *testing.T) {
+	b := newBounded(t, 3)
+	if err := b.SetShed(0, 1.0); err == nil {
+		t.Error("SetShed(1.0) accepted")
+	}
+	if err := b.SetShed(0, -0.1); err == nil {
+		t.Error("SetShed(-0.1) accepted")
+	}
+	if err := b.SetShed(0, math.NaN()); err == nil {
+		t.Error("SetShed(NaN) accepted")
+	}
+	if err := b.SetShed(99, 0.5); err == nil {
+		t.Error("SetShed on unknown node accepted")
+	}
+	if err := b.SetFailed(99, true); err == nil {
+		t.Error("SetFailed on unknown node accepted")
+	}
+}
+
+func TestBoundedCloneIsIndependent(t *testing.T) {
+	b := newBounded(t, 4)
+	b.SetShed(0, 0.3)
+	c := b.Clone()
+	if err := c.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	c.SetFailed(1, true)
+	c.SetShed(0, 0.9)
+	if b.Ring().N() != 4 || b.Failed(1) || b.Shed(0) != 0.3 {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if err := c.Join(7); err != nil {
+		t.Fatal(err)
+	}
+	if b.Ring().N() != 4 {
+		t.Fatal("clone Join changed the original ring")
+	}
+}
+
+func TestBoundedSingleNode(t *testing.T) {
+	b := newBounded(t, 1)
+	b.SetShed(0, 0.9)
+	id, probes, ok := b.Owner("only")
+	if !ok || id != 0 || probes != 1 {
+		t.Fatalf("single-node owner = (%d, %d, %v)", id, probes, ok)
+	}
+	if s := b.Shares()[0]; s != 1 {
+		t.Errorf("single-node share %g, want 1", s)
+	}
+}

@@ -47,14 +47,16 @@ import (
 	"anurand/internal/anu"
 	"anurand/internal/delegate"
 	"anurand/internal/journal"
+	"anurand/internal/placement"
 )
 
 // ObserveFunc samples the local server's performance for the elapsed
 // interval: the number of requests served and their mean latency in
 // seconds. It is called without the runtime's lock, so it may call back
-// into the Runtime (Stats, Lookup, ...); m is the node's published
-// placement snapshot, immutable and read-only.
-type ObserveFunc func(m *anu.Map, id delegate.NodeID) (requests uint64, meanLatencySeconds float64)
+// into the Runtime (Stats, Lookup, ...); s is the node's published
+// placement snapshot, immutable and read-only — strategy-agnostic
+// observers read shares through s.Shares().
+type ObserveFunc func(s placement.Strategy, id delegate.NodeID) (requests uint64, meanLatencySeconds float64)
 
 // Journal persists installed placements. Implementations must make
 // Append durable before returning (the runtime treats a nil error as
@@ -75,10 +77,21 @@ type Config struct {
 	ID delegate.NodeID
 	// Members is the full configured membership (including ID).
 	Members []delegate.NodeID
-	// Snapshot is the encoded initial map all members bootstrap from.
+	// Snapshot is the encoded initial placement all members bootstrap
+	// from; its bytes carry the strategy tag.
 	Snapshot []byte
-	// Controller configures the ANU feedback controller.
+	// Controller configures the ANU feedback controller (when the
+	// strategy is ANU). The zero value means the defaults.
 	Controller anu.ControllerConfig
+	// Strategy is the registered placement strategy this node expects
+	// ("anu", "chord-bounded", ...). Empty means "anu". Both the
+	// bootstrap Snapshot and any journal-recovered placement must carry
+	// exactly this tag; a mismatch is a configuration error, never a
+	// silent adoption.
+	Strategy string
+	// LoadBound configures the bounded-load strategies; zero means the
+	// default. Ignored by ANU.
+	LoadBound float64
 
 	// RoundInterval is the tuning cadence (the paper's two-minute
 	// interval; tests use milliseconds). Required.
@@ -152,7 +165,16 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.WatchdogRounds == 0 {
 		cfg.WatchdogRounds = 3
 	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = placement.StrategyANU
+	}
 	return cfg, nil
+}
+
+// placementOptions builds the strategy construction options used when
+// this node decodes snapshots.
+func (cfg Config) placementOptions() placement.Options {
+	return placement.Options{Controller: cfg.Controller, LoadBound: cfg.LoadBound}
 }
 
 // logf emits a diagnostic when a logger is configured.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"anurand/internal/anu"
 	"anurand/internal/delegate"
 	"anurand/internal/journal"
+	"anurand/internal/placement"
 )
 
 // pairLess orders (epoch, round) fences lexicographically.
@@ -107,8 +109,21 @@ func (fm *fenceMonitor) close() {
 //   - no running node's installed fence ever moves backwards (monitored
 //     continuously, baselined at the recovered fence after restarts);
 //   - once the network calms, all five nodes reconverge to
-//     byte-identical maps passing CheckInvariants.
+//     byte-identical placements passing CheckInvariants.
 func TestCrashRestartChaosSoak(t *testing.T) {
+	runCrashRestartSoak(t, placement.StrategyANU)
+}
+
+// TestCrashRestartChaosSoakChordBounded runs the same durability soak
+// with the bounded-load chord ring: the placement layer's promise is
+// that a non-ANU strategy survives the identical crash/restart/chaos
+// schedule end-to-end — tagged snapshots through the wire protocol, the
+// journal, and recovery.
+func TestCrashRestartChaosSoakChordBounded(t *testing.T) {
+	runCrashRestartSoak(t, placement.StrategyChordBounded)
+}
+
+func runCrashRestartSoak(t *testing.T, strategy string) {
 	cn, err := NewChaosNetwork(ChaosConfig{
 		Drop:      0.30,
 		Duplicate: 0.10,
@@ -119,7 +134,7 @@ func TestCrashRestartChaosSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cn.Close()
-	ids, snapshot := bootstrap(t, 5)
+	ids, snapshot := bootstrapStrategy(t, 5, strategy)
 	speeds := map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}
 	dir := t.TempDir()
 
@@ -136,6 +151,7 @@ func TestCrashRestartChaosSoak(t *testing.T) {
 			ID:                ids[i],
 			Members:           ids,
 			Snapshot:          snapshot,
+			Strategy:          strategy,
 			Controller:        anu.DefaultControllerConfig(),
 			RoundInterval:     50 * time.Millisecond,
 			HeartbeatInterval: 10 * time.Millisecond,
@@ -255,26 +271,37 @@ func TestCrashRestartChaosSoak(t *testing.T) {
 	})
 	fm.close()
 
-	m := rts[0].Map()
-	if err := m.CheckInvariants(); err != nil {
-		t.Errorf("converged map violates invariants: %v", err)
+	p := rts[0].Placement()
+	if p.Name() != strategy {
+		t.Errorf("converged placement runs strategy %q, want %q", p.Name(), strategy)
 	}
-	// Every node's journal now holds a converged placement that decodes
-	// and satisfies the same invariants — durability covers the final
-	// state, not just intermediate rounds.
+	if inv, ok := p.(placement.Invariants); ok {
+		if err := inv.CheckInvariants(); err != nil {
+			t.Errorf("converged placement violates invariants: %v", err)
+		}
+	}
+	// Every node's journal now holds a converged placement that carries
+	// the right strategy tag, decodes, and satisfies the same invariants
+	// — durability covers the final state, not just intermediate rounds.
 	for i := range ids {
 		rec, ok := journals[i].Last()
 		if !ok {
 			t.Errorf("node %d: no journaled record after soak", i)
 			continue
 		}
-		jm, err := anu.Decode(rec.Map)
-		if err != nil {
-			t.Errorf("node %d: journaled map does not decode: %v", i, err)
+		if tag, err := placement.Tag(rec.Map); err != nil || tag != strategy {
+			t.Errorf("node %d: journaled placement tag (%q, %v), want %q", i, tag, err, strategy)
 			continue
 		}
-		if err := jm.CheckInvariants(); err != nil {
-			t.Errorf("node %d: journaled map violates invariants: %v", i, err)
+		jp, err := placement.Decode(rec.Map, placement.Options{})
+		if err != nil {
+			t.Errorf("node %d: journaled placement does not decode: %v", i, err)
+			continue
+		}
+		if inv, ok := jp.(placement.Invariants); ok {
+			if err := inv.CheckInvariants(); err != nil {
+				t.Errorf("node %d: journaled placement violates invariants: %v", i, err)
+			}
 		}
 	}
 	// The chaos and the faults actually happened.
@@ -413,6 +440,74 @@ func TestJournalRestartResumesFromRecoveredPlacement(t *testing.T) {
 	}
 }
 
+// TestStartRejectsStrategyTagMismatch covers the placement layer's
+// recovery contract: a node never silently adopts a placement from a
+// different strategy. Both boundaries — the bootstrap snapshot and a
+// journal-recovered record — must fail Start loudly on a tag mismatch.
+func TestStartRejectsStrategyTagMismatch(t *testing.T) {
+	cn, err := NewChaosNetwork(ChaosConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	ids, anuSnap := bootstrap(t, 3)
+	_, chordSnap := bootstrapStrategy(t, 3, placement.StrategyChordBounded)
+
+	// Bootstrap snapshot carrying a different strategy's tag.
+	_, err = Start(Config{
+		ID:            0,
+		Members:       ids,
+		Snapshot:      anuSnap,
+		Strategy:      placement.StrategyChordBounded,
+		RoundInterval: 40 * time.Millisecond,
+	}, cn.Endpoint(0))
+	if err == nil || !strings.Contains(err.Error(), "strategy") {
+		t.Fatalf("mismatched bootstrap snapshot accepted: %v", err)
+	}
+
+	// Journal-recovered placement carrying a different strategy's tag:
+	// the operator changed Config.Strategy without wiping durable state.
+	j, err := journal.Open(filepath.Join(t.TempDir(), "node.wal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(journal.Record{Epoch: 1, Round: 2, Map: chordSnap}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Start(Config{
+		ID:            1,
+		Members:       ids,
+		Snapshot:      anuSnap, // matches the default "anu" strategy
+		RoundInterval: 40 * time.Millisecond,
+		Journal:       j,
+	}, cn.Endpoint(1))
+	if err == nil || !strings.Contains(err.Error(), "strategy") {
+		t.Fatalf("mismatched journaled placement accepted: %v", err)
+	}
+	// The matching journal is fine: same config, journal rewritten with
+	// an ANU record.
+	j2, err := journal.Open(filepath.Join(t.TempDir(), "node2.wal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Append(journal.Record{Epoch: 1, Round: 2, Map: anuSnap}); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Start(Config{
+		ID:            1,
+		Members:       ids,
+		Snapshot:      anuSnap,
+		RoundInterval: 40 * time.Millisecond,
+		Journal:       j2,
+	}, cn.Endpoint(1))
+	if err != nil {
+		t.Fatalf("matching journaled placement rejected: %v", err)
+	}
+	rt.Stop()
+}
+
 // TestObserverMayCallRuntime is the regression test for the documented
 // ObserveFunc footgun: observers are now invoked without the runtime
 // lock, so one that calls back into Stats and the lookup path must not
@@ -427,7 +522,7 @@ func TestObserverMayCallRuntime(t *testing.T) {
 	ids, snapshot := bootstrap(t, 2)
 	var holders [2]atomic.Pointer[Runtime]
 	var reentries atomic.Uint64
-	observe := func(m *anu.Map, id delegate.NodeID) (uint64, float64) {
+	observe := func(p placement.Strategy, id delegate.NodeID) (uint64, float64) {
 		if rt := holders[id].Load(); rt != nil {
 			s := rt.Stats() // deadlocked under the old lock-held contract
 			if _, ok := rt.Lookup("reentrant-probe"); !ok {
@@ -436,7 +531,7 @@ func TestObserverMayCallRuntime(t *testing.T) {
 			reentries.Add(1)
 			_ = s
 		}
-		share := float64(m.Length(id)) / float64(anu.Half)
+		share := p.Shares()[id]
 		return uint64(1 + 100*share), 0.002 + share
 	}
 	rts := make([]*Runtime, len(ids))

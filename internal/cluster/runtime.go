@@ -10,6 +10,7 @@ import (
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
 	"anurand/internal/journal"
+	"anurand/internal/placement"
 )
 
 // maxMailbox bounds buffered protocol messages so a confused peer
@@ -33,11 +34,11 @@ type Runtime struct {
 	wg   sync.WaitGroup
 
 	// placement is the node's data plane: an immutable snapshot of the
-	// installed map, republished whenever the protocol installs or
-	// produces a new placement. Request routing (Lookup, LookupBatch)
-	// reads it without touching mu, so the protocol's lock never stalls
-	// the serving path.
-	placement atomic.Pointer[anu.Map]
+	// installed placement strategy, republished whenever the protocol
+	// installs or produces a new placement. Request routing (Lookup,
+	// LookupBatch) reads it without touching mu, so the protocol's lock
+	// never stalls the serving path.
+	placement atomic.Pointer[placement.Strategy]
 
 	mu           sync.Mutex
 	node         *delegate.Node
@@ -104,15 +105,31 @@ func Start(cfg Config, tr Transport) (*Runtime, error) {
 		curDelegate:  -1,
 	}
 	snapshot := cfg.Snapshot
+	if tag, terr := placement.Tag(snapshot); terr != nil {
+		return nil, fmt.Errorf("cluster: node %d: bootstrap snapshot: %w", cfg.ID, terr)
+	} else if tag != cfg.Strategy {
+		return nil, fmt.Errorf("cluster: node %d: bootstrap snapshot carries strategy %q, configured %q", cfg.ID, tag, cfg.Strategy)
+	}
 	if cfg.Journal != nil {
 		if rec, ok := cfg.Journal.Last(); ok {
+			// A journaled placement from a different strategy is rejected,
+			// not adopted: the operator either pointed the node at the
+			// wrong journal or changed Config.Strategy without wiping
+			// durable state, and both deserve a loud error.
+			tag, terr := placement.Tag(rec.Map)
+			if terr != nil {
+				return nil, fmt.Errorf("cluster: node %d: journaled placement unusable: %w", cfg.ID, terr)
+			}
+			if tag != cfg.Strategy {
+				return nil, fmt.Errorf("cluster: node %d: journaled placement carries strategy %q, configured %q", cfg.ID, tag, cfg.Strategy)
+			}
 			snapshot = rec.Map
 			r.recovered = &rec
 			r.epoch = rec.Epoch
 			r.round = rec.Round
 		}
 	}
-	node, err := delegate.NewNode(cfg.ID, snapshot, cfg.Controller, nodeTransport{r})
+	node, err := delegate.NewNodeWithOptions(cfg.ID, snapshot, cfg.placementOptions(), nodeTransport{r})
 	if err != nil {
 		if r.recovered != nil {
 			return nil, fmt.Errorf("cluster: node %d: journaled placement unusable: %w", cfg.ID, err)
@@ -124,7 +141,8 @@ func Start(cfg Config, tr Transport) (*Runtime, error) {
 		cfg.logf("node %d: resumed from journal at epoch %d round %d", cfg.ID, r.recovered.Epoch, r.recovered.Round)
 	}
 	r.node = node
-	r.placement.Store(node.Map().Clone())
+	s := node.Placement().Clone()
+	r.placement.Store(&s)
 	now := time.Now()
 	r.roundStart, r.lastMapTime = now, now
 	r.wg.Add(3)
@@ -247,7 +265,7 @@ func (r *Runtime) sample() (requests uint64, meanLatencySeconds float64) {
 	if r.cfg.Observe == nil {
 		return 0, 0
 	}
-	return r.cfg.Observe(r.placement.Load(), r.cfg.ID)
+	return r.cfg.Observe(*r.placement.Load(), r.cfg.ID)
 }
 
 // enqueueLocked buffers a protocol message for the node, shedding the
@@ -572,12 +590,13 @@ func (r *Runtime) MapRound() uint64 {
 // clone is immutable once stored: readers share it, the protocol never
 // touches it again.
 func (r *Runtime) publishPlacementLocked() {
-	r.placement.Store(r.node.Map().Clone())
+	s := r.node.Placement().Clone()
+	r.placement.Store(&s)
 	if r.cfg.Journal != nil {
 		r.journalStage = &journal.Record{
 			Epoch: r.node.MapEpoch(),
 			Round: r.node.MapRound(),
-			Map:   r.node.Map().Encode(),
+			Map:   r.node.Placement().Encode(),
 		}
 	}
 }
@@ -609,17 +628,22 @@ func (r *Runtime) flushJournal(rec *journal.Record) {
 }
 
 // Lookup routes a key on the node's current placement snapshot. It is
-// the data-plane entry point: lock-free and allocation-free, it never
-// contends with heartbeats, report collection, or tuning. The boolean
-// is false only when every server in the placement has failed.
+// the data-plane entry point: lock-free, it never contends with
+// heartbeats, report collection, or tuning. The boolean is false only
+// when every server in the placement has failed.
 func (r *Runtime) Lookup(key string) (anu.ServerID, bool) {
-	id, _ := r.placement.Load().Lookup(key)
-	return id, id != anu.NoServer
+	return (*r.placement.Load()).Lookup(key)
 }
 
-// LookupDigest is Lookup for a key pre-hashed with hashx.Prehash.
+// LookupDigest is Lookup for a key pre-hashed with hashx.Prehash. Only
+// digest-capable strategies (ANU) resolve it; others return false —
+// digest callers are ANU fast-path callers by construction.
 func (r *Runtime) LookupDigest(d hashx.Digest) (anu.ServerID, bool) {
-	id, _ := r.placement.Load().LookupDigest(d)
+	dl, ok := (*r.placement.Load()).(placement.DigestLookuper)
+	if !ok {
+		return anu.NoServer, false
+	}
+	id, _ := dl.LookupDigest(d)
 	return id, id != anu.NoServer
 }
 
@@ -631,31 +655,40 @@ func (r *Runtime) LookupBatch(keys []string, owners []anu.ServerID) int {
 	if len(owners) < len(keys) {
 		panic(fmt.Sprintf("cluster: LookupBatch: %d owners for %d keys", len(owners), len(keys)))
 	}
-	m := r.placement.Load()
-	resolved := 0
-	for i, key := range keys {
-		id, _ := m.Lookup(key)
-		owners[i] = id
-		if id != anu.NoServer {
-			resolved++
-		}
-	}
-	return resolved
+	return (*r.placement.Load()).LookupBatch(keys, owners)
 }
 
-// Map returns a copy of the node's placement map.
+// Placement returns a copy of the node's placement strategy.
+func (r *Runtime) Placement() placement.Strategy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Placement().Clone()
+}
+
+// Strategy returns the registered tag of the node's placement strategy.
+func (r *Runtime) Strategy() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Strategy()
+}
+
+// Map returns a copy of the node's ANU placement map, or nil when the
+// node runs a non-ANU strategy.
 func (r *Runtime) Map() *anu.Map {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.node.Map().Clone()
+	if m := r.node.Map(); m != nil {
+		return m.Clone()
+	}
+	return nil
 }
 
-// Snapshot returns the encoded placement map — what a restarting peer
-// bootstraps from.
+// Snapshot returns the encoded placement — what a restarting peer
+// bootstraps from. The bytes carry the strategy tag.
 func (r *Runtime) Snapshot() []byte {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.node.Map().Encode()
+	return r.node.Placement().Encode()
 }
 
 // View returns the node's observed live membership.

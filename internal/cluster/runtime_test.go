@@ -9,9 +9,10 @@ import (
 	"anurand/internal/anu"
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
+	"anurand/internal/placement"
 )
 
-// bootstrap builds the shared initial map all members start from.
+// bootstrap builds the shared initial ANU map all members start from.
 func bootstrap(t *testing.T, k int) ([]delegate.NodeID, []byte) {
 	t.Helper()
 	ids := make([]delegate.NodeID, k)
@@ -25,11 +26,26 @@ func bootstrap(t *testing.T, k int) ([]delegate.NodeID, []byte) {
 	return ids, m.Encode()
 }
 
+// bootstrapStrategy is bootstrap for an arbitrary registered strategy.
+func bootstrapStrategy(t *testing.T, k int, strategy string) ([]delegate.NodeID, []byte) {
+	t.Helper()
+	ids := make([]delegate.NodeID, k)
+	for i := range ids {
+		ids[i] = delegate.NodeID(i)
+	}
+	s, err := placement.New(strategy, ids, placement.Options{HashSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids, s.Encode()
+}
+
 // closedLoopObserve models the paper's cluster: latency grows with the
-// node's region share divided by its speed.
+// node's key-space share divided by its speed. Shares() makes it
+// strategy-agnostic, so the same closed loop drives ANU and ring soaks.
 func closedLoopObserve(speeds map[delegate.NodeID]float64) ObserveFunc {
-	return func(m *anu.Map, id delegate.NodeID) (uint64, float64) {
-		share := float64(m.Length(id)) / float64(anu.Half)
+	return func(s placement.Strategy, id delegate.NodeID) (uint64, float64) {
+		share := s.Shares()[id]
 		return uint64(1 + 1000*share), 0.002 + share/speeds[id]
 	}
 }

@@ -35,6 +35,9 @@ type Stats struct {
 	Live     []delegate.NodeID
 	MapEpoch uint64
 	MapRound uint64
+	// Strategy is the registered tag of the placement strategy this node
+	// runs ("anu", "chord-bounded", ...).
+	Strategy string
 
 	// Tunes counts rounds this node rescaled as delegate.
 	Tunes uint64
@@ -47,6 +50,10 @@ type Stats struct {
 	// refused by the fence — each one is a partitioned or deposed
 	// delegate that failed to roll the placement back.
 	StaleEpochsRejected uint64
+	// TagMismatchesRejected counts placements refused because their
+	// strategy tag differed from the node's — a misconfigured peer, not
+	// a protocol race.
+	TagMismatchesRejected uint64
 	// Reelections counts observed delegate changes.
 	Reelections uint64
 	// WatchdogTrips counts delegates suspected for producing no maps.
@@ -85,26 +92,28 @@ func (r *Runtime) Stats() Stats {
 	now := time.Now()
 	r.mu.Lock()
 	s := Stats{
-		ID:                  r.cfg.ID,
-		Epoch:               r.epoch,
-		Round:               r.round,
-		Delegate:            r.curDelegate,
-		Live:                r.viewLocked(now),
-		MapEpoch:            r.node.MapEpoch(),
-		MapRound:            r.node.MapRound(),
-		Tunes:               r.counters.Tunes,
-		MapsInstalled:       r.counters.MapsInstalled,
-		StaleMapsRejected:   r.node.StaleMapsRejected(),
-		StaleEpochsRejected: r.node.StaleEpochsRejected(),
-		Reelections:         r.counters.Reelections,
-		WatchdogTrips:       r.counters.WatchdogTrips,
-		ReportsSent:         r.counters.ReportsSent,
-		ReportsReceived:     r.counters.ReportsReceived,
-		HeartbeatsSent:      r.counters.HeartbeatsSent,
-		HeartbeatsReceived:  r.counters.HeartbeatsReceived,
-		JournalAppendErrors: r.counters.JournalAppendErrors,
-		ReportsPerTune:      r.counters.ReportsPerTune,
-		InstallLatency:      r.counters.InstallLatency,
+		ID:                    r.cfg.ID,
+		Epoch:                 r.epoch,
+		Round:                 r.round,
+		Delegate:              r.curDelegate,
+		Live:                  r.viewLocked(now),
+		MapEpoch:              r.node.MapEpoch(),
+		MapRound:              r.node.MapRound(),
+		Strategy:              r.node.Strategy(),
+		Tunes:                 r.counters.Tunes,
+		MapsInstalled:         r.counters.MapsInstalled,
+		StaleMapsRejected:     r.node.StaleMapsRejected(),
+		StaleEpochsRejected:   r.node.StaleEpochsRejected(),
+		TagMismatchesRejected: r.node.TagMismatchesRejected(),
+		Reelections:           r.counters.Reelections,
+		WatchdogTrips:         r.counters.WatchdogTrips,
+		ReportsSent:           r.counters.ReportsSent,
+		ReportsReceived:       r.counters.ReportsReceived,
+		HeartbeatsSent:        r.counters.HeartbeatsSent,
+		HeartbeatsReceived:    r.counters.HeartbeatsReceived,
+		JournalAppendErrors:   r.counters.JournalAppendErrors,
+		ReportsPerTune:        r.counters.ReportsPerTune,
+		InstallLatency:        r.counters.InstallLatency,
 	}
 	if r.recovered != nil {
 		s.Recovered = true
@@ -122,9 +131,9 @@ func (r *Runtime) Stats() Stats {
 // String formats the snapshot for operators.
 func (s Stats) String() string {
 	out := fmt.Sprintf(
-		"node %d: epoch=%d round=%d delegate=%d live=%v map=(%d,%d) tunes=%d installs=%d stale=%d staleEpoch=%d reelect=%d watchdog=%d reports(sent=%d recv=%d per-tune %s) install-latency %s",
-		s.ID, s.Epoch, s.Round, s.Delegate, s.Live, s.MapEpoch, s.MapRound, s.Tunes, s.MapsInstalled,
-		s.StaleMapsRejected, s.StaleEpochsRejected, s.Reelections, s.WatchdogTrips,
+		"node %d: strategy=%s epoch=%d round=%d delegate=%d live=%v map=(%d,%d) tunes=%d installs=%d stale=%d staleEpoch=%d tagMismatch=%d reelect=%d watchdog=%d reports(sent=%d recv=%d per-tune %s) install-latency %s",
+		s.ID, s.Strategy, s.Epoch, s.Round, s.Delegate, s.Live, s.MapEpoch, s.MapRound, s.Tunes, s.MapsInstalled,
+		s.StaleMapsRejected, s.StaleEpochsRejected, s.TagMismatchesRejected, s.Reelections, s.WatchdogTrips,
 		s.ReportsSent, s.ReportsReceived, s.ReportsPerTune.String(), s.InstallLatency.String(),
 	)
 	if s.Recovered {

@@ -17,6 +17,13 @@
 // of the two-minute tuning cadence that avoids wall-clock flakiness in
 // tests. The wire encodings are real, so the shared-state accounting
 // matches what a networked deployment would replicate.
+//
+// The protocol is placement-policy-agnostic: a node replicates an
+// opaque, strategy-tagged snapshot (package placement) rather than an
+// ANU map specifically. ANU remains the default and its wire bytes are
+// unchanged; a node refuses to install a snapshot whose strategy tag
+// differs from its own, so mixed-strategy broadcasts can never corrupt
+// a cluster.
 package delegate
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math"
 
 	"anurand/internal/anu"
+	"anurand/internal/placement"
 )
 
 // NodeID identifies a management agent (one per file server). It is the
@@ -105,12 +113,15 @@ type Transport interface {
 }
 
 // Node is one server's management agent. It holds the node's copy of
-// the placement map and, when elected, the delegate logic.
+// the placement strategy and, when elected, the delegate logic.
 type Node struct {
-	id   NodeID
-	up   bool
-	m    *anu.Map
-	ctl  *anu.Controller
+	id NodeID
+	up bool
+	// s is the node's placement strategy — the replicated state plus the
+	// tuning rule that rescales it. opts reproduces the construction
+	// configuration when installs and restarts decode fresh snapshots.
+	s    placement.Strategy
+	opts placement.Options
 	tr   Transport
 	last Report // most recent local measurement
 	// pending accumulates reports received while acting as delegate.
@@ -124,9 +135,12 @@ type Node struct {
 	mapEpoch uint64
 	mapRound uint64
 	// staleMaps counts maps rejected for a stale round within the current
-	// epoch; staleEpochs counts maps rejected for a superseded epoch.
-	staleMaps   uint64
-	staleEpochs uint64
+	// epoch; staleEpochs counts maps rejected for a superseded epoch;
+	// tagMismatches counts maps rejected for carrying a different
+	// placement strategy than this node runs.
+	staleMaps     uint64
+	staleEpochs   uint64
+	tagMismatches uint64
 }
 
 // supersedes reports whether fence (e, r) is at least fence (oe, or):
@@ -139,21 +153,30 @@ func supersedes(e, r, oe, or uint64) bool {
 	return r >= or
 }
 
-// NewNode creates an agent with its own copy of the initial map. All
-// nodes must be constructed from byte-identical snapshots.
+// NewNode creates an agent with its own copy of the initial placement,
+// decoded from its tagged snapshot (a raw ANU map or a tagged container
+// — see package placement). All nodes must be constructed from
+// byte-identical snapshots. cfg configures the ANU controller when the
+// snapshot is an ANU map; the zero value means the defaults.
 func NewNode(id NodeID, snapshot []byte, cfg anu.ControllerConfig, tr Transport) (*Node, error) {
-	m, err := anu.Decode(snapshot)
+	return NewNodeWithOptions(id, snapshot, placement.Options{Controller: cfg}, tr)
+}
+
+// NewNodeWithOptions is NewNode with the full strategy construction
+// options (controller config, load bound, ...).
+func NewNodeWithOptions(id NodeID, snapshot []byte, opts placement.Options, tr Transport) (*Node, error) {
+	s, err := placement.Decode(snapshot, opts)
 	if err != nil {
 		return nil, fmt.Errorf("delegate: node %d: %w", id, err)
 	}
-	if !m.Has(id) {
-		return nil, fmt.Errorf("delegate: node %d not a member of the map", id)
+	if !s.Has(id) {
+		return nil, fmt.Errorf("delegate: node %d not a member of the placement", id)
 	}
 	return &Node{
 		id:      id,
 		up:      true,
-		m:       m,
-		ctl:     anu.NewController(cfg),
+		s:       s,
+		opts:    opts,
 		tr:      tr,
 		pending: make(map[NodeID]Report),
 	}, nil
@@ -165,14 +188,27 @@ func (n *Node) ID() NodeID { return n.id }
 // Up reports whether the node is alive.
 func (n *Node) Up() bool { return n.up }
 
-// Map returns the node's current placement map (read-only use).
-func (n *Node) Map() *anu.Map { return n.m }
+// Placement returns the node's current placement strategy (read-only
+// use).
+func (n *Node) Placement() placement.Strategy { return n.s }
+
+// Strategy returns the registered tag of the node's placement strategy.
+func (n *Node) Strategy() string { return n.s.Name() }
+
+// Map returns the node's current ANU placement map (read-only use), or
+// nil when the node runs a non-ANU strategy.
+func (n *Node) Map() *anu.Map {
+	if a, ok := n.s.(*placement.ANU); ok {
+		return a.Map()
+	}
+	return nil
+}
 
 // Fingerprint returns a cheap digest of the node's replicated state,
 // used to assert cluster-wide convergence.
 func (n *Node) Fingerprint() uint64 {
 	var h uint64 = 1469598103934665603
-	for _, b := range n.m.Encode() {
+	for _, b := range n.s.Encode() {
 		h ^= uint64(b)
 		h *= 1099511628211
 	}
@@ -186,7 +222,9 @@ func (n *Node) Crash() {
 	n.up = false
 	n.last = Report{}
 	n.pending = make(map[NodeID]Report)
-	n.ctl.Reset()
+	if rs, ok := n.s.(placement.SoftStateResetter); ok {
+		rs.ResetSoftState()
+	}
 }
 
 // Restart brings a crashed node back using a fresh snapshot obtained
@@ -198,11 +236,14 @@ func (n *Node) Crash() {
 // also resets — the snapshot is the node's new baseline and any map
 // that arrives afterwards is newer than what the node knows.
 func (n *Node) Restart(snapshot []byte) error {
-	m, err := anu.Decode(snapshot)
+	s, err := placement.Decode(snapshot, n.opts)
 	if err != nil {
 		return fmt.Errorf("delegate: restart node %d: %w", n.id, err)
 	}
-	n.m = m
+	if s.Name() != n.s.Name() {
+		return fmt.Errorf("delegate: restart node %d: snapshot carries strategy %q, node runs %q", n.id, s.Name(), n.s.Name())
+	}
+	n.s = s
 	n.up = true
 	n.last = Report{}
 	n.pending = make(map[NodeID]Report)
@@ -289,12 +330,24 @@ func (n *Node) CollectReports(round uint64) (mapApplied bool, err error) {
 				}
 				continue
 			}
-			m, derr := anu.Decode(msg.Payload)
+			s, derr := placement.Decode(msg.Payload, n.opts)
 			if derr != nil {
 				// A corrupt map must never be installed.
 				continue
 			}
-			n.m = m
+			if s.Name() != n.s.Name() {
+				// A placement from a different strategy must never be
+				// installed, whatever its fence says.
+				n.tagMismatches++
+				continue
+			}
+			if ad, ok := s.(placement.StateAdopter); ok {
+				// Keep soft state (latency smoothing) warm across installs,
+				// as the pre-placement node did by holding one controller
+				// for the life of the process.
+				ad.AdoptState(n.s)
+			}
+			n.s = s
 			n.mapEpoch = msg.Epoch
 			n.mapRound = msg.Round
 			mapApplied = true
@@ -338,6 +391,10 @@ func (n *Node) StaleMapsRejected() uint64 { return n.staleMaps }
 // epochs the node has refused to install.
 func (n *Node) StaleEpochsRejected() uint64 { return n.staleEpochs }
 
+// TagMismatchesRejected returns how many map messages the node refused
+// to install because they carried a different placement strategy.
+func (n *Node) TagMismatchesRejected() uint64 { return n.tagMismatches }
+
 // RunDelegate executes the delegate role for one round over the reports
 // collected so far: servers that did not report are treated as failed
 // (the paper's failure handling — a silent server's region goes to the
@@ -347,23 +404,23 @@ func (n *Node) RunDelegate(epoch, round uint64, members []NodeID) error {
 	if !n.up {
 		return fmt.Errorf("delegate: node %d is down", n.id)
 	}
-	reports := make([]anu.Report, 0, len(members))
+	reports := make([]placement.Report, 0, len(members))
 	for _, id := range members {
 		rep, ok := n.pending[id]
 		if !ok && id != n.id {
-			reports = append(reports, anu.Report{Server: id, Failed: true})
+			reports = append(reports, placement.Report{Server: id, Failed: true})
 			continue
 		}
 		if id == n.id {
 			rep = n.last // the delegate reports to itself directly
 		}
-		reports = append(reports, anu.Report{
+		reports = append(reports, placement.Report{
 			Server:   id,
 			Requests: rep.Requests,
 			Latency:  float64(rep.LatencyMicros) / 1e6,
 		})
 	}
-	if _, err := n.ctl.Tune(n.m, reports); err != nil {
+	if _, err := n.s.Tune(reports); err != nil {
 		return err
 	}
 	n.pending = make(map[NodeID]Report)
@@ -375,7 +432,7 @@ func (n *Node) RunDelegate(epoch, round uint64, members []NodeID) error {
 		n.mapRound = round
 	}
 
-	snapshot := n.m.Encode()
+	snapshot := n.s.Encode()
 	for _, id := range members {
 		if id == n.id {
 			continue

@@ -1,0 +1,348 @@
+package placement
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"anurand/internal/chordring"
+	"anurand/internal/hashx"
+)
+
+// StrategyChord is the registered tag of the plain consistent-hash ring
+// baseline: owners follow ring arcs, failures spill to the live
+// successor, and no load feedback ever moves a boundary. It is the
+// "simple randomization" end of the paper's comparison, run on the
+// Chord-style substrate.
+const StrategyChord = "chord"
+
+// StrategyChordBounded is the registered tag of the bounded-load ring:
+// the plain ring plus report-driven shed fractions that cap any node's
+// request share at LoadBound times the live-member mean (after
+// "Consistent Hashing with Bounded Loads", Mirrokni et al.).
+const StrategyChordBounded = "chord-bounded"
+
+func init() {
+	Register(StrategyChord, Factory{
+		New:    func(servers []ServerID, opts Options) (Strategy, error) { return newChord(servers, opts, false) },
+		Decode: func(data []byte, opts Options) (Strategy, error) { return decodeChord(data, false) },
+	})
+	Register(StrategyChordBounded, Factory{
+		New:    func(servers []ServerID, opts Options) (Strategy, error) { return newChord(servers, opts, true) },
+		Decode: func(data []byte, opts Options) (Strategy, error) { return decodeChord(data, true) },
+	})
+}
+
+// shedDamping is the per-round EWMA coefficient on shed fractions: each
+// Tune moves a node's shed halfway to its target, so one noisy interval
+// cannot flip a large arc back and forth (the ring analogue of the ANU
+// controller's MaxStep/MaxShrink clamps).
+const shedDamping = 0.5
+
+// maxShed caps how much of its arc a live node may give up, keeping
+// every live member addressable (the ring analogue of MinWeight).
+const maxShed = 0.5
+
+// shedEpsilon zeroes decaying shed fractions once they stop mattering,
+// so an idle cluster converges to the exact plain-ring placement.
+const shedEpsilon = 1e-3
+
+// Chord adapts the chordring.Bounded ring to the Strategy interface.
+// One implementation serves both registered tags; bounded selects
+// whether Tune computes shed fractions or only tracks failures.
+type Chord struct {
+	b       *chordring.Bounded
+	seed    uint64
+	bound   float64
+	bounded bool
+}
+
+func newChord(servers []ServerID, opts Options, bounded bool) (Strategy, error) {
+	bound := opts.LoadBound
+	if bound == 0 {
+		bound = DefaultLoadBound
+	}
+	if math.IsNaN(bound) || bound <= 1 {
+		return nil, fmt.Errorf("chord: load bound %g must exceed 1", bound)
+	}
+	nodes := make([]chordring.NodeID, len(servers))
+	for i, s := range servers {
+		nodes[i] = chordring.NodeID(s)
+	}
+	ring, err := chordring.New(hashx.NewFamily(opts.HashSeed), nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Chord{b: chordring.NewBounded(ring), seed: opts.HashSeed, bound: bound, bounded: bounded}, nil
+}
+
+// Ring exposes the underlying bounded ring (ablations read hop counts
+// and finger state through it).
+func (c *Chord) Ring() *chordring.Bounded { return c.b }
+
+// Bound returns the configured load-bound factor.
+func (c *Chord) Bound() float64 { return c.bound }
+
+func (c *Chord) Name() string {
+	if c.bounded {
+		return StrategyChordBounded
+	}
+	return StrategyChord
+}
+
+func (c *Chord) Lookup(key string) (ServerID, bool) {
+	id, _, ok := c.b.Owner(key)
+	if !ok {
+		return NoServer, false
+	}
+	return ServerID(id), true
+}
+
+func (c *Chord) LookupProbes(key string) (ServerID, int, bool) {
+	id, probes, ok := c.b.Owner(key)
+	if !ok {
+		return NoServer, probes, false
+	}
+	return ServerID(id), probes, true
+}
+
+func (c *Chord) LookupBatch(keys []string, owners []ServerID) int {
+	if len(owners) < len(keys) {
+		panic(fmt.Sprintf("placement: LookupBatch: %d owners for %d keys", len(owners), len(keys)))
+	}
+	resolved := 0
+	for i, key := range keys {
+		id, _, ok := c.b.Owner(key)
+		if !ok {
+			owners[i] = NoServer
+			continue
+		}
+		owners[i] = ServerID(id)
+		resolved++
+	}
+	return resolved
+}
+
+// Tune applies one feedback round. Failure handling matches the ANU
+// controller: a Failed report downs the member, and any live report
+// from a downed member re-admits it. Under the bounded variant the
+// request counts then drive shed fractions — a node carrying more than
+// bound × the live-member mean sheds the excess fraction of its arc
+// (damped), and nodes back under the bound decay toward zero shed.
+// Latencies are ignored: the ring balances load counts, not response
+// times, which is exactly the gap the ANU comparison measures.
+func (c *Chord) Tune(reports []Report) (bool, error) {
+	changed := false
+	for _, r := range reports {
+		if !c.b.Has(chordring.NodeID(r.Server)) {
+			return changed, fmt.Errorf("chord: Tune: report for unknown server %d", r.Server)
+		}
+		id := chordring.NodeID(r.Server)
+		if r.Failed != c.b.Failed(id) {
+			if err := c.b.SetFailed(id, r.Failed); err != nil {
+				return changed, err
+			}
+			if r.Failed {
+				// A downed node sheds nothing; failure handling owns its arc.
+				if err := c.b.SetShed(id, 0); err != nil {
+					return changed, err
+				}
+			}
+			changed = true
+		}
+	}
+	if !c.bounded {
+		return changed, nil
+	}
+
+	// Request-share feedback: mean over live reporting members.
+	var total float64
+	live := 0
+	byID := make(map[chordring.NodeID]Report, len(reports))
+	for _, r := range reports {
+		id := chordring.NodeID(r.Server)
+		byID[id] = r
+		if !r.Failed {
+			total += float64(r.Requests)
+			live++
+		}
+	}
+	if live == 0 || total == 0 {
+		return changed, nil
+	}
+	fair := total / float64(live)
+	for id, r := range byID {
+		if r.Failed {
+			continue
+		}
+		old := c.b.Shed(id)
+		target := 0.0
+		if reqs := float64(r.Requests); reqs > c.bound*fair {
+			target = 1 - c.bound*fair/reqs
+		}
+		next := (1-shedDamping)*old + shedDamping*target
+		if next > maxShed {
+			next = maxShed
+		}
+		if next < shedEpsilon {
+			next = 0
+		}
+		if next == old {
+			continue
+		}
+		if err := c.b.SetShed(id, next); err != nil {
+			return changed, err
+		}
+		changed = true
+	}
+	return changed, nil
+}
+
+func (c *Chord) AddServer(id ServerID) error { return c.b.Join(chordring.NodeID(id)) }
+
+func (c *Chord) RemoveServer(id ServerID) error { return c.b.Leave(chordring.NodeID(id)) }
+
+func (c *Chord) Fail(id ServerID) error { return c.b.SetFailed(chordring.NodeID(id), true) }
+
+func (c *Chord) Recover(id ServerID) error { return c.b.SetFailed(chordring.NodeID(id), false) }
+
+func (c *Chord) Servers() []ServerID {
+	members := c.b.Members()
+	out := make([]ServerID, len(members))
+	for i, id := range members {
+		out[i] = ServerID(id)
+	}
+	return out
+}
+
+func (c *Chord) Has(id ServerID) bool { return c.b.Has(chordring.NodeID(id)) }
+
+func (c *Chord) Shares() map[ServerID]float64 {
+	shares := c.b.Shares()
+	out := make(map[ServerID]float64, len(shares))
+	for id, s := range shares {
+		out[ServerID(id)] = s
+	}
+	return out
+}
+
+// The chord payload inside the tagged container:
+//
+//	seed  uint64
+//	bound float64 bits
+//	k     uint32
+//	k × { id int32 | failed uint8 | shed float64 bits }   (ascending id)
+func (c *Chord) Encode() []byte {
+	members := c.b.Members()
+	buf := make([]byte, 0, 20+len(members)*13)
+	buf = binary.LittleEndian.AppendUint64(buf, c.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.bound))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(members)))
+	for _, id := range members {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		if c.b.Failed(id) {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.b.Shed(id)))
+	}
+	return EncodeTagged(c.Name(), buf)
+}
+
+func (c *Chord) SharedStateSize() int { return len(c.Encode()) }
+
+// CheckInvariants implements Invariants: the encoded state must
+// round-trip, every shed fraction must be valid, and the bound sane.
+func (c *Chord) CheckInvariants() error {
+	if math.IsNaN(c.bound) || c.bound <= 1 {
+		return fmt.Errorf("chord: load bound %g must exceed 1", c.bound)
+	}
+	for _, id := range c.b.Members() {
+		s := c.b.Shed(id)
+		if math.IsNaN(s) || s < 0 || s >= 1 {
+			return fmt.Errorf("chord: node %d shed fraction %g outside [0, 1)", id, s)
+		}
+		if c.b.Failed(id) && s != 0 {
+			return fmt.Errorf("chord: failed node %d holds shed fraction %g", id, s)
+		}
+	}
+	return nil
+}
+
+func (c *Chord) Clone() Strategy {
+	return &Chord{b: c.b.Clone(), seed: c.seed, bound: c.bound, bounded: c.bounded}
+}
+
+func decodeChord(data []byte, bounded bool) (Strategy, error) {
+	name, payload, err := DecodeTagged(data)
+	if err != nil {
+		return nil, err
+	}
+	want := StrategyChord
+	if bounded {
+		want = StrategyChordBounded
+	}
+	if name != want {
+		return nil, fmt.Errorf("chord: tag %q, want %q", name, want)
+	}
+	if len(payload) < 20 {
+		return nil, fmt.Errorf("chord: payload truncated (%d bytes)", len(payload))
+	}
+	seed := binary.LittleEndian.Uint64(payload)
+	bound := math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+	if math.IsNaN(bound) || bound <= 1 {
+		return nil, fmt.Errorf("chord: load bound %g must exceed 1", bound)
+	}
+	k := int(binary.LittleEndian.Uint32(payload[16:]))
+	if k == 0 {
+		return nil, fmt.Errorf("chord: no members")
+	}
+	rest := payload[20:]
+	if len(rest) != k*13 {
+		return nil, fmt.Errorf("chord: %d bytes of member records for k=%d (want %d)", len(rest), k, k*13)
+	}
+	type member struct {
+		id     chordring.NodeID
+		failed bool
+		shed   float64
+	}
+	members := make([]member, k)
+	nodes := make([]chordring.NodeID, k)
+	for i := 0; i < k; i++ {
+		rec := rest[i*13:]
+		id := chordring.NodeID(binary.LittleEndian.Uint32(rec))
+		shed := math.Float64frombits(binary.LittleEndian.Uint64(rec[5:]))
+		if math.IsNaN(shed) || shed < 0 || shed >= 1 {
+			return nil, fmt.Errorf("chord: node %d shed fraction %g outside [0, 1)", id, shed)
+		}
+		failed := rec[4] != 0
+		if failed && shed != 0 {
+			return nil, fmt.Errorf("chord: failed node %d holds shed fraction %g", id, shed)
+		}
+		members[i] = member{id: id, failed: failed, shed: shed}
+		nodes[i] = id
+	}
+	if !sort.SliceIsSorted(members, func(i, j int) bool { return members[i].id < members[j].id }) {
+		return nil, fmt.Errorf("chord: member records not in ascending id order")
+	}
+	ring, err := chordring.New(hashx.NewFamily(seed), nodes)
+	if err != nil {
+		return nil, err
+	}
+	b := chordring.NewBounded(ring)
+	for _, m := range members {
+		if m.failed {
+			if err := b.SetFailed(m.id, true); err != nil {
+				return nil, err
+			}
+		}
+		if m.shed != 0 {
+			if err := b.SetShed(m.id, m.shed); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Chord{b: b, seed: seed, bound: bound, bounded: bounded}, nil
+}

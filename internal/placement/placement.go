@@ -1,0 +1,310 @@
+// Package placement is the pluggable placement-strategy layer: one
+// interface over every scheme that can map workload keys to servers,
+// plus a registry and a tagged binary codec so the networked runtime,
+// the journal, and the wire protocol are policy-agnostic.
+//
+// The paper's argument is comparative — ANU randomization against
+// simple randomization, prescient assignment, and virtual processors —
+// and the comparison only means something when every scheme runs under
+// the same machinery. A Strategy is exactly the contract the delegate
+// protocol needs from a placement scheme:
+//
+//   - a pure lookup (single and batched) from key to owning server,
+//   - one feedback step per tuning round from the delegate's collected
+//     latency/request reports,
+//   - membership lifecycle (fail, recover, add, remove),
+//   - a binary snapshot — the system's entire replicated state — with a
+//     strategy tag so no layer ever installs bytes from a different
+//     scheme, and
+//   - the shared-state size that scheme replicates, the scalability
+//     currency of the paper's Figure 8.
+//
+// Snapshot tagging is backward compatible by construction: the ANU
+// strategy's encoding is byte-identical to anu.Map.Encode — its "ANU1"
+// wire magic doubles as its strategy tag — so pre-existing journals,
+// version-2 wire frames, and golden fixtures decode unchanged. Every
+// other strategy wraps its payload in the tagged container written by
+// EncodeTagged, whose distinct magic cannot collide with an ANU map.
+package placement
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"anurand/internal/anu"
+	"anurand/internal/hashx"
+)
+
+// ServerID identifies a server; it is the same identifier space as
+// package anu's (and the delegate protocol's NodeID).
+type ServerID = anu.ServerID
+
+// NoServer marks "no placement possible" (every server failed).
+const NoServer = anu.NoServer
+
+// Report is one server's performance sample for a tuning interval, as
+// collected by the delegate.
+type Report = anu.Report
+
+// Strategy is one placement scheme, in the embeddable form the cluster
+// runtime publishes through its RCU snapshot pointer.
+//
+// Concurrency contract: read methods (Lookup, LookupBatch, LookupProbes,
+// Shares, Servers, Has, Encode, SharedStateSize) must be safe to call
+// concurrently with each other on an immutable instance. Mutators (Tune,
+// AddServer, RemoveServer, Fail, Recover) are serialized by the caller,
+// which clones before mutating and publishes only on success — a
+// Strategy never needs internal locking.
+type Strategy interface {
+	// Name returns the registered strategy tag ("anu", "chord",
+	// "chord-bounded", ...). Encodings carry it; mixing tags is an error
+	// at every decode boundary.
+	Name() string
+
+	// Lookup returns the server responsible for key. ok is false only
+	// when every server has failed.
+	Lookup(key string) (id ServerID, ok bool)
+	// LookupProbes is Lookup plus the number of data-structure probes
+	// spent (hash probes for ANU, ring hops for chord).
+	LookupProbes(key string) (id ServerID, probes int, ok bool)
+	// LookupBatch resolves keys[i] into owners[i] against this one
+	// placement state, returning how many keys resolved; unresolved
+	// entries are set to NoServer. owners must be at least as long as
+	// keys.
+	LookupBatch(keys []string, owners []ServerID) int
+
+	// Tune applies one feedback round from the delegate's reports and
+	// says whether the placement changed. Reports may cover a subset of
+	// members; a report with Failed set marks that server down, and a
+	// live report from a currently failed member re-admits it.
+	Tune(reports []Report) (changed bool, err error)
+
+	// AddServer commissions a new member; RemoveServer decommissions
+	// one. Fail marks a member down without removing it; Recover
+	// re-admits a failed member.
+	AddServer(id ServerID) error
+	RemoveServer(id ServerID) error
+	Fail(id ServerID) error
+	Recover(id ServerID) error
+
+	// Servers returns the member ids in ascending order, including
+	// failed members.
+	Servers() []ServerID
+	// Has reports membership (failed members included).
+	Has(id ServerID) bool
+	// Shares returns each member's fraction of the key space (live
+	// fractions sum to 1; failed members report 0).
+	Shares() map[ServerID]float64
+
+	// Encode serializes the strategy's placement state — the system's
+	// entire replicated state — in its tagged wire form. Decode with
+	// the package Decode.
+	Encode() []byte
+	// SharedStateSize is len(Encode()).
+	SharedStateSize() int
+
+	// Clone returns a deep copy for RCU publication: the caller mutates
+	// the clone and publishes it, so readers of the original never see a
+	// partial update.
+	Clone() Strategy
+}
+
+// Invariants is the optional self-check capability. Strategies that can
+// verify their internal consistency implement it; callers use it after
+// decoding untrusted bytes and in tests.
+type Invariants interface {
+	CheckInvariants() error
+}
+
+// DigestLookuper is the optional allocation-free fast path for
+// strategies that can resolve a key pre-hashed with hashx.Prehash. The
+// ANU strategy implements it; ring strategies re-hash per lookup and do
+// not. The NoServer result marks an unplaceable key, as with Lookup.
+type DigestLookuper interface {
+	LookupDigest(d hashx.Digest) (id ServerID, probes int)
+}
+
+// StateAdopter is the optional warm-state handoff capability: when a
+// node replaces its published strategy with a freshly decoded one (a
+// delegate install), AdoptState lets the new instance inherit
+// soft state — e.g. the ANU controller's latency EWMA — from the
+// instance it supersedes. Adopting from an incompatible strategy is a
+// no-op.
+type StateAdopter interface {
+	AdoptState(prev Strategy)
+}
+
+// SoftStateResetter is the optional crash-model capability: discard
+// soft state (smoothing, advisory counters) that would not survive a
+// process crash, without touching the encoded placement.
+type SoftStateResetter interface {
+	ResetSoftState()
+}
+
+// Options carries construction-time configuration for strategies. Each
+// strategy reads the fields it understands and ignores the rest, so one
+// Options value can configure any registered strategy.
+type Options struct {
+	// HashSeed seeds the agreed-upon hash family when building a fresh
+	// strategy. All nodes that share a placement must use the same seed.
+	// Decoding recovers the seed from the snapshot instead.
+	HashSeed uint64
+	// Controller configures the ANU feedback controller ("anu"). The
+	// zero value means DefaultControllerConfig.
+	Controller anu.ControllerConfig
+	// LoadBound is the bounded-load factor c for "chord-bounded": no
+	// server should carry more than c times the mean per-server request
+	// rate. Zero means DefaultLoadBound; values must exceed 1.
+	LoadBound float64
+}
+
+// DefaultLoadBound is the bounded-load factor used when Options leaves
+// it zero — the c = 1.25 operating point of the bounded-load consistent
+// hashing literature.
+const DefaultLoadBound = 1.25
+
+// Factory builds one strategy family: fresh construction over a server
+// set, and decoding of its tagged snapshot.
+type Factory struct {
+	// New builds a fresh strategy over the given servers (all live,
+	// balanced cold start).
+	New func(servers []ServerID, opts Options) (Strategy, error)
+	// Decode reconstructs a strategy from bytes produced by its Encode.
+	// Implementations must validate everything; the bytes may come from
+	// disk or the network.
+	Decode func(data []byte, opts Options) (Strategy, error)
+}
+
+var (
+	regMu     sync.RWMutex
+	factories = make(map[string]Factory)
+)
+
+// Register adds a strategy to the registry under its tag. It panics on
+// a duplicate or empty name (registration is init-time programmer
+// input). Tags are bounded at 255 bytes by the container encoding.
+func Register(name string, f Factory) {
+	if name == "" || len(name) > 255 {
+		panic(fmt.Sprintf("placement: invalid strategy name %q", name))
+	}
+	if f.New == nil || f.Decode == nil {
+		panic(fmt.Sprintf("placement: strategy %q registered without New/Decode", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("placement: strategy %q registered twice", name))
+	}
+	factories[name] = f
+}
+
+// Names returns the registered strategy tags in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup returns the factory for a tag.
+func lookup(name string) (Factory, error) {
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return Factory{}, fmt.Errorf("placement: unknown strategy %q (registered: %v)", name, Names())
+	}
+	return f, nil
+}
+
+// New builds a fresh strategy by registered name.
+func New(name string, servers []ServerID, opts Options) (Strategy, error) {
+	f, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.New(servers, opts)
+}
+
+// The tagged container wraps every non-ANU strategy snapshot:
+//
+//	magic   uint32  ("PLC1")
+//	nameLen uint8
+//	name    nameLen bytes (the strategy tag)
+//	payload rest (strategy-owned)
+//
+// ANU snapshots are NOT wrapped: their own "ANU1" magic is the tag, so
+// the bytes stay identical to what pre-placement-layer versions wrote
+// to journals and wire frames.
+const containerMagic = 0x504c4331 // "PLC1"
+
+// anuMagic mirrors the anu package's wire magic for tag sniffing.
+const anuMagic = 0x414e5531 // "ANU1"
+
+// EncodeTagged wraps a strategy payload in the tagged container.
+// Strategies other than ANU call it from their Encode.
+func EncodeTagged(name string, payload []byte) []byte {
+	if name == "" || len(name) > 255 {
+		panic(fmt.Sprintf("placement: invalid tag %q", name))
+	}
+	buf := make([]byte, 0, 5+len(name)+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, containerMagic)
+	buf = append(buf, byte(len(name)))
+	buf = append(buf, name...)
+	buf = append(buf, payload...)
+	return buf
+}
+
+// DecodeTagged splits a tagged container into its tag and payload.
+func DecodeTagged(data []byte) (name string, payload []byte, err error) {
+	if len(data) < 5 {
+		return "", nil, fmt.Errorf("placement: tagged snapshot truncated (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != containerMagic {
+		return "", nil, fmt.Errorf("placement: bad container magic %#x", binary.LittleEndian.Uint32(data))
+	}
+	n := int(data[4])
+	if n == 0 || 5+n > len(data) {
+		return "", nil, fmt.Errorf("placement: tagged snapshot name length %d exceeds %d available bytes", n, len(data)-5)
+	}
+	return string(data[5 : 5+n]), data[5+n:], nil
+}
+
+// Tag returns the strategy tag of an encoded snapshot without decoding
+// it: "anu" for a raw ANU map, the container tag otherwise.
+func Tag(data []byte) (string, error) {
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == anuMagic {
+		return StrategyANU, nil
+	}
+	name, _, err := DecodeTagged(data)
+	if err != nil {
+		return "", fmt.Errorf("placement: snapshot is neither an ANU map nor a tagged container: %w", err)
+	}
+	return name, nil
+}
+
+// Decode reconstructs a strategy from an encoded snapshot, dispatching
+// on its tag. The opts configure whatever the decoded strategy needs at
+// runtime (e.g. the ANU controller); state that must match the encoder
+// (seeds, membership, bounds) always comes from the bytes.
+func Decode(data []byte, opts Options) (Strategy, error) {
+	tag, err := Tag(data)
+	if err != nil {
+		return nil, err
+	}
+	f, err := lookup(tag)
+	if err != nil {
+		return nil, err
+	}
+	s, err := f.Decode(data, opts)
+	if err != nil {
+		return nil, fmt.Errorf("placement: decode %q snapshot: %w", tag, err)
+	}
+	return s, nil
+}

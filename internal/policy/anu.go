@@ -5,6 +5,7 @@ import (
 
 	"anurand/internal/anu"
 	"anurand/internal/hashx"
+	"anurand/internal/placement"
 	"anurand/internal/workload"
 )
 
@@ -12,15 +13,19 @@ import (
 // non-uniform randomization over a unit interval, retuned each interval
 // by the delegate's latency-feedback controller. It starts with no
 // knowledge of server capabilities and converges by observation alone.
+//
+// The placement logic itself lives in placement.ANU — the same
+// implementation the networked runtime serves from — so the simulator
+// measures exactly the code that runs in production. This type only
+// adds the simulator's file-set indexing and digest cache.
 type ANU struct {
 	names []string
 	// digests caches hashx.Prehash of every file-set name: the
 	// simulator calls Place once per request, and the digest is the
 	// per-key half of the hash — only the per-round tweak varies along
 	// the probe chain.
-	digests    []hashx.Digest
-	m          *anu.Map
-	controller *anu.Controller
+	digests []hashx.Digest
+	s       *placement.ANU
 }
 
 // NewANU builds the policy with an equal-region initial map (the cold
@@ -42,10 +47,9 @@ func NewANU(family hashx.Family, fileSets []workload.FileSet, servers []ServerID
 		digests[i] = hashx.Prehash(name)
 	}
 	return &ANU{
-		names:      names,
-		digests:    digests,
-		m:          m,
-		controller: anu.NewController(cfg),
+		names:   names,
+		digests: digests,
+		s:       placement.NewANU(m, anu.NewController(cfg)),
 	}, nil
 }
 
@@ -59,7 +63,7 @@ func (a *ANU) Place(fs int) ServerID {
 	if fs < 0 || fs >= len(a.digests) {
 		return NoServer
 	}
-	id, _ := a.m.LookupDigest(a.digests[fs])
+	id, _ := a.s.LookupDigest(a.digests[fs])
 	return id
 }
 
@@ -70,43 +74,20 @@ func (a *ANU) Retune(env *Env) error {
 	if err := validateEnv(env, len(a.names), false); err != nil {
 		return err
 	}
-	// Admit newly commissioned servers and re-admit recovered ones
-	// before applying feedback.
-	for _, s := range env.Servers {
-		if !s.Up {
-			continue
-		}
-		if !a.m.Has(s.ID) {
-			if err := a.m.AddServer(s.ID); err != nil {
-				return fmt.Errorf("policy: anu retune: %w", err)
-			}
-		} else if a.m.Length(s.ID) == 0 {
-			if err := a.m.Recover(s.ID); err != nil {
-				return fmt.Errorf("policy: anu retune: %w", err)
-			}
-		}
-	}
-	reports := append([]anu.Report(nil), env.Reports...)
-	for _, s := range env.Servers {
-		if !s.Up && a.m.Has(s.ID) {
-			reports = append(reports, anu.Report{Server: s.ID, Failed: true})
-		}
-	}
-	_, err := a.controller.Tune(a.m, reports)
-	return err
+	return retuneStrategy(a.s, env)
 }
 
 // SharedStateSize implements Placer: the replicated unit-interval map.
-func (a *ANU) SharedStateSize() int { return a.m.SharedStateSize() }
+func (a *ANU) SharedStateSize() int { return a.s.SharedStateSize() }
 
 // Map exposes the underlying interval map for inspection (examples and
 // the experiment harness read region lengths from it).
-func (a *ANU) Map() *anu.Map { return a.m }
+func (a *ANU) Map() *anu.Map { return a.s.Map() }
 
 // Controller exposes the delegate controller for inspection.
-func (a *ANU) Controller() *anu.Controller { return a.controller }
+func (a *ANU) Controller() *anu.Controller { return a.s.Controller() }
 
 // Advisories lists servers the controller has flagged as incompetent
 // (paper: "identifies such incompetent components and notifies
 // administrators").
-func (a *ANU) Advisories() []anu.Advisory { return a.controller.Advisories() }
+func (a *ANU) Advisories() []anu.Advisory { return a.s.Controller().Advisories() }

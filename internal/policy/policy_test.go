@@ -7,6 +7,7 @@ import (
 
 	"anurand/internal/anu"
 	"anurand/internal/hashx"
+	"anurand/internal/placement"
 	"anurand/internal/workload"
 )
 
@@ -428,5 +429,90 @@ func TestPrescientAndVPPlaceOutOfRange(t *testing.T) {
 	v, _ := NewVirtualProcessor(hashx.NewFamily(1), fs, 8)
 	if v.Place(-1) != NoServer || v.Place(4) != NoServer {
 		t.Error("vp out-of-range Place")
+	}
+}
+
+func TestStrategyPlacerChordBounded(t *testing.T) {
+	fs := testFileSets(400)
+	p, err := NewStrategyPlacer("chord-bounded", fs, testServers(), placement.Options{HashSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "chord-bounded" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+	if p.Place(-1) != NoServer || p.Place(len(fs)) != NoServer {
+		t.Fatal("out-of-range Place did not return NoServer")
+	}
+	counts := map[ServerID]int{}
+	for i := range fs {
+		id := p.Place(i)
+		if id == NoServer {
+			t.Fatalf("file set %d unplaced", i)
+		}
+		counts[id]++
+	}
+
+	// One server reports overload: the bounded-load rule sheds a prefix
+	// of its arc to its successor, moving some (not all) of its keys.
+	var hot ServerID = -1
+	for id, c := range counts {
+		if hot == -1 || c > counts[hot] {
+			hot = id
+		}
+	}
+	env := paperEnv(fs)
+	env.Reports = nil
+	for _, sv := range env.Servers {
+		req := uint64(100)
+		if sv.ID == hot {
+			req = 10000
+		}
+		env.Reports = append(env.Reports, anu.Report{Server: sv.ID, Requests: req, Latency: 0.01})
+	}
+	if err := p.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	after := map[ServerID]int{}
+	for i := range fs {
+		after[p.Place(i)]++
+	}
+	if after[hot] >= counts[hot] {
+		t.Fatalf("overloaded server kept %d file sets (was %d)", after[hot], counts[hot])
+	}
+	if after[hot] == 0 {
+		t.Fatal("shedding evacuated the whole server; shed must stay below 1")
+	}
+
+	// A failed server's file sets all move to survivors; recovery via a
+	// live report brings it back.
+	env.Servers[0].Up = false
+	env.Reports = env.Reports[:0]
+	for _, sv := range env.Servers[1:] {
+		env.Reports = append(env.Reports, anu.Report{Server: sv.ID, Requests: 100, Latency: 0.01})
+	}
+	if err := p.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if p.Place(i) == 0 {
+			t.Fatalf("file set %d still placed on failed server 0", i)
+		}
+	}
+	env.Servers[0].Up = true
+	if err := p.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	back := 0
+	for i := range fs {
+		if p.Place(i) == 0 {
+			back++
+		}
+	}
+	if back == 0 {
+		t.Fatal("recovered server received no file sets")
+	}
+	if p.SharedStateSize() != len(p.Strategy().Encode()) {
+		t.Fatal("SharedStateSize disagrees with Encode length")
 	}
 }
