@@ -20,6 +20,7 @@ import (
 	"anurand/internal/clustersim"
 	"anurand/internal/experiment"
 	"anurand/internal/hashx"
+	"anurand/internal/placement"
 )
 
 // newQuickSuite builds a fresh scaled-down suite. Each benchmark
@@ -340,5 +341,84 @@ func BenchmarkBalancerSnapshot(b *testing.B) {
 		if len(bal.Snapshot()) == 0 {
 			b.Fatal("empty snapshot")
 		}
+	}
+}
+
+// newStrategy builds a registered placement strategy over 16 servers
+// for the ring lookup benchmarks, mirroring sharedBalancer's shape.
+func newStrategy(b *testing.B, tag string) placement.Strategy {
+	ids := make([]placement.ServerID, 16)
+	for i := range ids {
+		ids[i] = placement.ServerID(i)
+	}
+	s, err := placement.New(tag, ids, placement.Options{HashSeed: 0})
+	if err != nil {
+		b.Fatalf("strategy %s init failed: %v", tag, err)
+	}
+	return s
+}
+
+// skewTune drives one feedback round with a skewed request distribution
+// so the bounded ring carries live shed fractions — the benchmark then
+// measures the real read path, shed branch included.
+func skewTune(b *testing.B, s placement.Strategy) {
+	reports := make([]placement.Report, 16)
+	for i := range reports {
+		reports[i] = placement.Report{Server: placement.ServerID(i), Requests: 100, Latency: 1}
+	}
+	reports[3].Requests = 4000
+	reports[7].Requests = 2500
+	if _, err := s.Tune(reports); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChordLookup measures the plain consistent-hash ring's
+// addressing cost: one FNV pass, one mix, one binary search over the
+// sorted point array — no allocation.
+func BenchmarkChordLookup(b *testing.B) {
+	s := newStrategy(b, placement.StrategyChord)
+	keys := benchKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(keys[i&1023]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkChordBoundedLookup measures the bounded-load ring with shed
+// fractions active, so the arc-prefix forwarding branch is on the
+// measured path rather than benchmarking an idle ring.
+func BenchmarkChordBoundedLookup(b *testing.B) {
+	s := newStrategy(b, placement.StrategyChordBounded)
+	skewTune(b, s)
+	keys := benchKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(keys[i&1023]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkStrategyLookupBatch measures every registered strategy's
+// batch data plane under one shared harness; a newly registered
+// strategy gets a sub-benchmark (and the bench gate's attention)
+// automatically.
+func BenchmarkStrategyLookupBatch(b *testing.B) {
+	keys := benchKeys()
+	owners := make([]placement.ServerID, len(keys))
+	for _, tag := range placement.Names() {
+		b.Run(tag, func(b *testing.B) {
+			s := newStrategy(b, tag)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n := s.LookupBatch(keys, owners); n != len(keys) {
+					b.Fatalf("batch resolved %d/%d", n, len(keys))
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(keys)), "ns/key")
+		})
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"anurand/internal/anu"
 	"anurand/internal/clustersim"
 	"anurand/internal/hashx"
+	"anurand/internal/placement"
 	"anurand/internal/policy"
 	"anurand/internal/workload"
 )
@@ -30,7 +31,7 @@ func main() {
 	log.SetPrefix("anusim: ")
 
 	var (
-		policyName = flag.String("policy", "anu", "policy: simple | anu | prescient | vp")
+		policyName = flag.String("policy", "anu", "policy: simple | anu | prescient | vp | any registered placement strategy (e.g. chord, chord-bounded)")
 		wl         = flag.String("workload", "synthetic", "workload: synthetic | dfslike | hotspot")
 		tracePath  = flag.String("trace", "", "replay a trace file instead of generating a workload")
 		seed       = flag.Uint64("seed", 1, "workload generator seed")
@@ -209,24 +210,35 @@ func parseSpeeds(s string) ([]float64, error) {
 	return speeds, nil
 }
 
+// buildPolicy resolves the four canonical systems by name; any other
+// name falls through to the placement-strategy registry, so every
+// registered scheme ("chord", "chord-bounded", ...) is runnable without
+// a new case here. The trace's memoized KeySet feeds each constructor —
+// file-set names are hashed once regardless of the policy chosen.
 func buildPolicy(name string, trace *workload.Trace, speeds []float64, numVP int) (policy.Placer, error) {
 	family := hashx.NewFamily(42)
 	servers := make([]policy.ServerID, len(speeds))
 	for i := range servers {
 		servers[i] = policy.ServerID(i)
 	}
+	keys := trace.Keys()
 	switch name {
 	case "simple":
-		return policy.NewSimple(family, trace.FileSets, servers)
+		return policy.NewSimpleKeys(family, keys, servers)
 	case "anu":
-		return policy.NewANU(family, trace.FileSets, servers, anu.DefaultControllerConfig())
+		return policy.NewANUKeys(family, keys, servers, anu.DefaultControllerConfig())
 	case "prescient":
 		return policy.NewPrescient(trace.FileSets)
 	case "vp":
-		return policy.NewVirtualProcessor(family, trace.FileSets, numVP)
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want simple, anu, prescient or vp)", name)
+		return policy.NewVirtualProcessorKeys(family, keys, numVP)
 	}
+	for _, tag := range placement.Names() {
+		if tag == name {
+			return policy.NewStrategyPlacerKeys(tag, keys, servers, placement.Options{HashSeed: 42})
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q (want simple, anu, prescient, vp, or a registered strategy: %v)",
+		name, placement.Names())
 }
 
 func printResult(res *clustersim.Result, series, moves bool) {

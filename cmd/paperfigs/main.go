@@ -27,17 +27,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperfigs: ")
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 4 | 5 | 6a | 6b | 7 | 8 | hotspot | san | all")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		quick = flag.Bool("quick", false, "scaled-down workloads for a fast pass")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables and charts")
-		rep   = flag.Int("replicate", 0, "run the Figure 5 comparison across this many seeds and print across-seed aggregates")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4 | 5 | 6a | 6b | 7 | 8 | hotspot | san | strategies | all")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		quick   = flag.Bool("quick", false, "scaled-down workloads for a fast pass")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables and charts")
+		rep     = flag.Int("replicate", 0, "run the Figure 5 comparison across this many seeds and print across-seed aggregates")
+		workers = flag.Int("workers", 0, "simulation cells run concurrently (0 = one per CPU, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
 	cfg := experiment.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Quick = *quick
+	cfg.Workers = *workers
 	suite := experiment.NewSuite(cfg)
 
 	if *rep > 0 {
@@ -54,11 +56,12 @@ func main() {
 		"6b":      fig6b,
 		"7":       fig7,
 		"8":       fig8,
-		"hotspot": extHotspot,
-		"san":     extSAN,
+		"hotspot":    extHotspot,
+		"san":        extSAN,
+		"strategies": strategiesFig,
 	}
 	if *fig == "all" {
-		for _, name := range []string{"4", "5", "6a", "6b", "7", "8", "hotspot", "san"} {
+		for _, name := range []string{"4", "5", "6a", "6b", "7", "8", "hotspot", "san", "strategies"} {
 			if err := figs[name](os.Stdout, suite, *csv); err != nil {
 				log.Fatal(err)
 			}
@@ -68,7 +71,7 @@ func main() {
 	}
 	run, ok := figs[*fig]
 	if !ok {
-		log.Fatalf("unknown figure %q (want 4, 5, 6a, 6b, 7, 8, hotspot, san or all)", *fig)
+		log.Fatalf("unknown figure %q (want 4, 5, 6a, 6b, 7, 8, hotspot, san, strategies or all)", *fig)
 	}
 	if err := run(os.Stdout, suite, *csv); err != nil {
 		log.Fatal(err)
@@ -328,6 +331,35 @@ func extSAN(w io.Writer, s *experiment.Suite, csv bool) error {
 	}
 	fmt.Fprintln(w, "(clients blocked on an imbalanced metadata tier defer their data")
 	fmt.Fprintln(w, " transfers, leaving the SAN underutilized within the trace window)")
+	return nil
+}
+
+// strategiesFig renders the registry-driven comparison: the paper's
+// four systems plus every additionally registered placement strategy
+// under the synthetic workload, one row per scheme.
+func strategiesFig(w io.Writer, s *experiment.Suite, csv bool) error {
+	results, err := s.StrategyComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Strategy comparison: all registered schemes, synthetic workload ==")
+	tb := report.NewTable("policy", "mean latency (s)", "steady (s)", "stddev (s)", "moved", "state (B)")
+	for _, name := range experiment.Policies() {
+		res, ok := results[name]
+		if !ok {
+			continue
+		}
+		tb.AddRowf(string(name), res.MeanLatency(), res.SteadyMeanLatency(),
+			res.LatencyStdDev(), res.TotalMoved, res.SharedStateBytes)
+	}
+	if csv {
+		return tb.WriteCSV(w)
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "(rows beyond the canonical four come straight from the placement")
+	fmt.Fprintln(w, " registry; register a strategy and it appears here automatically)")
 	return nil
 }
 

@@ -1,0 +1,106 @@
+package chordring
+
+import (
+	"fmt"
+	"testing"
+
+	"anurand/internal/hashx"
+)
+
+// shedTestState puts the ring in its most complex read state — a failed
+// member and a shedding member — so the fast-path tests cover every
+// branch of ownerAt, not just the idle direct hit.
+func shedTestState(t *testing.T, b *Bounded) {
+	t.Helper()
+	if err := b.SetFailed(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetShed(5, 0.4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerDigestMatchesOwner(t *testing.T) {
+	b := newBounded(t, 16)
+	shedTestState(t, b)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("fs/%d", i)
+		id, probes, ok := b.Owner(key)
+		id2, probes2, ok2 := b.OwnerDigest(hashx.Prehash(key))
+		if id != id2 || probes != probes2 || ok != ok2 {
+			t.Fatalf("OwnerDigest(%q) = (%d, %d, %v), Owner = (%d, %d, %v)",
+				key, id2, probes2, ok2, id, probes, ok)
+		}
+		if want := b.Ring().Owner(key); b.Ring().OwnerDigest(hashx.Prehash(key)) != want {
+			t.Fatalf("Ring.OwnerDigest(%q) != Ring.Owner = %d", key, want)
+		}
+	}
+}
+
+func TestOwnerZeroAllocs(t *testing.T) {
+	b := newBounded(t, 64)
+	shedTestState(t, b)
+	keys := make([]string, 256)
+	digests := make([]hashx.Digest, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fileset/%04d", i)
+		digests[i] = hashx.Prehash(keys[i])
+	}
+	var sink NodeID
+	if n := testing.AllocsPerRun(100, func() {
+		for _, key := range keys {
+			id, _, _ := b.Owner(key)
+			sink = id
+		}
+	}); n != 0 {
+		t.Errorf("Bounded.Owner allocated %g times per %d lookups, want 0", n, len(keys))
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, d := range digests {
+			id, _, _ := b.OwnerDigest(d)
+			sink = id
+		}
+	}); n != 0 {
+		t.Errorf("Bounded.OwnerDigest allocated %g times per %d lookups, want 0", n, len(digests))
+	}
+	r := b.Ring()
+	if n := testing.AllocsPerRun(100, func() {
+		for _, key := range keys {
+			sink = r.Owner(key)
+		}
+	}); n != 0 {
+		t.Errorf("Ring.Owner allocated %g times per %d lookups, want 0", n, len(keys))
+	}
+	_ = sink
+}
+
+// TestCloneSharesFlatStateSafely pins the publication contract the dense
+// fast-path slices rely on: mutating either the clone or the original
+// replaces its slices wholesale, so the other side keeps serving its own
+// placement unchanged.
+func TestCloneSharesFlatStateSafely(t *testing.T) {
+	b := newBounded(t, 8)
+	shedTestState(t, b)
+	clone := b.Clone()
+	before := make(map[string]NodeID)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("fs/%d", i)
+		id, _, _ := clone.Owner(key)
+		before[key] = id
+	}
+	// Mutate the original in every flat-state dimension.
+	if err := b.SetShed(1, 0.45); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetFailed(6, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(100); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range before {
+		if id, _, _ := clone.Owner(key); id != want {
+			t.Fatalf("clone owner for %q moved %d -> %d after original mutated", key, want, id)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"anurand/internal/hashx"
 )
 
 // Bounded is the bounded-load variant of the consistent-hash ring, after
@@ -33,28 +35,78 @@ type Bounded struct {
 	failed map[NodeID]bool
 	// shed[n] in [0, 1) is the prefix fraction of n's arc forwarded on.
 	shed map[NodeID]float64
+
+	// Dense per-ring-index mirrors of the maps above, rebuilt wholesale
+	// by reindex on every mutation and never edited in place (so Clone
+	// may share them, like the ring's fingers). They keep the Owner hot
+	// path free of map probes and float multiplies: a lookup is one
+	// binary search plus three array reads.
+	failedAt []bool
+	// shedCutAt[i] is the arc-prefix length (in circle units) member i
+	// forwards on; 0 means no shedding. Precomputing it folds the
+	// s*float64(arc) conversion out of the read path.
+	shedCutAt []point
+	// nextLiveAt[i] is the ring index of the first live member strictly
+	// after i, or -1 when every member is failed.
+	nextLiveAt []int32
 }
 
 // NewBounded wraps a ring with empty failure and shed state. The ring is
 // owned by the Bounded afterwards.
 func NewBounded(ring *Ring) *Bounded {
-	return &Bounded{
+	b := &Bounded{
 		ring:   ring,
 		failed: make(map[NodeID]bool),
 		shed:   make(map[NodeID]float64),
 	}
+	b.reindex()
+	return b
+}
+
+// reindex rebuilds the dense fast-path state from the maps and the ring
+// order. Mutators call it after every change; it allocates fresh slices
+// rather than editing, so clones sharing the old ones stay consistent.
+func (b *Bounded) reindex() {
+	n := len(b.ring.ids)
+	failedAt := make([]bool, n)
+	shedCutAt := make([]point, n)
+	nextLiveAt := make([]int32, n)
+	for i, id := range b.ring.ids {
+		failedAt[i] = b.failed[id]
+	}
+	for i, id := range b.ring.ids {
+		nextLiveAt[i] = -1
+		for step := 1; step <= n; step++ {
+			if j := (i + step) % n; !failedAt[j] {
+				nextLiveAt[i] = int32(j)
+				break
+			}
+		}
+		if s := b.shed[id]; s != 0 && n > 1 && !failedAt[i] {
+			pred := (i - 1 + n) % n
+			if arc := b.ring.points[i] - b.ring.points[pred]; arc != 0 {
+				shedCutAt[i] = point(s * float64(arc))
+			}
+		}
+	}
+	b.failedAt, b.shedCutAt, b.nextLiveAt = failedAt, shedCutAt, nextLiveAt
 }
 
 // Ring exposes the underlying ring (routing experiments read fingers and
 // hop counts from it).
 func (b *Bounded) Ring() *Ring { return b.ring }
 
-// Clone returns a deep copy; the copy may be mutated independently.
+// Clone returns a deep copy; the copy may be mutated independently. The
+// dense fast-path slices are shared, not copied: mutators replace them
+// wholesale via reindex, never edit them in place.
 func (b *Bounded) Clone() *Bounded {
 	nb := &Bounded{
-		ring:   b.ring.Clone(),
-		failed: make(map[NodeID]bool, len(b.failed)),
-		shed:   make(map[NodeID]float64, len(b.shed)),
+		ring:       b.ring.Clone(),
+		failed:     make(map[NodeID]bool, len(b.failed)),
+		shed:       make(map[NodeID]float64, len(b.shed)),
+		failedAt:   b.failedAt,
+		shedCutAt:  b.shedCutAt,
+		nextLiveAt: b.nextLiveAt,
 	}
 	for id, f := range b.failed {
 		nb.failed[id] = f
@@ -76,6 +128,7 @@ func (b *Bounded) SetFailed(id NodeID, failed bool) error {
 	} else {
 		delete(b.failed, id)
 	}
+	b.reindex()
 	return nil
 }
 
@@ -103,6 +156,7 @@ func (b *Bounded) SetShed(id NodeID, frac float64) error {
 	} else {
 		b.shed[id] = frac
 	}
+	b.reindex()
 	return nil
 }
 
@@ -110,7 +164,13 @@ func (b *Bounded) SetShed(id NodeID, frac float64) error {
 func (b *Bounded) Shed(id NodeID) float64 { return b.shed[id] }
 
 // Join adds a node (live, shedding nothing).
-func (b *Bounded) Join(id NodeID) error { return b.ring.Join(id) }
+func (b *Bounded) Join(id NodeID) error {
+	if err := b.ring.Join(id); err != nil {
+		return err
+	}
+	b.reindex()
+	return nil
+}
 
 // Leave removes a node and drops its failure/shed state.
 func (b *Bounded) Leave(id NodeID) error {
@@ -119,6 +179,7 @@ func (b *Bounded) Leave(id NodeID) error {
 	}
 	delete(b.failed, id)
 	delete(b.shed, id)
+	b.reindex()
 	return nil
 }
 
@@ -143,38 +204,49 @@ func (b *Bounded) nextLive(idx int) (int, bool) {
 // rule, along with the number of ring probes taken (1 for a direct hit,
 // +1 per forwarding hop). ok is false only when every node has failed.
 func (b *Bounded) Owner(key string) (NodeID, int, bool) {
-	n := len(b.ring.ids)
-	p := b.ring.keyPoint(key)
+	return b.ownerAt(b.ring.keyPoint(key))
+}
+
+// OwnerDigest is Owner for a key pre-hashed with hashx.Prehash.
+func (b *Bounded) OwnerDigest(d hashx.Digest) (NodeID, int, bool) {
+	return b.ownerAt(b.ring.keyPointDigest(d))
+}
+
+// ownerAt resolves a ring point against the dense fast-path state. It
+// is allocation-free: one binary search, then array reads only —
+// failure, shed cut and forwarding target were all precomputed by
+// reindex.
+func (b *Bounded) ownerAt(p point) (NodeID, int, bool) {
 	idx := b.ring.successorIndex(p)
 	probes := 1
-	if b.failed[b.ring.ids[idx]] {
+	if b.failedAt[idx] {
 		// The successor is down: its whole arc spills to the next live
 		// node, which accepts the key unconditionally.
-		next, ok := b.nextLive(idx)
-		if !ok {
+		next := b.nextLiveAt[idx]
+		if next < 0 {
 			return 0, probes, false
 		}
 		return b.ring.ids[next], probes + 1, true
 	}
 	id := b.ring.ids[idx]
-	s := b.shed[id]
-	if s == 0 || n == 1 {
+	cut := b.shedCutAt[idx]
+	if cut == 0 {
 		return id, probes, true
 	}
-	// The owner is live but shedding: keys in the first s of its arc
+	// The owner is live but shedding: keys in the cut prefix of its arc
 	// (measured from the predecessor's point) forward to the next live
 	// node. Wrapping subtraction keeps the arithmetic exact mod 2^64.
-	pred := (idx - 1 + n) % n
-	arc := b.ring.points[idx] - b.ring.points[pred]
-	if arc == 0 {
-		return id, probes, true // colliding points; never shed
+	n := len(b.ring.ids)
+	pred := idx - 1
+	if pred < 0 {
+		pred = n - 1
 	}
 	offset := p - b.ring.points[pred] // in [1, arc] for keys owned by idx
-	if offset > point(s*float64(arc)) {
+	if offset > cut {
 		return id, probes, true
 	}
-	next, ok := b.nextLive(idx)
-	if !ok || next == idx {
+	next := b.nextLiveAt[idx]
+	if next < 0 || int(next) == idx {
 		return id, probes, true // nowhere to shed to
 	}
 	return b.ring.ids[next], probes + 1, true

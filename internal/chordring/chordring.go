@@ -114,13 +114,23 @@ func (r *Ring) rebuild() {
 }
 
 // successorIndex returns the index of the first member at or after p on
-// the circle.
+// the circle. The binary search is written out rather than delegated to
+// sort.Search: the closure a sort.Search call captures escapes to the
+// heap, and this is the one probe every lookup on the ring pays.
 func (r *Ring) successorIndex(p point) int {
-	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= p })
-	if idx == len(r.points) {
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid] < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
 		return 0 // wrap
 	}
-	return idx
+	return lo
 }
 
 // N returns the member count.
@@ -163,8 +173,22 @@ func (r *Ring) Owner(key string) NodeID {
 	return r.ids[r.successorIndex(r.keyPoint(key))]
 }
 
+// OwnerDigest is Owner for a key pre-hashed with hashx.Prehash; only
+// the per-round mix remains, so batch callers holding digests skip the
+// per-byte hash pass.
+func (r *Ring) OwnerDigest(d hashx.Digest) NodeID {
+	return r.ids[r.successorIndex(r.keyPointDigest(d))]
+}
+
 func (r *Ring) keyPoint(key string) point {
 	return r.family.Hash(key, 1)
+}
+
+// keyPointDigest maps a precomputed key digest onto the circle. Keys
+// use round 1; node points use round 0 (see nodePoint), keeping the two
+// populations decorrelated.
+func (r *Ring) keyPointDigest(d hashx.Digest) point {
+	return r.family.HashDigest(d, 1)
 }
 
 // Route resolves key starting from the given node, following fingers as

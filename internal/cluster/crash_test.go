@@ -564,3 +564,147 @@ func TestObserverMayCallRuntime(t *testing.T) {
 			rts[1].MapRound() > 0
 	})
 }
+
+// TestCompactionAcrossStrategyChangeRefusesMismatchedTail covers the
+// interaction of two durability features: journal compaction and the
+// strategy-tag fence on recovery. A journal whose records span a
+// strategy change (ANU epochs followed by a chord-bounded epoch) is
+// compacted down to its single newest record; the surviving tail still
+// carries the newer strategy's tag, so a restart configured for the
+// old strategy must refuse it just as loudly as it would refuse the
+// full journal — compaction must never launder a mismatched placement
+// into an adoptable one. A matching restart then recovers the
+// compacted record, and a crash that tears the lone surviving frame
+// degrades to a clean snapshot bootstrap.
+func TestCompactionAcrossStrategyChangeRefusesMismatchedTail(t *testing.T) {
+	cn, err := NewChaosNetwork(ChaosConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	ids, anuSnap := bootstrap(t, 3)
+	_, chordSnap := bootstrapStrategy(t, 3, placement.StrategyChordBounded)
+
+	// A tiny threshold forces a compaction on every append past the
+	// first, so the strategy-change record is guaranteed to cross one.
+	walPath := filepath.Join(t.TempDir(), "node.wal")
+	j, err := journal.Open(walPath, journal.Options{CompactThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := uint64(1); round <= 3; round++ {
+		if err := j.Append(journal.Record{Epoch: 1, Round: round, Map: anuSnap}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The operator migrated the cluster to chord-bounded: a newer epoch
+	// journals a placement with a different strategy tag.
+	if err := j.Append(journal.Record{Epoch: 2, Round: 1, Map: chordSnap}); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.Stats(); s.Compactions == 0 {
+		t.Fatalf("no compactions at threshold 64 after 4 appends: %+v", s)
+	}
+
+	// Restart: recovery must see exactly the compacted tail — one
+	// record, tagged with the post-change strategy.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, err = journal.Open(walPath, journal.Options{CompactThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if s := j.Stats(); s.RecordsRecovered != 1 {
+		t.Fatalf("recovered %d records from compacted journal, want 1", s.RecordsRecovered)
+	}
+	rec, ok := j.Last()
+	if !ok {
+		t.Fatal("compacted journal empty on reopen")
+	}
+	if rec.Epoch != 2 || rec.Round != 1 {
+		t.Fatalf("compaction kept (%d,%d), want the newest fence (2,1)", rec.Epoch, rec.Round)
+	}
+	if tag, err := placement.Tag(rec.Map); err != nil || tag != placement.StrategyChordBounded {
+		t.Fatalf("surviving record tag = (%q, %v), want %q", tag, err, placement.StrategyChordBounded)
+	}
+
+	// A node still configured for the pre-change strategy must refuse
+	// the compacted tail.
+	_, err = Start(Config{
+		ID:            0,
+		Members:       ids,
+		Snapshot:      anuSnap, // matches the default "anu" strategy
+		RoundInterval: 40 * time.Millisecond,
+		Journal:       j,
+	}, cn.Endpoint(0))
+	if err == nil || !strings.Contains(err.Error(), "strategy") {
+		t.Fatalf("compacted mismatched journal accepted: %v", err)
+	}
+
+	// The migrated configuration recovers the compacted record.
+	rt, err := Start(Config{
+		ID:            1,
+		Members:       ids,
+		Snapshot:      chordSnap,
+		Strategy:      placement.StrategyChordBounded,
+		RoundInterval: 40 * time.Millisecond,
+		Journal:       j,
+	}, cn.Endpoint(1))
+	if err != nil {
+		t.Fatalf("matching strategy rejected its own compacted journal: %v", err)
+	}
+	if s := rt.Stats(); !s.Recovered || s.RecoveredEpoch != 2 || s.RecoveredRound != 1 {
+		rt.Stop()
+		t.Fatalf("restart stats %+v, want recovery at (2,1)", s)
+	}
+	rt.Stop()
+
+	// Crash damage on the lone surviving frame: recovery truncates the
+	// tail and the restart falls back to a clean snapshot bootstrap —
+	// there is no older intact record to resurrect the stale strategy.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := journal.Open(walPath, journal.Options{CompactThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj := journal.NewChaos(raw, 33)
+	if _, ok, err := cj.InjectTailFault(); err != nil || !ok {
+		t.Fatalf("tail fault injection: ok=%v err=%v", ok, err)
+	}
+	if err := cj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = journal.Open(walPath, journal.Options{CompactThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if s := raw.Stats(); s.TornTailsTruncated == 0 {
+		t.Fatalf("injected fault not detected on reopen: %+v", s)
+	}
+	if _, ok := raw.Last(); ok {
+		t.Fatal("damaged single-record journal still yields a record")
+	}
+	rt2, err := Start(Config{
+		ID:            2,
+		Members:       ids,
+		Snapshot:      anuSnap,
+		Controller:    anu.DefaultControllerConfig(),
+		RoundInterval: 40 * time.Millisecond,
+		Journal:       raw,
+	}, cn.Endpoint(2))
+	if err != nil {
+		t.Fatalf("empty-after-truncation journal rejected: %v", err)
+	}
+	defer rt2.Stop()
+	if s := rt2.Stats(); s.Recovered {
+		t.Fatalf("restart claims recovery from a truncated-empty journal: %+v", s)
+	}
+	if !bytes.Equal(rt2.Snapshot(), anuSnap) {
+		t.Fatal("restart did not bootstrap from the snapshot")
+	}
+}

@@ -7,11 +7,13 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 
 	"anurand/internal/anu"
 	"anurand/internal/clustersim"
 	"anurand/internal/hashx"
+	"anurand/internal/placement"
 	"anurand/internal/policy"
 	"anurand/internal/workload"
 )
@@ -29,6 +31,27 @@ const (
 
 // AllPolicies lists the four systems in the paper's presentation order.
 var AllPolicies = []PolicyName{Simple, ANU, Prescient, VP}
+
+// Policies returns every runnable policy name: the paper's four
+// canonical systems followed by any additionally registered placement
+// strategies, so a strategy added to the placement registry appears in
+// every figure without touching this package. A registry tag that
+// collides with a canonical name (e.g. "anu") resolves to the canonical
+// system and is not listed twice.
+func Policies() []PolicyName {
+	out := append([]PolicyName(nil), AllPolicies...)
+	seen := make(map[PolicyName]bool, len(out))
+	for _, name := range out {
+		seen[name] = true
+	}
+	for _, tag := range placement.Names() {
+		if name := PolicyName(tag); !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
 
 // Config parameterizes a suite of experiments.
 type Config struct {
@@ -48,6 +71,13 @@ type Config struct {
 	// duration) so tests and benchmarks finish fast. Figure shapes are
 	// preserved; absolute values shift.
 	Quick bool
+
+	// Workers bounds the experiment worker pool: how many policy×trace×
+	// parameter cells simulate concurrently. 0 means GOMAXPROCS; 1 runs
+	// the sequential path. Results are bit-identical for every value —
+	// each cell is an independent deterministic simulation over a shared
+	// read-only trace, and cells are assembled in a fixed order.
+	Workers int
 }
 
 // DefaultConfig returns the paper's experiment configuration.
@@ -146,39 +176,61 @@ func Servers() []policy.ServerID { return []policy.ServerID{0, 1, 2, 3, 4} }
 // Speeds returns the paper's capacity factors.
 func Speeds() []float64 { return []float64{1, 3, 5, 7, 9} }
 
-// BuildPolicy constructs one of the four systems over a trace.
+// BuildPolicy constructs one of the compared systems over a trace. The
+// four canonical names build the paper's policies; any other name is
+// resolved through the placement-strategy registry, so a registered
+// strategy ("chord", "chord-bounded", ...) is measurable without
+// touching this switch. Every path reuses the trace's memoized KeySet:
+// file-set names are hashed once per trace, not once per cell.
 func (s *Suite) BuildPolicy(name PolicyName, trace *workload.Trace, numVP int) (policy.Placer, error) {
 	family := hashx.NewFamily(s.cfg.HashSeed)
+	keys := trace.Keys()
 	switch name {
 	case Simple:
-		return policy.NewSimple(family, trace.FileSets, Servers())
+		return policy.NewSimpleKeys(family, keys, Servers())
 	case ANU:
-		return policy.NewANU(family, trace.FileSets, Servers(), anu.DefaultControllerConfig())
+		return policy.NewANUKeys(family, keys, Servers(), anu.DefaultControllerConfig())
 	case Prescient:
 		return policy.NewPrescient(trace.FileSets)
 	case VP:
-		return policy.NewVirtualProcessor(family, trace.FileSets, numVP)
-	default:
-		return nil, fmt.Errorf("experiment: unknown policy %q", name)
+		return policy.NewVirtualProcessorKeys(family, keys, numVP)
 	}
+	for _, tag := range placement.Names() {
+		if tag == string(name) {
+			return policy.NewStrategyPlacerKeys(tag, keys, Servers(), placement.Options{HashSeed: s.cfg.HashSeed})
+		}
+	}
+	return nil, fmt.Errorf("experiment: unknown policy %q", name)
 }
 
-// runPolicies simulates the trace under each policy.
+// runPolicies simulates the trace under each policy, fanning cells
+// across the suite's worker pool. Failures do not abort the sweep: the
+// map carries every cell that succeeded and the error joins every cell
+// that did not, so one broken policy cannot hide the others' figures.
 func (s *Suite) runPolicies(trace *workload.Trace, names []PolicyName) (map[PolicyName]*clustersim.Result, error) {
-	out := make(map[PolicyName]*clustersim.Result, len(names))
-	for _, name := range names {
-		placer, err := s.BuildPolicy(name, trace, s.cfg.DefaultVP)
+	results := make([]*clustersim.Result, len(names))
+	errs := make([]error, len(names))
+	s.forEachCell(len(names), func(i int) {
+		placer, err := s.BuildPolicy(names[i], trace, s.cfg.DefaultVP)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		cfg := clustersim.DefaultConfig(trace, placer)
 		res, err := clustersim.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: %s: %w", name, err)
+			errs[i] = fmt.Errorf("experiment: %s: %w", names[i], err)
+			return
 		}
-		out[name] = res
+		results[i] = res
+	})
+	out := make(map[PolicyName]*clustersim.Result, len(names))
+	for i, name := range names {
+		if results[i] != nil {
+			out[name] = results[i]
+		}
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // Fig4 reproduces Figure 4: per-server latency over time under the
@@ -193,7 +245,7 @@ func (s *Suite) Fig4() (map[PolicyName]*clustersim.Result, error) {
 	}
 	res, err := s.runPolicies(trace, AllPolicies)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	s.fig4 = res
 	return res, nil
@@ -211,7 +263,7 @@ func (s *Suite) Fig5() (map[PolicyName]*clustersim.Result, error) {
 	}
 	res, err := s.runPolicies(trace, AllPolicies)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	s.fig5 = res
 	return res, nil
@@ -297,21 +349,44 @@ func (s *Suite) ExtSAN() (map[PolicyName]*clustersim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[PolicyName]*clustersim.Result, len(AllPolicies))
-	for _, name := range AllPolicies {
-		placer, err := s.BuildPolicy(name, trace, s.cfg.DefaultVP)
+	results := make([]*clustersim.Result, len(AllPolicies))
+	errs := make([]error, len(AllPolicies))
+	s.forEachCell(len(AllPolicies), func(i int) {
+		placer, err := s.BuildPolicy(AllPolicies[i], trace, s.cfg.DefaultVP)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		cfg := clustersim.DefaultConfig(trace, placer)
 		cfg.SAN = clustersim.SANConfig{Enabled: true, Disks: 16, TransferDemand: 1.5}
 		res, err := clustersim.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: san %s: %w", name, err)
+			errs[i] = fmt.Errorf("experiment: san %s: %w", AllPolicies[i], err)
+			return
 		}
-		out[name] = res
+		results[i] = res
+	})
+	out := make(map[PolicyName]*clustersim.Result, len(AllPolicies))
+	for i, name := range AllPolicies {
+		if results[i] != nil {
+			out[name] = results[i]
+		}
 	}
-	return out, nil
+	return out, errors.Join(errs...)
+}
+
+// StrategyComparison runs every runnable policy — the paper's four
+// systems plus each additional registered placement strategy — over the
+// synthetic workload. It is the registry-driven figure: a strategy added
+// to the placement registry shows up here with no experiment changes.
+// Like runPolicies, it returns whatever cells succeeded alongside a
+// joined error for those that did not.
+func (s *Suite) StrategyComparison() (map[PolicyName]*clustersim.Result, error) {
+	trace, err := s.Synthetic()
+	if err != nil {
+		return nil, err
+	}
+	return s.runPolicies(trace, Policies())
 }
 
 // Fig8Point is one VP-count sample of Figure 8, with the reference
@@ -374,28 +449,40 @@ func (s *Suite) Fig8(counts []int) (*Fig8Result, error) {
 	return out, nil
 }
 
-// fig8Sweep runs the VP sweep plus references on one trace.
+// fig8Sweep runs the VP sweep plus references on one trace. The two
+// reference runs and every VP count are independent cells, so the whole
+// sweep fans out over the worker pool; refs and points are assembled in
+// the sequential order afterwards.
 func (s *Suite) fig8Sweep(trace *workload.Trace, counts []int) ([]Fig8Point, Fig8Refs, error) {
-	run := func(name PolicyName, numVP int) (*clustersim.Result, error) {
-		placer, err := s.BuildPolicy(name, trace, numVP)
+	type cell struct {
+		name  PolicyName
+		numVP int
+	}
+	cells := make([]cell, 0, len(counts)+2)
+	cells = append(cells, cell{ANU, 0}, cell{Prescient, 0})
+	for _, n := range counts {
+		cells = append(cells, cell{VP, n})
+	}
+	results := make([]*clustersim.Result, len(cells))
+	errs := make([]error, len(cells))
+	s.forEachCell(len(cells), func(i int) {
+		placer, err := s.BuildPolicy(cells[i].name, trace, cells[i].numVP)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		cfg := clustersim.DefaultConfig(trace, placer)
 		res, err := clustersim.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: fig8 %s: %w", name, err)
+			errs[i] = fmt.Errorf("experiment: fig8 %s: %w", cells[i].name, err)
+			return
 		}
-		return res, nil
-	}
-	anuRes, err := run(ANU, 0)
-	if err != nil {
+		results[i] = res
+	})
+	if err := errors.Join(errs...); err != nil {
 		return nil, Fig8Refs{}, err
 	}
-	prescientRes, err := run(Prescient, 0)
-	if err != nil {
-		return nil, Fig8Refs{}, err
-	}
+	anuRes, prescientRes := results[0], results[1]
 	refs := Fig8Refs{
 		ANULatency:       anuRes.MeanLatency(),
 		ANUSteady:        anuRes.SteadyMeanLatency(),
@@ -406,11 +493,8 @@ func (s *Suite) fig8Sweep(trace *workload.Trace, counts []int) ([]Fig8Point, Fig
 		ANUCrossoverAt:   -1,
 	}
 	var points []Fig8Point
-	for _, n := range counts {
-		res, err := run(VP, n)
-		if err != nil {
-			return nil, Fig8Refs{}, err
-		}
+	for i, n := range counts {
+		res := results[2+i]
 		pt := Fig8Point{
 			NumVP:            n,
 			MeanLatency:      res.MeanLatency(),

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves Config.Workers: 0 means one worker per logical CPU,
+// anything below 1 after that clamps to the sequential path.
+func (s *Suite) workers() int {
+	w := s.cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachCell runs f(0..n-1) across the suite's worker pool. It is the
+// one scheduling primitive every figure shares: cells are claimed from
+// an atomic counter (cheap work stealing — simulation cells have very
+// uneven costs), and f must write its output to the per-index slot it
+// owns. Because each cell is an independent deterministic simulation
+// and the caller assembles slots in index order, the results are
+// bit-identical for every worker count; only wall-clock time changes.
+//
+// With one worker (or one cell) it runs inline on the caller's
+// goroutine — the sequential path has no pool overhead at all.
+func (s *Suite) forEachCell(n int, f func(i int)) {
+	w := s.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

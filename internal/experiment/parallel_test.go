@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParallelMatchesSequential is the determinism regression the
+// parallel engine is held to: for a fixed seed, fanning cells across
+// workers must produce bit-identical Result values to the sequential
+// path. Each cell is an independent deterministic simulation over a
+// shared read-only trace, and assembly order is fixed, so any
+// divergence here means shared mutable state leaked between cells.
+func TestParallelMatchesSequential(t *testing.T) {
+	seqCfg := DefaultConfig()
+	seqCfg.Quick = true
+	seqCfg.Workers = 1
+	parCfg := seqCfg
+	parCfg.Workers = 4
+
+	seq, err := NewSuite(seqCfg).Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSuite(parCfg).Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sequential ran %d policies, parallel %d", len(seq), len(par))
+	}
+	for name, want := range seq {
+		got := par[name]
+		if got == nil {
+			t.Fatalf("parallel run missing policy %s", name)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("policy %s: parallel result differs from sequential", name)
+		}
+	}
+}
+
+// TestReplicateParallelMatchesSequential extends the determinism check
+// across the seed fan-out: per-seed suites run concurrently, but the
+// across-seed summaries must come out bit-identical.
+func TestReplicateParallelMatchesSequential(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	cfg.Workers = 1
+	seq, err := ReplicateFig5(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := ReplicateFig5(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel replication differs from sequential")
+	}
+}
+
+// TestRunPoliciesPartialResults pins the failure contract: a bad cell
+// contributes an error but does not abort the sweep — every other
+// policy's result is still returned alongside the joined error.
+func TestRunPoliciesPartialResults(t *testing.T) {
+	s := quickSuite()
+	trace, err := s.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []PolicyName{ANU, "bogus-a", Prescient, "bogus-b"}
+	out, err := s.runPolicies(trace, names)
+	if err == nil {
+		t.Fatal("runPolicies with unknown policies returned nil error")
+	}
+	for _, bad := range []string{"bogus-a", "bogus-b"} {
+		if !strings.Contains(err.Error(), bad) {
+			t.Errorf("joined error %q does not mention %s", err, bad)
+		}
+	}
+	if len(out) != 2 || out[ANU] == nil || out[Prescient] == nil {
+		t.Fatalf("partial results lost: got %d entries, want anu and prescient", len(out))
+	}
+	// errors.Join must yield each cell error individually.
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("error %T does not unwrap to a join", err)
+	}
+	if n := len(joined.Unwrap()); n != 2 {
+		t.Errorf("joined %d errors, want 2", n)
+	}
+}
+
+// TestPoliciesIncludesRegistry checks the registry-driven enumeration:
+// the canonical four lead in paper order, every additionally registered
+// strategy follows, and nothing appears twice.
+func TestPoliciesIncludesRegistry(t *testing.T) {
+	names := Policies()
+	if len(names) < len(AllPolicies) {
+		t.Fatalf("Policies() = %v, shorter than the canonical four", names)
+	}
+	for i, want := range AllPolicies {
+		if names[i] != want {
+			t.Fatalf("Policies()[%d] = %s, want %s", i, names[i], want)
+		}
+	}
+	seen := make(map[PolicyName]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("Policies() lists %s twice", n)
+		}
+		seen[n] = true
+	}
+	for _, tag := range []PolicyName{"chord", "chord-bounded"} {
+		if !seen[tag] {
+			t.Errorf("Policies() missing registered strategy %s", tag)
+		}
+	}
+}
+
+// TestBuildPolicyRegistryFallthrough checks that a registry tag builds a
+// working placer through the strategy adapter.
+func TestBuildPolicyRegistryFallthrough(t *testing.T) {
+	s := quickSuite()
+	trace, err := s.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []PolicyName{"chord", "chord-bounded"} {
+		p, err := s.BuildPolicy(tag, trace, 0)
+		if err != nil {
+			t.Fatalf("BuildPolicy(%s): %v", tag, err)
+		}
+		if p.Name() != string(tag) {
+			t.Errorf("policy %s reports name %q", tag, p.Name())
+		}
+		if id := p.Place(0); id < 0 || int(id) >= len(Servers()) {
+			t.Errorf("%s.Place(0) = %d, outside the server set", tag, id)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 
+	"anurand/internal/clustersim"
 	"anurand/internal/metrics"
 )
 
@@ -29,18 +31,34 @@ func ReplicateFig5(base Config, n int) ([]Replication, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiment: ReplicateFig5: n=%d", n)
 	}
+	// Seeds fan out across one shared pool; with more than one seed in
+	// flight each per-seed suite runs its own cells sequentially so the
+	// machine is not oversubscribed. Summaries aggregate in seed order
+	// afterwards, keeping the output bit-identical to a sequential run.
+	pool := NewSuite(base)
+	perSeed := make([]map[PolicyName]*clustersim.Result, n)
+	errs := make([]error, n)
+	pool.forEachCell(n, func(i int) {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)
+		if n > 1 {
+			cfg.Workers = 1
+		}
+		results, err := NewSuite(cfg).Fig5()
+		if err != nil {
+			errs[i] = fmt.Errorf("experiment: replicate seed %d: %w", cfg.Seed, err)
+			return
+		}
+		perSeed[i] = results
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
 	rows := make(map[PolicyName]*Replication, len(AllPolicies))
 	for _, name := range AllPolicies {
 		rows[name] = &Replication{Policy: name}
 	}
-	for i := 0; i < n; i++ {
-		cfg := base
-		cfg.Seed = base.Seed + uint64(i)
-		suite := NewSuite(cfg)
-		results, err := suite.Fig5()
-		if err != nil {
-			return nil, fmt.Errorf("experiment: replicate seed %d: %w", cfg.Seed, err)
-		}
+	for _, results := range perSeed {
 		for name, res := range results {
 			row := rows[name]
 			row.MeanLatency.Add(res.MeanLatency())

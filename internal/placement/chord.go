@@ -99,6 +99,17 @@ func (c *Chord) Lookup(key string) (ServerID, bool) {
 	return ServerID(id), true
 }
 
+// LookupDigest implements DigestLookuper: the ring point comes from the
+// precomputed digest's round-1 mix, so a lookup is one multiply-shift
+// plus the binary search — no per-byte hashing and no allocation.
+func (c *Chord) LookupDigest(d hashx.Digest) (ServerID, int) {
+	id, probes, ok := c.b.OwnerDigest(d)
+	if !ok {
+		return NoServer, probes
+	}
+	return ServerID(id), probes
+}
+
 func (c *Chord) LookupProbes(key string) (ServerID, int, bool) {
 	id, probes, ok := c.b.Owner(key)
 	if !ok {

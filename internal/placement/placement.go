@@ -120,8 +120,10 @@ type Invariants interface {
 
 // DigestLookuper is the optional allocation-free fast path for
 // strategies that can resolve a key pre-hashed with hashx.Prehash. The
-// ANU strategy implements it; ring strategies re-hash per lookup and do
-// not. The NoServer result marks an unplaceable key, as with Lookup.
+// ANU and chord strategies all implement it: the digest is the per-key
+// half of every family hash, so callers that cache digests (the
+// simulator's KeySet, the runtime's batch path) skip the per-byte pass.
+// The NoServer result marks an unplaceable key, as with Lookup.
 type DigestLookuper interface {
 	LookupDigest(d hashx.Digest) (id ServerID, probes int)
 }

@@ -31,7 +31,14 @@ type ANU struct {
 // NewANU builds the policy with an equal-region initial map (the cold
 // start of Section 4) and the given controller configuration.
 func NewANU(family hashx.Family, fileSets []workload.FileSet, servers []ServerID, cfg anu.ControllerConfig) (*ANU, error) {
-	if len(fileSets) == 0 {
+	return NewANUKeys(family, workload.NewKeySet(fileSets), servers, cfg)
+}
+
+// NewANUKeys is NewANU over a precomputed KeySet: the digest cache is
+// borrowed from the key set instead of rebuilt, so a sweep sharing one
+// trace hashes each file-set name exactly once across all its cells.
+func NewANUKeys(family hashx.Family, keys *workload.KeySet, servers []ServerID, cfg anu.ControllerConfig) (*ANU, error) {
+	if keys.Len() == 0 {
 		return nil, fmt.Errorf("policy: NewANU: no file sets")
 	}
 	m, err := anu.New(family, servers)
@@ -41,14 +48,9 @@ func NewANU(family hashx.Family, fileSets []workload.FileSet, servers []ServerID
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("policy: NewANU: %w", err)
 	}
-	names := fileSetNames(fileSets)
-	digests := make([]hashx.Digest, len(names))
-	for i, name := range names {
-		digests[i] = hashx.Prehash(name)
-	}
 	return &ANU{
-		names:   names,
-		digests: digests,
+		names:   keys.Names,
+		digests: keys.Digests,
 		s:       placement.NewANU(m, anu.NewController(cfg)),
 	}, nil
 }

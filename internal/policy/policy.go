@@ -109,15 +109,6 @@ func validateEnv(env *Env, numFileSets int, needLoads bool) error {
 	return nil
 }
 
-// fileSetNames extracts the hashed names from a workload file set list.
-func fileSetNames(fileSets []workload.FileSet) []string {
-	names := make([]string, len(fileSets))
-	for i, fs := range fileSets {
-		names[i] = fs.Name
-	}
-	return names
-}
-
 // Simple is the static simple-randomization baseline: file sets are
 // uniformly hashed over the initial server set once and never moved. It
 // is the "static, offline randomized policy" of the paper's comparison;
@@ -129,18 +120,24 @@ type Simple struct {
 
 // NewSimple hashes each file set onto one of the servers with h_0.
 func NewSimple(family hashx.Family, fileSets []workload.FileSet, servers []ServerID) (*Simple, error) {
+	return NewSimpleKeys(family, workload.NewKeySet(fileSets), servers)
+}
+
+// NewSimpleKeys is NewSimple over a precomputed KeySet, so a parameter
+// sweep sharing one trace pays the per-name hash pass once.
+func NewSimpleKeys(family hashx.Family, keys *workload.KeySet, servers []ServerID) (*Simple, error) {
 	if len(servers) == 0 {
 		return nil, fmt.Errorf("policy: NewSimple: no servers")
 	}
-	if len(fileSets) == 0 {
+	if keys.Len() == 0 {
 		return nil, fmt.Errorf("policy: NewSimple: no file sets")
 	}
 	s := &Simple{
-		table:   make([]ServerID, len(fileSets)),
+		table:   make([]ServerID, keys.Len()),
 		servers: append([]ServerID(nil), servers...),
 	}
-	for i, fs := range fileSets {
-		s.table[i] = servers[family.Hash(fs.Name, 0)%uint64(len(servers))]
+	for i, d := range keys.Digests {
+		s.table[i] = servers[family.HashDigest(d, 0)%uint64(len(servers))]
 	}
 	return s, nil
 }

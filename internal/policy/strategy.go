@@ -14,8 +14,11 @@ import (
 // also measurable under the simulator's closed loop, from one shared
 // implementation per scheme.
 type StrategyPlacer struct {
-	names []string
-	s     placement.Strategy
+	keys *workload.KeySet
+	s    placement.Strategy
+	// dl is non-nil when s supports digest lookups; Place then skips the
+	// per-request name hash and reuses the key set's precomputed digest.
+	dl placement.DigestLookuper
 }
 
 // NewStrategyPlacer builds a Placer for a registered strategy over the
@@ -24,11 +27,21 @@ func NewStrategyPlacer(strategy string, fileSets []workload.FileSet, servers []S
 	if len(fileSets) == 0 {
 		return nil, fmt.Errorf("policy: NewStrategyPlacer: no file sets")
 	}
+	return NewStrategyPlacerKeys(strategy, workload.NewKeySet(fileSets), servers, opts)
+}
+
+// NewStrategyPlacerKeys is NewStrategyPlacer over a precomputed KeySet.
+func NewStrategyPlacerKeys(strategy string, keys *workload.KeySet, servers []ServerID, opts placement.Options) (*StrategyPlacer, error) {
+	if keys.Len() == 0 {
+		return nil, fmt.Errorf("policy: NewStrategyPlacer: no file sets")
+	}
 	s, err := placement.New(strategy, servers, opts)
 	if err != nil {
 		return nil, fmt.Errorf("policy: NewStrategyPlacer: %w", err)
 	}
-	return &StrategyPlacer{names: fileSetNames(fileSets), s: s}, nil
+	p := &StrategyPlacer{keys: keys, s: s}
+	p.dl, _ = s.(placement.DigestLookuper)
+	return p, nil
 }
 
 // Strategy exposes the wrapped strategy for inspection.
@@ -39,10 +52,14 @@ func (p *StrategyPlacer) Name() string { return p.s.Name() }
 
 // Place implements Placer.
 func (p *StrategyPlacer) Place(fs int) ServerID {
-	if fs < 0 || fs >= len(p.names) {
+	if fs < 0 || fs >= p.keys.Len() {
 		return NoServer
 	}
-	id, ok := p.s.Lookup(p.names[fs])
+	if p.dl != nil {
+		id, _ := p.dl.LookupDigest(p.keys.Digests[fs])
+		return id
+	}
+	id, ok := p.s.Lookup(p.keys.Names[fs])
 	if !ok {
 		return NoServer
 	}
@@ -51,7 +68,7 @@ func (p *StrategyPlacer) Place(fs int) ServerID {
 
 // Retune implements Placer: one feedback round against the snapshot.
 func (p *StrategyPlacer) Retune(env *Env) error {
-	if err := validateEnv(env, len(p.names), false); err != nil {
+	if err := validateEnv(env, p.keys.Len(), false); err != nil {
 		return err
 	}
 	return retuneStrategy(p.s, env)

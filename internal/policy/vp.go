@@ -24,19 +24,26 @@ type VirtualProcessor struct {
 // NewVirtualProcessor distributes the file sets over numVP virtual
 // processors by hashing their names.
 func NewVirtualProcessor(family hashx.Family, fileSets []workload.FileSet, numVP int) (*VirtualProcessor, error) {
+	return NewVirtualProcessorKeys(family, workload.NewKeySet(fileSets), numVP)
+}
+
+// NewVirtualProcessorKeys is NewVirtualProcessor over a precomputed
+// KeySet; the Figure 8 VP-count sweep reuses one digest pass for every
+// value of v.
+func NewVirtualProcessorKeys(family hashx.Family, keys *workload.KeySet, numVP int) (*VirtualProcessor, error) {
 	if numVP <= 0 {
 		return nil, fmt.Errorf("policy: NewVirtualProcessor: numVP %d must be positive", numVP)
 	}
-	if len(fileSets) == 0 {
+	if keys.Len() == 0 {
 		return nil, fmt.Errorf("policy: NewVirtualProcessor: no file sets")
 	}
 	v := &VirtualProcessor{
-		fsToVP:  make([]int32, len(fileSets)),
+		fsToVP:  make([]int32, keys.Len()),
 		vpOwner: make([]ServerID, numVP),
 		loads:   make([]float64, numVP),
 	}
-	for i, fs := range fileSets {
-		v.fsToVP[i] = int32(family.Hash(fs.Name, 0) % uint64(numVP))
+	for i, d := range keys.Digests {
+		v.fsToVP[i] = int32(family.HashDigest(d, 0) % uint64(numVP))
 	}
 	for i := range v.vpOwner {
 		v.vpOwner[i] = NoServer

@@ -1,0 +1,44 @@
+package workload
+
+import "anurand/internal/hashx"
+
+// KeySet is the immutable placement-key view of a file set list: every
+// name next to its precomputed hashx.Prehash digest. The digest is the
+// per-key half of every family hash — only the per-round tweak varies
+// along a probe chain — so policies built over the same trace can share
+// one KeySet and skip the per-name FNV pass entirely instead of paying
+// it once per policy × experiment cell.
+//
+// A KeySet is never mutated after construction; it is safe to share
+// across goroutines and across every policy of a parameter sweep.
+type KeySet struct {
+	// Names lists the file set names in trace order.
+	Names []string
+	// Digests holds hashx.Prehash(Names[i]).
+	Digests []hashx.Digest
+}
+
+// NewKeySet hashes a file set list into a fresh KeySet.
+func NewKeySet(fileSets []FileSet) *KeySet {
+	ks := &KeySet{
+		Names:   make([]string, len(fileSets)),
+		Digests: make([]hashx.Digest, len(fileSets)),
+	}
+	for i, fs := range fileSets {
+		ks.Names[i] = fs.Name
+		ks.Digests[i] = hashx.Prehash(fs.Name)
+	}
+	return ks
+}
+
+// Len returns the number of keys.
+func (ks *KeySet) Len() int { return len(ks.Names) }
+
+// Keys returns the trace's memoized KeySet, computing it on first use.
+// The result is shared: callers must treat it as read-only. Concurrent
+// first calls are safe; the trace's file sets must not change afterwards
+// (generators never do — a Trace is immutable once built).
+func (t *Trace) Keys() *KeySet {
+	t.keysOnce.Do(func() { t.keys = NewKeySet(t.FileSets) })
+	return t.keys
+}

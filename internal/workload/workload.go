@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Request is one metadata operation against a file set.
@@ -48,6 +49,10 @@ type Trace struct {
 	FileSets []FileSet
 	// Requests is sorted by ascending Time.
 	Requests []Request
+
+	// keys memoizes the per-file-set placement digests (see Keys).
+	keysOnce sync.Once
+	keys     *KeySet
 }
 
 // Validate checks structural sanity: positive duration, non-empty file
