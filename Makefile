@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all check build test race bench bench-lookup bench-figs bench-smoke bench-gate fuzz-smoke lint vet fmt figures examples clean
+.PHONY: all check build test race bench bench-lookup bench-figs bench-smoke bench-gate bench-gate-allocs bench-diff bench-scaling fuzz-smoke lint vet fmt figures examples clean
 
 all: check
 
@@ -46,13 +46,40 @@ bench-figs:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=10x ./... > /dev/null
 
+# A fresh run of the gated micro-benchmarks, shared by the gate and
+# diff targets below. Real file targets (not .PHONY) so one make
+# invocation — or consecutive CI steps in the same job — runs the
+# benchmarks once and reuses the recording.
+BENCH_current.txt:
+	$(GO) test -run='^$$' -bench='Balancer|Hash|Lookup|SetWeights' -benchmem . ./internal/... > $@
+
+BENCH_current.json: BENCH_current.txt
+	$(GO) run ./cmd/benchjson -o $@ < BENCH_current.txt
+
 # Compare a fresh micro-benchmark run against the committed baseline
 # and fail on >30% ns/op regressions. Meaningful on hardware comparable
 # to the machine that recorded BENCH_lookup.json.
-bench-gate:
-	$(GO) test -run='^$$' -bench='Balancer|Hash|Lookup|SetWeights' -benchmem . ./internal/... > BENCH_gate.txt
-	$(GO) run ./cmd/benchjson -gate BENCH_lookup.json < BENCH_gate.txt > /dev/null
-	rm -f BENCH_gate.txt
+bench-gate: BENCH_current.txt
+	$(GO) run ./cmd/benchjson -gate BENCH_lookup.json < BENCH_current.txt > /dev/null
+
+# Fail on ANY allocs/op increase. Allocation counts are exact and
+# machine-independent — the runtime counts them, the clock does not
+# jitter them — so unlike bench-gate this is a hard guarantee on any
+# hardware, including a regression from a 0-alloc baseline.
+bench-gate-allocs: BENCH_current.txt
+	$(GO) run ./cmd/benchjson -gate BENCH_lookup.json -metric allocs/op -tolerance 0 < BENCH_current.txt > /dev/null
+
+# Full noise-aware diff of the fresh run against the committed
+# baseline: every shared metric, per-metric tolerances and floors,
+# zero-baseline and added/removed handling, rendered as
+# benchdiff-report.md (CI attaches it to the job summary).
+bench-diff: BENCH_current.json
+	$(GO) run ./cmd/benchdiff -o benchdiff-report.md BENCH_lookup.json BENCH_current.json
+
+# Record the parallel figure runner's scaling curve (workers 1,2,4,...
+# up to GOMAXPROCS) into BENCH_scaling.json.
+bench-scaling:
+	$(GO) run ./cmd/paperfigs -scaling -scaling-out BENCH_scaling.json
 
 # Timeboxed coverage-guided fuzzing of every fuzz target (FUZZTIME per
 # target; go only allows one -fuzz pattern per package invocation).
@@ -93,3 +120,4 @@ examples:
 clean:
 	$(GO) clean -testcache
 	rm -f BENCH_lookup.txt BENCH_figs.txt BENCH_gate.txt
+	rm -f BENCH_current.txt BENCH_current.json benchdiff-report.md

@@ -1,0 +1,125 @@
+// Command benchdiff compares two BENCH_*.json files (recorded by
+// cmd/benchjson) across every metric they share and renders a markdown
+// regression report: per-metric noise-aware thresholds, absolute
+// floors for sub-nanosecond jitter, hard zero-baseline protection for
+// count metrics (a 0 allocs/op guarantee cannot silently erode), and
+// explicit listings of added and removed benchmarks.
+//
+// Usage:
+//
+//	benchdiff old.json new.json                    # report to stdout
+//	benchdiff -o report.md old.json new.json       # report to a file
+//	benchdiff -fail old.json new.json              # exit 1 on regression
+//	benchdiff -tolerances 'ns/op=0.1' -floors 'ns/op=1' old.json new.json
+//
+// CI runs it against the committed baselines on every PR and uploads
+// the report as a job summary, so the perf trajectory is reviewable
+// without checking out the branch. Timing metrics move with hardware;
+// the count metrics (allocs/op, B/op) are machine-independent, which
+// is why -fail pairs naturally with count-only gating (see the
+// bench-gate make target for the hard-fail path).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"anurand/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, so tests can drive the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out        = fs.String("o", "", "write the markdown report to this file (default stdout)")
+		failFlag   = fs.Bool("fail", false, "exit non-zero when any metric regresses")
+		tolerances = fs.String("tolerances", "", "per-metric relative tolerances, e.g. 'ns/op=0.30,allocs/op=0'")
+		floors     = fs.String("floors", "", "per-metric absolute noise floors, e.g. 'ns/op=0.5'")
+		defaultTol = fs.Float64("tolerance", 0.30, "relative tolerance for metrics without a -tolerances entry")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [flags] old.json new.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	basePath, curPath := fs.Arg(0), fs.Arg(1)
+
+	th := benchfmt.DefaultThresholds()
+	th.Default = *defaultTol
+	if *tolerances != "" {
+		m, err := benchfmt.ParseThresholdList(*tolerances)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: -tolerances: %v\n", err)
+			return 2
+		}
+		for k, v := range m {
+			th.PerMetric[k] = v
+		}
+	}
+	if *floors != "" {
+		m, err := benchfmt.ParseThresholdList(*floors)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: -floors: %v\n", err)
+			return 2
+		}
+		for k, v := range m {
+			th.Floors[k] = v
+		}
+	}
+
+	base, err := benchfmt.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := benchfmt.ReadFile(curPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	report := benchfmt.Diff(base, cur, th)
+	report.BaseLabel = basePath
+	report.CurLabel = curPath
+
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := report.Markdown(dst); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: writing report: %v\n", err)
+		return 2
+	}
+
+	regs := report.Regressions()
+	if len(regs) > 0 {
+		for _, d := range regs {
+			fmt.Fprintf(stderr, "benchdiff: REGRESSION %s %s %.4g -> %.4g\n", d.Key, d.Metric, d.Old, d.New)
+		}
+		if *failFlag {
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "benchdiff: %d pairs compared, %d regressions, %d improvements\n",
+		len(report.Deltas), len(regs), len(report.Improvements()))
+	return 0
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anurand/internal/benchfmt"
+)
+
+func writeBench(t *testing.T, dir, name string, benchmarks []benchfmt.Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f := &benchfmt.File{Goos: "linux", Goarch: "amd64", Benchmarks: benchmarks}
+	if err := benchfmt.WriteFile(f, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixturePaths(t *testing.T) (base, cur string) {
+	dir := t.TempDir()
+	base = writeBench(t, dir, "base.json", []benchfmt.Benchmark{
+		{Pkg: "p", Name: "BenchmarkA", N: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}},
+		{Pkg: "p", Name: "BenchmarkB", N: 1, Metrics: map[string]float64{"ns/op": 50}},
+	})
+	cur = writeBench(t, dir, "cur.json", []benchfmt.Benchmark{
+		{Pkg: "p", Name: "BenchmarkA", N: 1, Metrics: map[string]float64{"ns/op": 105, "allocs/op": 4}},
+		{Pkg: "p", Name: "BenchmarkB", N: 1, Metrics: map[string]float64{"ns/op": 49}},
+	})
+	return base, cur
+}
+
+func TestReportRendersAndFlagsZeroBaseline(t *testing.T) {
+	base, cur := fixturePaths(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{base, cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d (no -fail): %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"## Benchmark diff", "REGRESSION (zero baseline)", "p.BenchmarkA", "allocs/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFailFlagGatesRegressions(t *testing.T) {
+	base, cur := fixturePaths(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fail", base, cur}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	// Clean comparison passes even with -fail.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-fail", base, base}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-diff exit = %d: %s", code, stderr.String())
+	}
+}
+
+func TestReportFileOutput(t *testing.T) {
+	base, cur := fixturePaths(t)
+	out := filepath.Join(t.TempDir(), "report.md")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", out, base, cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "## Benchmark diff") {
+		t.Fatalf("report file content:\n%s", data)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty with -o: %s", stdout.String())
+	}
+}
+
+func TestThresholdFlagOverrides(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "b.json", []benchfmt.Benchmark{
+		{Pkg: "p", Name: "BenchmarkA", N: 1, Metrics: map[string]float64{"ns/op": 100}},
+	})
+	cur := writeBench(t, dir, "c.json", []benchfmt.Benchmark{
+		{Pkg: "p", Name: "BenchmarkA", N: 1, Metrics: map[string]float64{"ns/op": 112}},
+	})
+	// +12% passes the 30% default but fails a 5% per-metric override.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fail", base, cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("default tolerance flagged +12%%: %s", stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-fail", "-tolerances", "ns/op=0.05", base, cur}, &stdout, &stderr); code != 1 {
+		t.Fatalf("tight tolerance did not flag +12%%: %s", stderr.String())
+	}
+	// A floor above the delta suppresses it again.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-fail", "-tolerances", "ns/op=0.05", "-floors", "ns/op=20", base, cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("floor did not suppress sub-floor delta: %s", stderr.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"only-one.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if code := run([]string{"-tolerances", "garbage", "a.json", "b.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -tolerances exit = %d, want 2", code)
+	}
+}

@@ -5,7 +5,9 @@
 // committed at the repo root (see `make bench`): each file is the
 // parsed output of one benchmark suite, so any later change can be
 // diffed (or benchstat'ed — the `raw` field preserves the original
-// benchmark lines) against the configuration that produced it.
+// benchmark lines) against the configuration that produced it. The
+// parsing and gating logic lives in internal/benchfmt, shared with
+// cmd/benchdiff (the all-metric regression report).
 //
 // Usage:
 //
@@ -15,198 +17,71 @@
 //
 // Gating compares a metric (default ns/op) for benchmarks present in
 // both runs and exits non-zero when any regresses beyond -tolerance
-// (default 0.30, i.e. 30% slower). Numbers move with hardware, so the
-// gate is meant for same-machine comparisons (CI runners, a developer
-// checking a refactor), not cross-machine ones.
+// (default 0.30, i.e. 30% slower). For count metrics (allocs/op, B/op)
+// a zero baseline is an absolute guarantee: any increase from 0 fails
+// regardless of tolerance. Timing numbers move with hardware, so the
+// ns/op gate is meant for same-machine comparisons (CI runners, a
+// developer checking a refactor), not cross-machine ones; the count
+// gates are machine-independent.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"anurand/internal/benchfmt"
 )
 
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	// Pkg is the Go package the benchmark ran in.
-	Pkg string `json:"pkg"`
-	// Name is the full benchmark name including the -GOMAXPROCS
-	// suffix, e.g. "BenchmarkBalancerLookupParallel-16".
-	Name string `json:"name"`
-	// N is the iteration count the reported means were measured over.
-	N int64 `json:"n"`
-	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op", plus
-	// any custom b.ReportMetric units.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// File is the JSON document benchjson reads and writes.
-type File struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	// Raw preserves the original benchmark result lines, so benchstat
-	// can consume a recorded file via `jq -r '.raw[]'`.
-	Raw []string `json:"raw"`
-}
-
 func main() {
-	var (
-		out       = flag.String("o", "", "write parsed JSON to this file (default stdout)")
-		gate      = flag.String("gate", "", "baseline JSON file to gate against")
-		metric    = flag.String("metric", "ns/op", "metric to gate on")
-		tolerance = flag.Float64("tolerance", 0.30, "allowed relative regression before failing the gate")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
 
-	cur, err := Parse(os.Stdin)
+// run is main without the process exit, so tests can drive the CLI.
+func run(args []string, stdin io.Reader, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("o", "", "write parsed JSON to this file (default stdout)")
+		gate      = fs.String("gate", "", "baseline JSON file to gate against")
+		metric    = fs.String("metric", "ns/op", "metric to gate on")
+		tolerance = fs.Float64("tolerance", 0.30, "allowed relative regression before failing the gate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cur, err := benchfmt.Parse(stdin)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
 	}
 	if len(cur.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found on stdin")
+		return 2
 	}
 
 	if *gate != "" {
-		data, err := os.ReadFile(*gate)
+		base, err := benchfmt.ReadFile(*gate)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 2
 		}
-		var base File
-		if err := json.Unmarshal(data, &base); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *gate, err)
-			os.Exit(2)
-		}
-		regressions, compared := Gate(&base, cur, *metric, *tolerance)
-		fmt.Fprintf(os.Stderr, "benchjson: compared %d benchmarks against %s (%s, tolerance %.0f%%)\n",
+		regressions, compared := benchfmt.Gate(base, cur, *metric, *tolerance)
+		fmt.Fprintf(stderr, "benchjson: compared %d benchmarks against %s (%s, tolerance %.0f%%)\n",
 			compared, *gate, *metric, *tolerance*100)
 		if len(regressions) > 0 {
 			for _, r := range regressions {
-				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", r)
+				fmt.Fprintf(stderr, "benchjson: REGRESSION %s\n", r)
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
 
-	if err := write(cur, *out); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(2)
+	if err := benchfmt.WriteFile(cur, *out); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
 	}
-}
-
-func write(f *File, path string) error {
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if path == "" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	return os.WriteFile(path, data, 0o644)
-}
-
-// Parse reads `go test -bench` output. Context lines (goos, goarch,
-// cpu, pkg) annotate the benchmarks that follow them; multiple
-// packages in one stream are handled.
-func Parse(r io.Reader) (*File, error) {
-	f := &File{}
-	pkg := ""
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			f.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			f.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			f.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			b, ok := parseLine(line)
-			if !ok {
-				continue
-			}
-			b.Pkg = pkg
-			f.Benchmarks = append(f.Benchmarks, b)
-			f.Raw = append(f.Raw, line)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	sort.Slice(f.Benchmarks, func(i, j int) bool {
-		a, b := f.Benchmarks[i], f.Benchmarks[j]
-		if a.Pkg != b.Pkg {
-			return a.Pkg < b.Pkg
-		}
-		return a.Name < b.Name
-	})
-	return f, nil
-}
-
-// parseLine parses one benchmark result line: a name, an iteration
-// count, then (value, unit) pairs.
-func parseLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Benchmark{}, false
-	}
-	n, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: fields[0], N: n, Metrics: make(map[string]float64)}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		b.Metrics[fields[i+1]] = v
-	}
-	return b, true
-}
-
-// Gate compares cur against base on one metric. It returns a
-// description of every benchmark whose metric regressed beyond tol,
-// and the number of benchmarks compared. Benchmarks present in only
-// one file are skipped: suites evolve, and gating is about the shared
-// surface.
-func Gate(base, cur *File, metric string, tol float64) (regressions []string, compared int) {
-	baseline := make(map[string]float64, len(base.Benchmarks))
-	for _, b := range base.Benchmarks {
-		if v, ok := b.Metrics[metric]; ok {
-			baseline[b.Pkg+"."+b.Name] = v
-		}
-	}
-	for _, b := range cur.Benchmarks {
-		v, ok := b.Metrics[metric]
-		if !ok {
-			continue
-		}
-		old, ok := baseline[b.Pkg+"."+b.Name]
-		if !ok {
-			continue
-		}
-		compared++
-		if old > 0 && v > old*(1+tol) {
-			regressions = append(regressions, fmt.Sprintf("%s.%s: %s %.4g -> %.4g (+%.1f%%, tolerance %.0f%%)",
-				b.Pkg, b.Name, metric, old, v, (v/old-1)*100, tol*100))
-		}
-	}
-	return regressions, compared
+	return 0
 }

@@ -1,110 +1,74 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"anurand/internal/benchfmt"
 )
 
-const sampleOutput = `goos: linux
-goarch: amd64
-pkg: anurand
-cpu: AMD EPYC 7B13
-BenchmarkBalancerLookup              	31680140	        36.00 ns/op	       0 B/op	       0 allocs/op
-BenchmarkBalancerLookupParallel      	32079256	        37.98 ns/op	       0 B/op	       0 allocs/op
-BenchmarkBalancerLookupBatch         	   35564	     32190 ns/op	        31.44 ns/key	       0 B/op	       0 allocs/op
-PASS
-ok  	anurand	5.2s
-pkg: anurand/internal/hashx
-BenchmarkHash-2   	50000000	        21.50 ns/op
-PASS
-`
+// record runs the CLI once in record mode and returns the output path.
+func record(t *testing.T, benchOutput string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	var stderr bytes.Buffer
+	if code := run([]string{"-o", path}, strings.NewReader(benchOutput), &stderr); code != 0 {
+		t.Fatalf("record exited %d: %s", code, stderr.String())
+	}
+	return path
+}
 
-func TestParse(t *testing.T) {
-	f, err := Parse(strings.NewReader(sampleOutput))
+func TestRecordWritesParseableJSON(t *testing.T) {
+	path := record(t, "pkg: p\nBenchmarkX 100 42 ns/op 0 allocs/op\n")
+	f, err := benchfmt.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Goos != "linux" || f.Goarch != "amd64" || f.CPU != "AMD EPYC 7B13" {
-		t.Errorf("context = %q/%q/%q", f.Goos, f.Goarch, f.CPU)
-	}
-	if len(f.Benchmarks) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
-	}
-	// Sorted by (pkg, name): the three anurand benchmarks first.
-	b := f.Benchmarks[0]
-	if b.Pkg != "anurand" || b.Name != "BenchmarkBalancerLookup" {
-		t.Errorf("first benchmark = %s.%s", b.Pkg, b.Name)
-	}
-	if b.N != 31680140 {
-		t.Errorf("N = %d", b.N)
-	}
-	if got := b.Metrics["ns/op"]; got != 36.00 {
-		t.Errorf("ns/op = %v", got)
-	}
-	if got := b.Metrics["allocs/op"]; got != 0 {
-		t.Errorf("allocs/op = %v", got)
-	}
-	batch := f.Benchmarks[1]
-	if batch.Name != "BenchmarkBalancerLookupBatch" {
-		t.Fatalf("second benchmark = %s", batch.Name)
-	}
-	if got := batch.Metrics["ns/key"]; got != 31.44 {
-		t.Errorf("custom metric ns/key = %v", got)
-	}
-	last := f.Benchmarks[3]
-	if last.Pkg != "anurand/internal/hashx" || last.Name != "BenchmarkHash-2" {
-		t.Errorf("last benchmark = %s.%s", last.Pkg, last.Name)
-	}
-	if len(f.Raw) != 4 {
-		t.Errorf("raw lines = %d, want 4", len(f.Raw))
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Metrics["ns/op"] != 42 {
+		t.Fatalf("recorded file = %+v", f)
 	}
 }
 
-func TestParseSkipsMalformedLines(t *testing.T) {
-	in := "BenchmarkBroken notanumber 12 ns/op\nBenchmarkOK 100 12 ns/op\nBenchmarkShort 5\n"
-	f, err := Parse(strings.NewReader(in))
-	if err != nil {
-		t.Fatal(err)
+func TestGateFailsOnRegression(t *testing.T) {
+	base := record(t, "pkg: p\nBenchmarkX 100 42 ns/op\n")
+	var stderr bytes.Buffer
+	code := run([]string{"-gate", base, "-o", os.DevNull},
+		strings.NewReader("pkg: p\nBenchmarkX 100 99 ns/op\n"), &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
 	}
-	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "BenchmarkOK" {
-		t.Fatalf("benchmarks = %+v", f.Benchmarks)
+	if !strings.Contains(stderr.String(), "REGRESSION") {
+		t.Errorf("stderr missing REGRESSION: %s", stderr.String())
 	}
 }
 
-func mkFile(vals map[string]float64) *File {
-	f := &File{}
-	for name, v := range vals {
-		f.Benchmarks = append(f.Benchmarks, Benchmark{
-			Pkg: "p", Name: name, N: 1,
-			Metrics: map[string]float64{"ns/op": v},
-		})
+// TestGateFailsOnZeroAllocBaselineRegression is the CLI-level proof of
+// the acceptance criterion: a benchmark recorded at 0 allocs/op that
+// now allocates fails the gate.
+func TestGateFailsOnZeroAllocBaselineRegression(t *testing.T) {
+	base := record(t, "pkg: p\nBenchmarkLookup 100 42 ns/op 0 B/op 0 allocs/op\n")
+	var stderr bytes.Buffer
+	code := run([]string{"-gate", base, "-metric", "allocs/op", "-tolerance", "0", "-o", os.DevNull},
+		strings.NewReader("pkg: p\nBenchmarkLookup 100 42 ns/op 16 B/op 2 allocs/op\n"), &stderr)
+	if code != 1 {
+		t.Fatalf("0 -> 2 allocs/op exited %d, want 1; stderr: %s", code, stderr.String())
 	}
-	return f
+
+	// The same run at 0 allocs still passes.
+	stderr.Reset()
+	code = run([]string{"-gate", base, "-metric", "allocs/op", "-tolerance", "0", "-o", os.DevNull},
+		strings.NewReader("pkg: p\nBenchmarkLookup 100 45 ns/op 0 B/op 0 allocs/op\n"), &stderr)
+	if code != 0 {
+		t.Fatalf("clean alloc gate exited %d: %s", code, stderr.String())
+	}
 }
 
-func TestGate(t *testing.T) {
-	base := mkFile(map[string]float64{"A": 100, "B": 50, "OnlyBase": 10})
-	cur := mkFile(map[string]float64{"A": 120, "B": 80, "OnlyCur": 5})
-
-	// A is +20% (within 30%), B is +60% (regression). OnlyBase/OnlyCur
-	// appear in one file each and are skipped.
-	regs, compared := Gate(base, cur, "ns/op", 0.30)
-	if compared != 2 {
-		t.Errorf("compared = %d, want 2", compared)
-	}
-	if len(regs) != 1 || !strings.Contains(regs[0], "p.B") {
-		t.Errorf("regressions = %v, want one for p.B", regs)
-	}
-
-	// With a tight tolerance both regress.
-	regs, _ = Gate(base, cur, "ns/op", 0.10)
-	if len(regs) != 2 {
-		t.Errorf("regressions at 10%% tolerance = %v, want 2", regs)
-	}
-
-	// Improvements never fail the gate.
-	regs, _ = Gate(cur, base, "ns/op", 0.0)
-	if len(regs) != 0 {
-		t.Errorf("improvements flagged as regressions: %v", regs)
+func TestEmptyInputFails(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(nil, strings.NewReader("no benchmarks here\n"), &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
 	}
 }

@@ -7,6 +7,7 @@
 //	paperfigs -fig 5       # one figure
 //	paperfigs -fig 8 -csv  # machine-readable output
 //	paperfigs -quick       # scaled-down workloads (~seconds)
+//	paperfigs -scaling     # parallel-runner speedup curve -> BENCH_scaling.json
 package main
 
 import (
@@ -15,8 +16,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
+	"anurand/internal/benchfmt"
 	"anurand/internal/clustersim"
 	"anurand/internal/experiment"
 	"anurand/internal/policy"
@@ -33,6 +37,10 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables and charts")
 		rep     = flag.Int("replicate", 0, "run the Figure 5 comparison across this many seeds and print across-seed aggregates")
 		workers = flag.Int("workers", 0, "simulation cells run concurrently (0 = one per CPU, 1 = sequential; results are identical)")
+
+		scaling    = flag.Bool("scaling", false, "measure the parallel runner's scaling curve: time the Figure 5 suite at workers=1,2,4,... and record a speedup benchmark")
+		scalingMax = flag.Int("scaling-max", 0, "highest worker count for -scaling (0 = GOMAXPROCS)")
+		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", `path for the -scaling benchmark record ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -42,6 +50,13 @@ func main() {
 	cfg.Workers = *workers
 	suite := experiment.NewSuite(cfg)
 
+	if *scaling {
+		if err := runScaling(os.Stdout, cfg, *scalingMax, *scalingOut, *csv); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *rep > 0 {
 		if err := replicate(os.Stdout, cfg, *rep, *csv); err != nil {
 			log.Fatal(err)
@@ -50,12 +65,12 @@ func main() {
 	}
 
 	figs := map[string]func(io.Writer, *experiment.Suite, bool) error{
-		"4":       fig4,
-		"5":       fig5,
-		"6a":      fig6a,
-		"6b":      fig6b,
-		"7":       fig7,
-		"8":       fig8,
+		"4":          fig4,
+		"5":          fig5,
+		"6a":         fig6a,
+		"6b":         fig6b,
+		"7":          fig7,
+		"8":          fig8,
 		"hotspot":    extHotspot,
 		"san":        extSAN,
 		"strategies": strategiesFig,
@@ -156,10 +171,10 @@ func fig6a(w io.Writer, s *experiment.Suite, csv bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "== Figure 6(a): aggregate mean latency and standard deviation ==")
-	tb := report.NewTable("policy", "mean latency (s)", "stddev (s)")
+	fmt.Fprintln(w, "== Figure 6(a): aggregate latency — mean, deviation, and tails ==")
+	tb := report.NewTable("policy", "mean latency (s)", "stddev (s)", "p50 (s)", "p95 (s)", "p99 (s)", "p999 (s)")
 	for _, row := range rows {
-		tb.AddRowf(string(row.Policy), row.MeanLatency, row.StdDev)
+		tb.AddRowf(string(row.Policy), row.MeanLatency, row.StdDev, row.P50, row.P95, row.P99, row.P999)
 	}
 	if csv {
 		return tb.WriteCSV(w)
@@ -293,10 +308,10 @@ func extHotspot(w io.Writer, s *experiment.Suite, csv bool) error {
 		return err
 	}
 	fmt.Fprintln(w, "== Extension: rotating hotspot workload (hot file sets shift every 25 min) ==")
-	tb := report.NewTable("policy", "mean latency (s)", "steady (s)", "stddev (s)", "moved")
+	tb := report.NewTable("policy", "mean latency (s)", "steady (s)", "stddev (s)", "p99 (s)", "moved")
 	for _, name := range experiment.AllPolicies {
 		res := results[name]
-		tb.AddRowf(string(name), res.MeanLatency(), res.SteadyMeanLatency(), res.LatencyStdDev(), res.TotalMoved)
+		tb.AddRowf(string(name), res.MeanLatency(), res.SteadyMeanLatency(), res.LatencyStdDev(), res.LatencyP99(), res.TotalMoved)
 	}
 	if csv {
 		return tb.WriteCSV(w)
@@ -343,14 +358,14 @@ func strategiesFig(w io.Writer, s *experiment.Suite, csv bool) error {
 		return err
 	}
 	fmt.Fprintln(w, "== Strategy comparison: all registered schemes, synthetic workload ==")
-	tb := report.NewTable("policy", "mean latency (s)", "steady (s)", "stddev (s)", "moved", "state (B)")
+	tb := report.NewTable("policy", "mean latency (s)", "steady (s)", "p50 (s)", "p99 (s)", "p999 (s)", "moved", "state (B)")
 	for _, name := range experiment.Policies() {
 		res, ok := results[name]
 		if !ok {
 			continue
 		}
 		tb.AddRowf(string(name), res.MeanLatency(), res.SteadyMeanLatency(),
-			res.LatencyStdDev(), res.TotalMoved, res.SharedStateBytes)
+			res.LatencyP50(), res.LatencyP99(), res.LatencyP999(), res.TotalMoved, res.SharedStateBytes)
 	}
 	if csv {
 		return tb.WriteCSV(w)
@@ -369,6 +384,75 @@ func constSeries(v float64, n int) []float64 {
 		out[i] = v
 	}
 	return out
+}
+
+// scalingCounts returns the worker counts for the scaling sweep:
+// 1, 2, 4, ... doubling up to max, always ending at max itself.
+func scalingCounts(max int) []int {
+	counts := []int{}
+	for n := 1; n < max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return append(counts, max)
+}
+
+// runScaling times the Figure 5 suite (the canonical four-policy
+// synthetic comparison) at increasing worker counts and records the
+// speedup curve as a benchfmt file, so the parallel runner's scaling
+// is tracked by the same gate/diff machinery as the microbenchmarks.
+// Each worker count gets a fresh Suite: the figure cache must not let
+// run 1 pay for the cells and run N reuse them.
+func runScaling(w io.Writer, cfg experiment.Config, max int, outPath string, csv bool) error {
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	counts := scalingCounts(max)
+
+	fmt.Fprintf(w, "== Parallel-runner scaling: Figure 5 suite, workers 1..%d ==\n", max)
+	file := &benchfmt.File{Goos: runtime.GOOS, Goarch: runtime.GOARCH}
+	tb := report.NewTable("workers", "time (s)", "speedup", "efficiency")
+	var base float64
+	for _, n := range counts {
+		c := cfg
+		c.Workers = n
+		s := experiment.NewSuite(c)
+		start := time.Now()
+		if _, err := s.Fig5(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start).Seconds()
+		if base == 0 {
+			base = elapsed
+		}
+		speedup := base / elapsed
+		name := fmt.Sprintf("BenchmarkPaperfigsFig5/workers=%d", n)
+		file.Benchmarks = append(file.Benchmarks, benchfmt.Benchmark{
+			Pkg:  "anurand/cmd/paperfigs",
+			Name: name,
+			N:    1,
+			Metrics: map[string]float64{
+				"ns/op":   elapsed * 1e9,
+				"speedup": speedup,
+			},
+		})
+		file.Raw = append(file.Raw, fmt.Sprintf("%s 1 %d ns/op %.4f speedup",
+			name, int64(elapsed*1e9), speedup))
+		tb.AddRowf(n, elapsed, speedup, speedup/float64(n))
+	}
+	if err := benchfmt.WriteFile(file, outPath); err != nil {
+		return err
+	}
+	if csv {
+		if err := tb.WriteCSV(w); err != nil {
+			return err
+		}
+	} else if err := tb.Render(w); err != nil {
+		return err
+	}
+	if outPath != "" && outPath != "-" {
+		fmt.Fprintf(w, "recorded %s\n", outPath)
+	}
+	return nil
 }
 
 // replicate renders the across-seed Figure 5 aggregates.

@@ -1,0 +1,151 @@
+package benchfmt
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func bench(pkg, name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, N: 100, Metrics: metrics}
+}
+
+// diffFixture builds a deterministic baseline/current pair covering
+// every verdict class plus added/removed benchmarks.
+func diffFixture() (*File, *File) {
+	base := &File{
+		Goos: "linux", Goarch: "amd64", CPU: "AMD EPYC 7B13",
+		Benchmarks: []Benchmark{
+			bench("anurand", "BenchmarkLookup", map[string]float64{"ns/op": 36.0, "B/op": 0, "allocs/op": 0}),
+			bench("anurand", "BenchmarkBatch", map[string]float64{"ns/op": 32000, "ns/key": 31.4, "allocs/op": 0}),
+			bench("anurand", "BenchmarkTune", map[string]float64{"ns/op": 1500, "allocs/op": 12}),
+			bench("anurand", "BenchmarkJitter", map[string]float64{"ns/op": 1.0}),
+			bench("anurand", "BenchmarkRemoved", map[string]float64{"ns/op": 10}),
+		},
+	}
+	cur := &File{
+		Goos: "linux", Goarch: "amd64", CPU: "AMD EPYC 7B13",
+		Benchmarks: []Benchmark{
+			// allocs/op regresses from a zero baseline; ns/op within noise.
+			bench("anurand", "BenchmarkLookup", map[string]float64{"ns/op": 38.0, "B/op": 0, "allocs/op": 2}),
+			// Big ns/op improvement, custom metric regression.
+			bench("anurand", "BenchmarkBatch", map[string]float64{"ns/op": 20000, "ns/key": 45.0, "allocs/op": 0}),
+			// Plain ns/op regression beyond 30%.
+			bench("anurand", "BenchmarkTune", map[string]float64{"ns/op": 2200, "allocs/op": 12}),
+			// +40% but 0.4 ns absolute: under the sub-ns floor, stays ok.
+			bench("anurand", "BenchmarkJitter", map[string]float64{"ns/op": 1.4}),
+			bench("anurand", "BenchmarkAdded", map[string]float64{"ns/op": 5}),
+		},
+	}
+	return base, cur
+}
+
+func classOf(t *testing.T, r *Report, key, metric string) Class {
+	t.Helper()
+	for _, d := range r.Deltas {
+		if d.Key == key && d.Metric == metric {
+			return d.Class
+		}
+	}
+	t.Fatalf("no delta for %s %s", key, metric)
+	return Unchanged
+}
+
+func TestDiffClassification(t *testing.T) {
+	base, cur := diffFixture()
+	r := Diff(base, cur, DefaultThresholds())
+
+	for _, tc := range []struct {
+		key, metric string
+		want        Class
+	}{
+		{"anurand.BenchmarkLookup", "allocs/op", ZeroRegression},
+		{"anurand.BenchmarkLookup", "ns/op", Unchanged}, // +5.6%, inside 30%
+		{"anurand.BenchmarkLookup", "B/op", Unchanged},  // 0 -> 0
+		{"anurand.BenchmarkBatch", "ns/op", Improvement},
+		{"anurand.BenchmarkBatch", "ns/key", Regression},
+		{"anurand.BenchmarkTune", "ns/op", Regression},
+		{"anurand.BenchmarkTune", "allocs/op", Unchanged},
+		{"anurand.BenchmarkJitter", "ns/op", Unchanged}, // +40% but sub-ns
+	} {
+		if got := classOf(t, r, tc.key, tc.metric); got != tc.want {
+			t.Errorf("%s %s = %v, want %v", tc.key, tc.metric, got, tc.want)
+		}
+	}
+
+	if len(r.Added) != 1 || r.Added[0] != "anurand.BenchmarkAdded" {
+		t.Errorf("Added = %v", r.Added)
+	}
+	if len(r.Removed) != 1 || r.Removed[0] != "anurand.BenchmarkRemoved" {
+		t.Errorf("Removed = %v", r.Removed)
+	}
+	if !r.HasRegressions() {
+		t.Error("HasRegressions = false with three regressions present")
+	}
+	if got := len(r.Regressions()); got != 3 {
+		t.Errorf("Regressions = %d, want 3", got)
+	}
+	if got := len(r.Improvements()); got != 1 {
+		t.Errorf("Improvements = %d, want 1", got)
+	}
+}
+
+func TestDiffZeroTimingBaselineIsNotRegression(t *testing.T) {
+	base := mkFile("ns/op", map[string]float64{"X": 0})
+	cur := mkFile("ns/op", map[string]float64{"X": 80})
+	r := Diff(base, cur, DefaultThresholds())
+	if r.HasRegressions() {
+		t.Fatalf("zero ns/op baseline produced a regression: %+v", r.Regressions())
+	}
+	if c := r.Deltas[0].Change(); !math.IsNaN(c) {
+		t.Errorf("Change() on zero baseline = %v, want NaN", c)
+	}
+}
+
+func TestDiffIdenticalFilesClean(t *testing.T) {
+	base, _ := diffFixture()
+	r := Diff(base, base, DefaultThresholds())
+	if r.HasRegressions() || len(r.Improvements()) != 0 || len(r.Added)+len(r.Removed) != 0 {
+		t.Fatalf("self-diff not clean: %+v", r)
+	}
+}
+
+// TestMarkdownGolden pins the rendered report byte-for-byte; regenerate
+// with `go test ./internal/benchfmt -run Golden -update-golden`.
+func TestMarkdownGolden(t *testing.T) {
+	base, cur := diffFixture()
+	r := Diff(base, cur, DefaultThresholds())
+	r.BaseLabel = "BENCH_lookup.json"
+	r.CurLabel = "fresh run"
+
+	var buf bytes.Buffer
+	if err := r.Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "diff_report.golden.md")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("markdown report drifted from golden fixture.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Sanity beyond byte equality: the verdict line counts regressions.
+	if !strings.Contains(buf.String(), "**3 regressions**") {
+		t.Errorf("report missing regression count:\n%s", buf.String())
+	}
+}

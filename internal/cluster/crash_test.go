@@ -314,6 +314,12 @@ func runCrashRestartSoak(t *testing.T, strategy string) {
 	for i := range ids {
 		journals[i].Close()
 	}
+
+	// Surface each node's latency tails so soak logs show distributions,
+	// not just counters.
+	for i := range ids {
+		t.Logf("soak summary: %s", rts[i].Stats())
+	}
 }
 
 // TestJournalRestartResumesFromRecoveredPlacement is the focused

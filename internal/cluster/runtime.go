@@ -104,6 +104,8 @@ func Start(cfg Config, tr Transport) (*Runtime, error) {
 		suspectUntil: make(map[delegate.NodeID]time.Time),
 		curDelegate:  -1,
 	}
+	r.counters.InstallLatencyHist = latencyHistogram()
+	r.counters.SampleLatencyHist = latencyHistogram()
 	snapshot := cfg.Snapshot
 	if tag, terr := placement.Tag(snapshot); terr != nil {
 		return nil, fmt.Errorf("cluster: node %d: bootstrap snapshot: %w", cfg.ID, terr)
@@ -210,7 +212,9 @@ func (r *Runtime) handle(msg delegate.Message) {
 		if applied {
 			r.counters.MapsInstalled++
 			r.lastMapTime = now
-			r.counters.InstallLatency.Add(now.Sub(r.roundStart).Seconds())
+			install := now.Sub(r.roundStart).Seconds()
+			r.counters.InstallLatency.Add(install)
+			r.counters.InstallLatencyHist.Add(install)
 			r.publishPlacementLocked()
 		}
 	default:
@@ -252,6 +256,7 @@ func (r *Runtime) observeAndReport(to delegate.NodeID, epoch, round uint64) {
 		return
 	}
 	r.node.Observe(requests, latency)
+	r.counters.SampleLatencyHist.Add(latency)
 	r.node.SendReport(to, epoch, round)
 	r.counters.ReportsSent++
 	out := r.takeOutboxLocked()
@@ -385,6 +390,7 @@ func (r *Runtime) tick() {
 		return // superseded while sampling
 	}
 	r.node.Observe(requests, latency)
+	r.counters.SampleLatencyHist.Add(latency)
 	// tick runs on the wg-counted roundLoop goroutine, so the counter
 	// cannot reach zero before this Add.
 	r.wg.Add(1)

@@ -310,6 +310,12 @@ func TestChaosSoakConvergence(t *testing.T) {
 	if fp := cn.Stats(); fp.Dropped == 0 || fp.Duplicated == 0 {
 		t.Errorf("chaos implausible: %+v", fp)
 	}
+
+	// Surface each node's latency tails so soak logs show distributions,
+	// not just counters.
+	for _, rt := range rts {
+		t.Logf("soak summary: %s", rt.Stats())
+	}
 }
 
 // filterTransport drops outbound messages matching a predicate —

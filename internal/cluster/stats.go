@@ -9,6 +9,14 @@ import (
 	"anurand/internal/metrics"
 )
 
+// latencyHistogram builds the runtime's standard latency histogram:
+// 1 µs to 1000 s in seconds, ten geometric buckets per decade — wide
+// enough that install latencies (milliseconds) and observer-reported
+// request latencies (anything) land in real buckets, not overflow.
+func latencyHistogram() *metrics.Histogram {
+	return metrics.NewHistogram(1e-6, 1e3, 90)
+}
+
 // counters is the runtime's internal instrumentation, guarded by
 // Runtime.mu.
 type counters struct {
@@ -23,6 +31,12 @@ type counters struct {
 	JournalAppendErrors uint64
 	ReportsPerTune      metrics.Summary
 	InstallLatency      metrics.Summary
+	// InstallLatencyHist and SampleLatencyHist carry the distributions
+	// behind the two Summary means above: the paper's claim is
+	// performance *consistency*, and a mean cannot show the tail where
+	// inconsistency lives.
+	InstallLatencyHist *metrics.Histogram
+	SampleLatencyHist  *metrics.Histogram
 }
 
 // Stats is an operator snapshot of one runtime: where the node thinks
@@ -85,6 +99,13 @@ type Stats struct {
 	// InstallLatency summarizes seconds from learning a round to
 	// installing its map.
 	InstallLatency metrics.Summary
+	// InstallLatencyHist is the distribution behind InstallLatency:
+	// per-node install latency with p50/p95/p99 tails. The snapshot is
+	// an independent clone.
+	InstallLatencyHist *metrics.Histogram
+	// SampleLatencyHist is the distribution of latencies this node's
+	// observer reported into the protocol (seconds, observer-defined).
+	SampleLatencyHist *metrics.Histogram
 }
 
 // Stats returns the runtime's operator snapshot.
@@ -114,6 +135,8 @@ func (r *Runtime) Stats() Stats {
 		JournalAppendErrors:   r.counters.JournalAppendErrors,
 		ReportsPerTune:        r.counters.ReportsPerTune,
 		InstallLatency:        r.counters.InstallLatency,
+		InstallLatencyHist:    r.counters.InstallLatencyHist.Clone(),
+		SampleLatencyHist:     r.counters.SampleLatencyHist.Clone(),
 	}
 	if r.recovered != nil {
 		s.Recovered = true
@@ -136,6 +159,12 @@ func (s Stats) String() string {
 		s.StaleMapsRejected, s.StaleEpochsRejected, s.TagMismatchesRejected, s.Reelections, s.WatchdogTrips,
 		s.ReportsSent, s.ReportsReceived, s.ReportsPerTune.String(), s.InstallLatency.String(),
 	)
+	if s.InstallLatencyHist != nil && s.InstallLatencyHist.Total() > 0 {
+		out += fmt.Sprintf(" install-hist(%s)", s.InstallLatencyHist)
+	}
+	if s.SampleLatencyHist != nil && s.SampleLatencyHist.Total() > 0 {
+		out += fmt.Sprintf(" sample-hist(%s)", s.SampleLatencyHist)
+	}
 	if s.Recovered {
 		out += fmt.Sprintf(" recovered=(%d,%d)", s.RecoveredEpoch, s.RecoveredRound)
 	}

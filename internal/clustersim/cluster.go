@@ -91,9 +91,13 @@ func newRunner(cfg *Config) *runner {
 		window:     window,
 		trace:      traceView{duration: cfg.Trace.Duration, requests: len(cfg.Trace.Requests)},
 		result: &Result{
-			Policy:   cfg.Policy.Name(),
-			Servers:  make(map[ServerID]*ServerStats),
-			Duration: cfg.Trace.Duration,
+			Policy:  cfg.Policy.Name(),
+			Servers: make(map[ServerID]*ServerStats),
+			// 1 ms to 1e6 s: wide enough that the simple policy's
+			// unbounded weakest-server queue still lands in buckets and
+			// the tail clamps to the max observed beyond that.
+			LatencyHist: metrics.NewHistogram(1e-3, 1e6, 90),
+			Duration:    cfg.Trace.Duration,
 		},
 	}
 	frac := cfg.SteadyAfterFrac
@@ -270,6 +274,7 @@ func (r *runner) complete(s *serverState, j *sim.Job) {
 	latency := r.eng.Now() - req.arrive
 	r.result.Completed++
 	r.result.Aggregate.Add(latency)
+	r.result.LatencyHist.Add(latency)
 	if r.eng.Now() >= r.steadyAfter {
 		r.result.SteadyAggregate.Add(latency)
 	}

@@ -2,6 +2,7 @@ package clustersim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -39,6 +40,14 @@ type Result struct {
 
 	// Aggregate summarizes all completed request latencies (Figure 6a).
 	Aggregate metrics.Summary
+
+	// LatencyHist is the distribution behind Aggregate: every completed
+	// request latency in a log-bucket histogram, so figures can report
+	// p50/p95/p99/p999 tails instead of a mean alone — the paper's
+	// consistency claim is about the distribution, and under heavy-tailed
+	// arrivals the mean hides exactly the tail that distinguishes the
+	// policies.
+	LatencyHist *metrics.Histogram
 
 	// SteadyAggregate summarizes the latencies of requests completing
 	// after the steady-state cutoff (Config.SteadyAfterFrac of the
@@ -98,6 +107,22 @@ func (r *Result) MeanLatency() float64 { return r.Aggregate.Mean() }
 // steady-state cutoff.
 func (r *Result) SteadyMeanLatency() float64 { return r.SteadyAggregate.Mean() }
 
+// LatencyQuantile returns the q-quantile (q in [0,1]) of the aggregate
+// latency distribution, NaN when no requests completed.
+func (r *Result) LatencyQuantile(q float64) float64 {
+	if r.LatencyHist == nil {
+		return math.NaN()
+	}
+	return r.LatencyHist.Quantile(q)
+}
+
+// LatencyP50, LatencyP95, LatencyP99 and LatencyP999 are the tail
+// columns of the figures.
+func (r *Result) LatencyP50() float64  { return r.LatencyQuantile(0.50) }
+func (r *Result) LatencyP95() float64  { return r.LatencyQuantile(0.95) }
+func (r *Result) LatencyP99() float64  { return r.LatencyQuantile(0.99) }
+func (r *Result) LatencyP999() float64 { return r.LatencyQuantile(0.999) }
+
 // LatencyStdDev returns the aggregate response-time standard deviation.
 func (r *Result) LatencyStdDev() float64 { return r.Aggregate.StdDev() }
 
@@ -146,5 +171,8 @@ func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: mean=%.3fs sd=%.3fs completed=%d dropped=%d moved=%d state=%dB",
 		r.Policy, r.MeanLatency(), r.LatencyStdDev(), r.Completed, r.Dropped, r.TotalMoved, r.SharedStateBytes)
+	if r.LatencyHist != nil && r.LatencyHist.Total() > 0 {
+		fmt.Fprintf(&b, " p50=%.3fs p99=%.3fs", r.LatencyP50(), r.LatencyP99())
+	}
 	return b.String()
 }

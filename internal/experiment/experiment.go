@@ -270,11 +270,17 @@ func (s *Suite) Fig5() (map[PolicyName]*clustersim.Result, error) {
 }
 
 // Fig6Row is one system's aggregate entry (Figure 6a) plus its
-// per-server means (Figure 6b).
+// per-server means (Figure 6b). The quantiles come from the run's
+// latency histogram: the paper's consistency claim is about the
+// distribution, so the table carries the tail alongside the mean.
 type Fig6Row struct {
 	Policy         PolicyName
 	MeanLatency    float64
 	StdDev         float64
+	P50            float64
+	P95            float64
+	P99            float64
+	P999           float64
 	PerServerMean  map[policy.ServerID]float64
 	PerServerCount map[policy.ServerID]uint64
 }
@@ -295,6 +301,10 @@ func (s *Suite) Fig6() ([]Fig6Row, error) {
 			Policy:         name,
 			MeanLatency:    res.MeanLatency(),
 			StdDev:         res.LatencyStdDev(),
+			P50:            res.LatencyP50(),
+			P95:            res.LatencyP95(),
+			P99:            res.LatencyP99(),
+			P999:           res.LatencyP999(),
 			PerServerMean:  res.PerServerMeans(),
 			PerServerCount: make(map[policy.ServerID]uint64),
 		}

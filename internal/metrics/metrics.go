@@ -173,6 +173,10 @@ type Histogram struct {
 	under     uint64
 	over      uint64
 	total     uint64
+	// maxSeen is the largest finite observation, so tail quantiles that
+	// land in the overflow bin can report a real value instead of the
+	// top bucket edge.
+	maxSeen float64
 }
 
 // NewHistogram creates a histogram over [lo, hi) with n geometric
@@ -188,16 +192,30 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	}
 }
 
-// Add records one observation.
+// Add records one observation. NaN observations count into the
+// underflow bin — they carry no magnitude, and `x < h.lo` alone would
+// let them through to a log/int conversion whose huge negative result
+// panics on the bucket index. Finite observations track the running
+// maximum so Quantile can clamp overflow-bin mass to a real value.
 func (h *Histogram) Add(x float64) {
 	h.total++
-	if x < h.lo {
+	if math.IsNaN(x) || x < h.lo {
 		h.under++
 		return
 	}
+	if x > h.maxSeen && !math.IsInf(x, 1) {
+		h.maxSeen = x
+	}
 	idx := int(math.Log(x/h.lo) / math.Log(h.ratio))
-	if idx >= len(h.counts) {
+	if idx >= len(h.counts) || math.IsInf(x, 1) {
 		h.over++
+		return
+	}
+	if idx < 0 {
+		// x >= lo, so a negative index can only be float rounding at
+		// the lower edge; fold it into the first bucket's neighborhood
+		// via the underflow counter rather than indexing out of range.
+		h.under++
 		return
 	}
 	h.counts[idx]++
@@ -206,9 +224,21 @@ func (h *Histogram) Add(x float64) {
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Max returns the largest finite observation (0 when none).
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// Underflow and Overflow return the out-of-range observation counts
+// (NaN observations count as underflow).
+func (h *Histogram) Underflow() uint64 { return h.under }
+func (h *Histogram) Overflow() uint64  { return h.over }
+
 // Quantile returns an estimate of the q-quantile (q in [0,1]) by
-// linear interpolation within the containing bucket; it returns the
-// bucket edges for mass in the under/overflow bins.
+// linear interpolation within the containing bucket. Mass in the
+// underflow bin reports the low edge (a lower bound); mass in the
+// overflow bin reports the maximum finite observation — returning the
+// top bucket edge there would silently understate exactly the tail
+// latencies the histogram exists to expose, and the true maximum is
+// the tightest +Inf-safe upper bound the histogram tracks.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return math.NaN()
@@ -234,6 +264,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 		cum += float64(c)
 		edge = next
 	}
+	// Target mass lands in the overflow bin (or float rounding walked
+	// past the last bucket): clamp to the real maximum when one was
+	// seen — only +Inf-only overflow falls back to the top edge.
+	if h.maxSeen > 0 {
+		return math.Max(h.maxSeen, edge)
+	}
 	return edge
 }
 
@@ -254,6 +290,48 @@ func (h *Histogram) Buckets() []BucketCount {
 type BucketCount struct {
 	Lo    float64
 	Count uint64
+}
+
+// Clone returns an independent copy, so a snapshot (e.g. cluster.Stats)
+// can outlive the accumulator it was taken from.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
+// Merge folds another histogram with identical geometry (same lo, hi,
+// bucket count) into h; it panics on a geometry mismatch, which is a
+// construction bug, not data.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if h.lo != o.lo || h.ratio != o.ratio || len(h.counts) != len(o.counts) {
+		panic(fmt.Sprintf("metrics: Merge of histograms with different geometry (lo %g/%g, buckets %d/%d)",
+			h.lo, o.lo, len(h.counts), len(o.counts)))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.total += o.total
+	if o.maxSeen > h.maxSeen {
+		h.maxSeen = o.maxSeen
+	}
+}
+
+// String formats the tail summary operators care about.
+func (h *Histogram) String() string {
+	if h == nil || h.total == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%.4g p95=%.4g p99=%.4g p999=%.4g max=%.4g",
+		h.total, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Quantile(0.999), h.maxSeen)
 }
 
 // Percentile computes the p-th percentile (0-100) of a sample slice by

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -192,6 +193,128 @@ func TestHistogramUnderOverflow(t *testing.T) {
 	bs := h.Buckets()
 	if len(bs) != 1 || bs[0].Count != 1 {
 		t.Fatalf("Buckets = %+v, want one bucket with count 1", bs)
+	}
+}
+
+// TestHistogramNaNDoesNotPanic is the regression test for the Add
+// index bug: NaN fails `x < lo`, and log(NaN) converted to int used to
+// produce a huge negative bucket index and panic. NaN now lands in the
+// underflow counter and never poisons maxSeen or the quantiles.
+func TestHistogramNaNDoesNotPanic(t *testing.T) {
+	h := NewHistogram(1, 1000, 30)
+	h.Add(math.NaN())
+	h.Add(5)
+	h.Add(math.NaN())
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", h.Total())
+	}
+	if h.Underflow() != 2 {
+		t.Errorf("Underflow = %d, want 2 (the NaNs)", h.Underflow())
+	}
+	if max := h.Max(); max != 5 {
+		t.Errorf("Max = %g, want 5 (NaN must not poison it)", max)
+	}
+	if q := h.Quantile(1); math.IsNaN(q) {
+		t.Errorf("Quantile(1) = NaN after NaN observations")
+	}
+}
+
+func TestHistogramInfinityGoesToOverflow(t *testing.T) {
+	h := NewHistogram(1, 1000, 30)
+	h.Add(math.Inf(1))
+	h.Add(7)
+	if h.Overflow() != 1 {
+		t.Errorf("Overflow = %d, want 1", h.Overflow())
+	}
+	if max := h.Max(); max != 7 {
+		t.Errorf("Max = %g, want 7 (+Inf must not poison it)", max)
+	}
+	if q := h.Quantile(1); math.IsInf(q, 1) {
+		t.Errorf("Quantile(1) = +Inf, want a finite clamp")
+	}
+}
+
+// TestHistogramOverflowQuantileClampsToMax pins the tail fix: with
+// target mass in the overflow bin, Quantile used to return the top
+// bucket edge (1000 here), understating the tail by orders of
+// magnitude.
+func TestHistogramOverflowQuantileClampsToMax(t *testing.T) {
+	h := NewHistogram(1, 1000, 30)
+	for i := 0; i < 90; i++ {
+		h.Add(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(50000) // 10% of mass far beyond hi
+	}
+	p999 := h.Quantile(0.999)
+	if p999 != 50000 {
+		t.Errorf("p999 = %g, want 50000 (max observed), not the bucket edge", p999)
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-10)/10 > 0.2 {
+		t.Errorf("p50 = %g, want ~10", p50)
+	}
+}
+
+func TestHistogramCloneIsIndependent(t *testing.T) {
+	h := NewHistogram(1, 100, 10)
+	h.Add(5)
+	c := h.Clone()
+	h.Add(5)
+	h.Add(7)
+	if c.Total() != 1 || h.Total() != 3 {
+		t.Fatalf("clone shares state: clone n=%d, orig n=%d", c.Total(), h.Total())
+	}
+	var nilH *Histogram
+	if nilH.Clone() != nil {
+		t.Error("Clone of nil histogram not nil")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 1000, 30)
+	b := NewHistogram(1, 1000, 30)
+	all := NewHistogram(1, 1000, 30)
+	src := rng.New(7)
+	exp := rng.NewExponential(0.1)
+	for i := 0; i < 5000; i++ {
+		x := exp.Sample(src)
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.Total() != all.Total() {
+		t.Fatalf("merged total %d, want %d", a.Total(), all.Total())
+	}
+	if a.Max() != all.Max() {
+		t.Errorf("merged max %g, want %g", a.Max(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("merged q%g = %g, want %g", q, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge with mismatched geometry did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(1, 1000, 31))
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0.001, 10, 40)
+	if got := h.String(); got != "n=0" {
+		t.Errorf("empty String = %q", got)
+	}
+	h.Add(0.5)
+	for _, want := range []string{"n=1", "p99=", "max=0.5"} {
+		if !strings.Contains(h.String(), want) {
+			t.Errorf("String = %q, missing %q", h.String(), want)
+		}
 	}
 }
 
