@@ -56,25 +56,42 @@ BENCH_current.txt:
 BENCH_current.json: BENCH_current.txt
 	$(GO) run ./cmd/benchjson -o $@ < BENCH_current.txt
 
+# A fresh single-iteration recording of the paper-figure benchmarks,
+# shared by the alloc gate and the figure diff. The figure suite runs
+# its cells sequentially (see newQuickSuite), so its allocs/op are
+# exact.
+BENCH_figs_current.txt:
+	$(GO) test -run='^$$' -bench='Fig' -benchtime=1x -benchmem . > $@
+
+BENCH_figs_current.json: BENCH_figs_current.txt
+	$(GO) run ./cmd/benchjson -o $@ < BENCH_figs_current.txt
+
 # Compare a fresh micro-benchmark run against the committed baseline
 # and fail on >30% ns/op regressions. Meaningful on hardware comparable
 # to the machine that recorded BENCH_lookup.json.
 bench-gate: BENCH_current.txt
 	$(GO) run ./cmd/benchjson -gate BENCH_lookup.json < BENCH_current.txt > /dev/null
 
-# Fail on ANY allocs/op increase. Allocation counts are exact and
+# Fail on ANY allocs/op increase, in both the micro-benchmarks and the
+# whole-figure suite. Allocation counts are exact and
 # machine-independent — the runtime counts them, the clock does not
 # jitter them — so unlike bench-gate this is a hard guarantee on any
-# hardware, including a regression from a 0-alloc baseline.
-bench-gate-allocs: BENCH_current.txt
+# hardware, including a regression from a 0-alloc baseline. Gating the
+# figure suite pins the end-to-end simulator: an accidental
+# closure/boxing reintroduction anywhere on the hot path shows up as
+# hundreds of thousands of allocs in these totals.
+bench-gate-allocs: BENCH_current.txt BENCH_figs_current.txt
 	$(GO) run ./cmd/benchjson -gate BENCH_lookup.json -metric allocs/op -tolerance 0 < BENCH_current.txt > /dev/null
+	$(GO) run ./cmd/benchjson -gate BENCH_figs.json -metric allocs/op -tolerance 0 < BENCH_figs_current.txt > /dev/null
 
-# Full noise-aware diff of the fresh run against the committed
-# baseline: every shared metric, per-metric tolerances and floors,
+# Full noise-aware diff of the fresh runs against the committed
+# baselines: every shared metric, per-metric tolerances and floors,
 # zero-baseline and added/removed handling, rendered as
-# benchdiff-report.md (CI attaches it to the job summary).
-bench-diff: BENCH_current.json
+# benchdiff-report.md / benchdiff-figs-report.md (CI attaches both to
+# the job summary).
+bench-diff: BENCH_current.json BENCH_figs_current.json
 	$(GO) run ./cmd/benchdiff -o benchdiff-report.md BENCH_lookup.json BENCH_current.json
+	$(GO) run ./cmd/benchdiff -o benchdiff-figs-report.md BENCH_figs.json BENCH_figs_current.json
 
 # Record the parallel figure runner's scaling curve (workers 1,2,4,...
 # up to GOMAXPROCS) into BENCH_scaling.json.
@@ -121,3 +138,4 @@ clean:
 	$(GO) clean -testcache
 	rm -f BENCH_lookup.txt BENCH_figs.txt BENCH_gate.txt
 	rm -f BENCH_current.txt BENCH_current.json benchdiff-report.md
+	rm -f BENCH_figs_current.txt BENCH_figs_current.json benchdiff-figs-report.md

@@ -24,10 +24,16 @@ import (
 )
 
 // newQuickSuite builds a fresh scaled-down suite. Each benchmark
-// iteration pays for its own simulations.
+// iteration pays for its own simulations. Workers is pinned to 1: with
+// work-stealing workers the cell-to-worker assignment depends on
+// scheduling, and since each worker owns a reusable simulation scratch,
+// allocs/op would vary run to run — sequential cells keep the figure
+// suite's allocation counts exact, which the zero-tolerance
+// bench-gate-allocs target relies on.
 func newQuickSuite() *experiment.Suite {
 	cfg := experiment.DefaultConfig()
 	cfg.Quick = true
+	cfg.Workers = 1
 	return experiment.NewSuite(cfg)
 }
 

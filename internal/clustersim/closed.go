@@ -3,8 +3,10 @@ package clustersim
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"anurand/internal/anu"
+	"anurand/internal/hashx"
 	"anurand/internal/metrics"
 	"anurand/internal/policy"
 	"anurand/internal/rng"
@@ -100,15 +102,132 @@ type ClosedResult struct {
 	TuningRounds int
 }
 
+// closedServer is one server's live state in a closed-loop run.
+type closedServer struct {
+	res *sim.Resource
+	up  bool
+	// interval accumulators for latency reports
+	n   uint64
+	sum float64
+}
+
+// closedLoop is the shared harness state of a closed-loop run.
+type closedLoop struct {
+	cfg      *ClosedConfig
+	eng      sim.Engine
+	thinkSrc *rng.Source
+	pickSrc  *rng.Source
+	pick     *rng.Categorical
+	think    rng.Exponential
+	servers  []*closedServer
+	sanPool  *san
+	res      *ClosedResult
+	err      error
+
+	// Tuning-round scratch, reused across intervals; fsLoads is the
+	// constant closed-loop offered load, computed once.
+	envServers []policy.ServerInfo
+	envReports []anu.Report
+	fsLoads    []float64
+}
+
+// closedClient is one client's cycle chain. A closed-loop client has at
+// most one request in flight, so its cycle state lives in the struct
+// instead of a closure per cycle, and the pooled metadata and transfer
+// jobs reference the two callbacks built once at start-up.
+type closedClient struct {
+	h     *closedLoop
+	start float64
+	fs    int
+	srv   *closedServer
+
+	mdDone  func(*sim.Job)
+	sanDone func(*sim.Job)
+}
+
+// closedCycle starts a client's next think->request cycle (the typed
+// re-schedule callback, so cycling never allocates).
+func closedCycle(arg any) {
+	c := arg.(*closedClient)
+	h := c.h
+	c.start = h.eng.Now()
+	c.fs = h.pick.Sample(h.pickSrc)
+	c.srv = h.route(c.fs)
+	j := h.eng.AcquireJob()
+	j.Demand = h.cfg.MetadataDemand
+	j.Done = c.mdDone
+	c.srv.res.Submit(j)
+}
+
+// route returns the live server for a file set: the policy's placement
+// when it is up, otherwise a deterministic index fallback.
+func (h *closedLoop) route(fs int) *closedServer {
+	if id := h.cfg.Policy.Place(fs); id != policy.NoServer {
+		if int(id) < len(h.servers) && h.servers[id].up {
+			return h.servers[id]
+		}
+	}
+	return h.servers[fs%len(h.servers)]
+}
+
+// metadataDone records the metadata phase and either finishes the cycle
+// or releases the data transfer to the SAN.
+func (c *closedClient) metadataDone() {
+	h := c.h
+	now := h.eng.Now()
+	mdLatency := now - c.start
+	if now <= h.cfg.Duration {
+		h.res.MetadataLatency.Add(mdLatency)
+	}
+	c.srv.n++
+	c.srv.sum += mdLatency
+	if h.sanPool == nil {
+		c.finish()
+		return
+	}
+	// The closed loop stripes by the pre-increment sequence (the open
+	// loop increments first); both keys hash through the reused buffer,
+	// bit-identical to the fmt.Sprintf form.
+	p := h.sanPool
+	b := strconv.AppendInt(p.keyBuf[:0], int64(c.fs), 10)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, p.seq, 10)
+	p.keyBuf = b
+	disk := p.disks[p.family.HashDigest(hashx.PrehashBytes(b), 0)%uint64(len(p.disks))]
+	p.seq++
+	j := h.eng.AcquireJob()
+	j.Demand = h.cfg.SAN.TransferDemand
+	j.Done = c.sanDone
+	disk.Submit(j)
+}
+
+// finish closes the cycle and, while the run lasts, schedules the next
+// one after an exponential think time.
+func (c *closedClient) finish() {
+	h := c.h
+	now := h.eng.Now()
+	if now <= h.cfg.Duration {
+		h.res.Cycles++
+		h.res.CycleLatency.Add(now - c.start)
+	}
+	if now < h.cfg.Duration {
+		h.eng.ScheduleCall(h.think.Sample(h.thinkSrc), closedCycle, c)
+	}
+}
+
 // RunClosed executes a closed-loop simulation.
 func RunClosed(cfg ClosedConfig) (*ClosedResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var eng sim.Engine
 	src := rng.New(cfg.Seed)
-	thinkSrc := src.Stream("think")
-	pickSrc := src.Stream("pick")
+	h := &closedLoop{
+		cfg:      &cfg,
+		thinkSrc: src.Stream("think"),
+		pickSrc:  src.Stream("pick"),
+		think:    rng.NewExponential(1 / math.Max(cfg.ThinkTime, 1e-9)),
+		res:      &ClosedResult{},
+	}
 
 	weights := make([]float64, len(cfg.FileSets))
 	for i, fs := range cfg.FileSets {
@@ -118,129 +237,88 @@ func RunClosed(cfg ClosedConfig) (*ClosedResult, error) {
 		}
 		weights[i] = w
 	}
-	pick := rng.NewCategorical(weights)
-	think := rng.NewExponential(1 / math.Max(cfg.ThinkTime, 1e-9))
+	h.pick = rng.NewCategorical(weights)
 
-	type server struct {
-		res *sim.Resource
-		up  bool
-		// interval accumulators for latency reports
-		n   uint64
-		sum float64
-	}
-	servers := make([]*server, len(cfg.Speeds))
+	h.servers = make([]*closedServer, len(cfg.Speeds))
 	for i, speed := range cfg.Speeds {
-		servers[i] = &server{res: sim.NewResource(&eng, fmt.Sprintf("server-%d", i), speed), up: true}
+		h.servers[i] = &closedServer{res: sim.NewResource(&h.eng, fmt.Sprintf("server-%d", i), speed), up: true}
 	}
 
-	var sanPool *san
 	if cfg.SAN.Enabled {
-		sanPool = newSAN(&eng, cfg.SAN)
+		h.sanPool = newSAN(&h.eng, cfg.SAN)
 	}
 
-	res := &ClosedResult{}
-	var retuneErr error
-
-	route := func(fs int) *server {
-		if id := cfg.Policy.Place(fs); id != policy.NoServer {
-			if int(id) < len(servers) && servers[id].up {
-				return servers[id]
-			}
-		}
-		return servers[fs%len(servers)]
+	// Closed-loop ground truth for prescient-class policies: the
+	// long-run offered load per file set under the pick weights. It is
+	// constant across rounds, so it is computed once and the slice
+	// shared with every Retune (as the open loop has always done).
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	offered := float64(cfg.Clients) / math.Max(cfg.ThinkTime, 1e-9) * cfg.MetadataDemand
+	h.fsLoads = make([]float64, len(weights))
+	for i, w := range weights {
+		h.fsLoads[i] = offered * w / totalW
 	}
 
-	// Each client is a self-rescheduling cycle.
-	var cycle func()
-	cycle = func() {
-		start := eng.Now()
-		fs := pick.Sample(pickSrc)
-		s := route(fs)
-		s.res.Submit(&sim.Job{
-			Demand: cfg.MetadataDemand,
-			Done: func(j *sim.Job) {
-				mdLatency := eng.Now() - start
-				if eng.Now() <= cfg.Duration {
-					res.MetadataLatency.Add(mdLatency)
-				}
-				s.n++
-				s.sum += mdLatency
-				finish := func() {
-					if eng.Now() <= cfg.Duration {
-						res.Cycles++
-						res.CycleLatency.Add(eng.Now() - start)
-					}
-					if eng.Now() < cfg.Duration {
-						eng.Schedule(think.Sample(thinkSrc), cycle)
-					}
-				}
-				if sanPool == nil {
-					finish()
-					return
-				}
-				disk := sanPool.disks[sanPool.family.Hash(fmt.Sprintf("%d/%d", fs, sanPool.seq), 0)%uint64(len(sanPool.disks))]
-				sanPool.seq++
-				disk.Submit(&sim.Job{Demand: cfg.SAN.TransferDemand, Done: func(*sim.Job) { finish() }})
-			},
-		})
-	}
+	// Each client is a self-rescheduling cycle chain with a random
+	// initial phase. The two completion callbacks are built once per
+	// client; every subsequent cycle reuses them with pooled jobs.
 	for i := 0; i < cfg.Clients; i++ {
-		eng.Schedule(think.Sample(thinkSrc)*thinkSrc.Float64(), cycle) // random initial phase
+		c := &closedClient{h: h}
+		c.mdDone = func(*sim.Job) { c.metadataDone() }
+		c.sanDone = func(*sim.Job) { c.finish() }
+		h.eng.ScheduleCall(h.think.Sample(h.thinkSrc)*h.thinkSrc.Float64(), closedCycle, c)
 	}
 
 	// Tuning loop: report per-server interval latencies to the policy.
-	ticker := eng.NewTicker(cfg.TuneInterval, func() {
-		if eng.Now() > cfg.Duration {
+	ticker := h.eng.NewTicker(cfg.TuneInterval, func() {
+		if h.eng.Now() > cfg.Duration {
 			return
 		}
-		res.TuningRounds++
-		env := policy.Env{Now: eng.Now(), FileSetLoads: make([]float64, len(cfg.FileSets))}
-		for i, s := range servers {
-			env.Servers = append(env.Servers, policy.ServerInfo{ID: policy.ServerID(i), Speed: cfg.Speeds[i], Up: s.up})
+		h.res.TuningRounds++
+		env := policy.Env{Now: h.eng.Now(), FileSetLoads: h.fsLoads}
+		servers := h.envServers[:0]
+		reports := h.envReports[:0]
+		for i, s := range h.servers {
+			servers = append(servers, policy.ServerInfo{ID: policy.ServerID(i), Speed: cfg.Speeds[i], Up: s.up})
 			rep := anu.Report{Server: policy.ServerID(i), Requests: s.n}
 			if s.n > 0 {
 				rep.Latency = s.sum / float64(s.n)
 			}
-			env.Reports = append(env.Reports, rep)
+			reports = append(reports, rep)
 			s.n, s.sum = 0, 0
 		}
-		// Closed-loop ground truth for prescient-class policies: the
-		// long-run offered load per file set under the pick weights.
-		var totalW float64
-		for _, w := range weights {
-			totalW += w
-		}
-		offered := float64(cfg.Clients) / math.Max(cfg.ThinkTime, 1e-9) * cfg.MetadataDemand
-		for i, w := range weights {
-			env.FileSetLoads[i] = offered * w / totalW
-		}
+		h.envServers, h.envReports = servers, reports
+		env.Servers, env.Reports = servers, reports
 		if err := cfg.Policy.Retune(&env); err != nil {
-			retuneErr = fmt.Errorf("clustersim: closed retune at t=%.0f: %w", eng.Now(), err)
-			eng.Stop()
+			h.err = fmt.Errorf("clustersim: closed retune at t=%.0f: %w", h.eng.Now(), err)
+			h.eng.Stop()
 		}
 	})
 
 	// Snapshot SAN busy time exactly at the measurement horizon, before
 	// the post-run drain inflates it.
 	var busyInWindow float64
-	if sanPool != nil {
-		eng.ScheduleAt(cfg.Duration, func() {
-			for _, d := range sanPool.disks {
+	if h.sanPool != nil {
+		h.eng.ScheduleAt(cfg.Duration, func() {
+			for _, d := range h.sanPool.disks {
 				busyInWindow += d.BusyTime()
 			}
 		})
 	}
 
-	eng.Run(cfg.Duration)
+	h.eng.Run(cfg.Duration)
 	ticker.Stop()
-	eng.RunAll()
-	if retuneErr != nil {
-		return nil, retuneErr
+	h.eng.RunAll()
+	if h.err != nil {
+		return nil, h.err
 	}
 
-	res.Throughput = float64(res.Cycles) / cfg.Duration
-	if sanPool != nil {
-		res.SANUtilization = busyInWindow / (float64(len(sanPool.disks)) * cfg.Duration)
+	h.res.Throughput = float64(h.res.Cycles) / cfg.Duration
+	if h.sanPool != nil {
+		h.res.SANUtilization = busyInWindow / (float64(len(h.sanPool.disks)) * cfg.Duration)
 	}
-	return res, nil
+	return h.res, nil
 }

@@ -22,9 +22,21 @@ func Run(cfg Config) (*Result, error) {
 	return r.run()
 }
 
+// Scratch is reusable simulation memory — the engine arena holding the
+// event free list, job pool and calendar backing array. A caller
+// running many simulations back to back (the experiment worker pool)
+// passes the same Scratch to each run via Config.Scratch, so the
+// steady-state memory is allocated once per worker rather than once per
+// cell. A Scratch must not be shared by concurrent runs. The zero value
+// is ready to use.
+type Scratch struct {
+	arena sim.Arena
+}
+
 // serverState is one server's live simulation state.
 type serverState struct {
 	id    ServerID
+	idx   int32 // dense index into runner.states; j.Aux carries idx+1
 	speed float64
 	res   *sim.Resource
 	up    bool
@@ -41,20 +53,19 @@ type serverState struct {
 	stats *ServerStats
 }
 
-// pendingRequest is the payload carried through a server queue.
-type pendingRequest struct {
-	fs     int32
-	arrive float64
-}
-
 type runner struct {
 	cfg    *Config
 	eng    sim.Engine
 	trace  traceView
 	policy policy.Placer
 
-	servers map[ServerID]*serverState
-	order   []ServerID
+	// states is append-only dense server storage; byID maps a ServerID
+	// to its index (-1 when absent), replacing the per-request map
+	// lookup of earlier versions; order keeps the ids sorted for the
+	// deterministic snapshot and fallback iteration.
+	states []*serverState
+	byID   []int32
+	order  []ServerID
 
 	assignment []ServerID // file set -> placed server
 	cold       []int      // remaining cold-penalty requests per file set
@@ -62,6 +73,20 @@ type runner struct {
 	fsWork    []float64 // total demand per file set (move accounting)
 	totalWork float64
 	fsLoads   []float64 // whole-trace offered load per file set (prescient env)
+
+	nextArrival int // cursor into Trace.Requests for the chained arrivals
+
+	// doneFn is the one bound completion callback every request job
+	// shares; the job's typed slots carry the per-request context a
+	// closure used to.
+	doneFn func(*sim.Job)
+
+	// Tuning-round scratch, reused across intervals.
+	envServers []policy.ServerInfo
+	envReports []anu.Report
+	liveBuf    []ServerID
+	keepFn     func(*sim.Job) bool // DrainQueue predicate over drainFS
+	drainFS    int32
 
 	window      float64
 	steadyAfter float64
@@ -85,7 +110,6 @@ func newRunner(cfg *Config) *runner {
 	r := &runner{
 		cfg:        cfg,
 		policy:     cfg.Policy,
-		servers:    make(map[ServerID]*serverState, len(cfg.Speeds)),
 		assignment: make([]ServerID, len(cfg.Trace.FileSets)),
 		cold:       make([]int, len(cfg.Trace.FileSets)),
 		window:     window,
@@ -100,6 +124,11 @@ func newRunner(cfg *Config) *runner {
 			Duration:    cfg.Trace.Duration,
 		},
 	}
+	if cfg.Scratch != nil {
+		r.eng.UseArena(&cfg.Scratch.arena)
+	}
+	r.doneFn = r.jobDone
+	r.keepFn = func(j *sim.Job) bool { return j.Aux == 0 || j.Tag != r.drainFS }
 	frac := cfg.SteadyAfterFrac
 	if frac == 0 {
 		frac = 0.25
@@ -115,17 +144,41 @@ func newRunner(cfg *Config) *runner {
 	return r
 }
 
+// state returns the server with the given id, nil if it never existed.
+// Decommissioned servers still resolve (matching the lifetime the old
+// map gave them); callers check up/gone.
+func (r *runner) state(id ServerID) *serverState {
+	if id < 0 || int(id) >= len(r.byID) {
+		return nil
+	}
+	i := r.byID[id]
+	if i < 0 {
+		return nil
+	}
+	return r.states[i]
+}
+
 func (r *runner) addServer(id ServerID, speed float64) {
 	s := &serverState{
 		id:    id,
+		idx:   int32(len(r.states)),
 		speed: speed,
 		res:   sim.NewResource(&r.eng, fmt.Sprintf("server-%d", id), speed),
 		up:    true,
 		stats: &ServerStats{ID: id, Speed: speed, Series: metrics.NewSeries(r.window)},
 	}
-	r.servers[id] = s
-	r.order = append(r.order, id)
-	sort.Slice(r.order, func(i, j int) bool { return r.order[i] < r.order[j] })
+	r.states = append(r.states, s)
+	for int(id) >= len(r.byID) {
+		r.byID = append(r.byID, -1)
+	}
+	r.byID[id] = s.idx
+	// Binary-search insertion keeps order sorted in O(log n) compares
+	// and one copy, instead of re-sorting the whole slice per
+	// commission event.
+	at := sort.Search(len(r.order), func(i int) bool { return r.order[i] >= id })
+	r.order = append(r.order, 0)
+	copy(r.order[at+1:], r.order[at:])
+	r.order[at] = id
 	r.result.Servers[id] = s.stats
 }
 
@@ -159,7 +212,7 @@ func (r *runner) run() (*Result, error) {
 	// Arrival events, chained one at a time to keep the calendar small.
 	if r.trace.requests > 0 {
 		first := r.cfg.Trace.Requests[0].Time
-		r.eng.ScheduleAt(first, func() { r.arrive(0) })
+		r.eng.ScheduleCallAt(first, runnerArrive, r)
 	}
 
 	// The tuning ticker runs for the trace duration.
@@ -199,10 +252,11 @@ func (r *runner) run() (*Result, error) {
 		return nil, r.err
 	}
 
-	for _, s := range r.servers {
+	for _, s := range r.states {
 		s.stats.BusyTime = s.res.BusyTime()
 		s.stats.Served = s.requests
 	}
+	r.result.EventsRun = r.eng.EventsRun()
 	r.result.SharedStateBytes = r.policy.SharedStateSize()
 	if r.san != nil {
 		stats := r.san.stats
@@ -211,36 +265,45 @@ func (r *runner) run() (*Result, error) {
 	return r.result, nil
 }
 
-// arrive routes and submits trace request i, then schedules request i+1.
-func (r *runner) arrive(i int) {
+// runnerArrive routes and submits the next trace request, then
+// schedules its successor — the typed form of the chained-arrival
+// closure, so the steady state schedules without allocating.
+func runnerArrive(arg any) { arg.(*runner).arrive() }
+
+func (r *runner) arrive() {
 	if r.err != nil {
 		return
 	}
-	req := r.cfg.Trace.Requests[i]
+	req := r.cfg.Trace.Requests[r.nextArrival]
+	r.nextArrival++
 	r.dispatch(req.FileSet, req.Demand, req.Time)
-	if next := i + 1; next < r.trace.requests {
-		r.eng.ScheduleAt(r.cfg.Trace.Requests[next].Time, func() { r.arrive(next) })
+	if r.nextArrival < r.trace.requests {
+		r.eng.ScheduleCallAt(r.cfg.Trace.Requests[r.nextArrival].Time, runnerArrive, r)
 	}
 }
 
 // dispatch routes one request (fresh or re-routed after failure) to a
-// live server and submits it.
+// live server and submits it as a pooled job: file set in Tag, target
+// server index (+1, so zero stays "not a request") in Aux, original
+// arrival in Stamp.
 func (r *runner) dispatch(fs int32, demand, arrive float64) {
 	target := r.route(int(fs))
 	if target == policy.NoServer {
 		r.result.Dropped++
 		return
 	}
-	s := r.servers[target]
+	s := r.state(target)
 	if r.cold[fs] > 0 && r.cfg.ColdPenalty > 1 {
 		demand *= r.cfg.ColdPenalty
 		r.cold[fs]--
 	}
-	s.res.Submit(&sim.Job{
-		Demand:  demand,
-		Payload: pendingRequest{fs: fs, arrive: arrive},
-		Done:    func(j *sim.Job) { r.complete(s, j) },
-	})
+	j := r.eng.AcquireJob()
+	j.Demand = demand
+	j.Tag = fs
+	j.Aux = s.idx + 1
+	j.Stamp = arrive
+	j.Done = r.doneFn
+	s.res.Submit(j)
 }
 
 // route returns the live server for a file set: the policy's placement
@@ -248,18 +311,19 @@ func (r *runner) dispatch(fs int32, demand, arrive float64) {
 func (r *runner) route(fs int) ServerID {
 	if fs >= 0 && fs < len(r.assignment) {
 		if id := r.assignment[fs]; id != policy.NoServer {
-			if s, ok := r.servers[id]; ok && s.up {
+			if s := r.state(id); s != nil && s.up {
 				return id
 			}
 		}
 	}
 	// Fallback: spread over live servers by file-set index.
-	var live []ServerID
+	live := r.liveBuf[:0]
 	for _, id := range r.order {
-		if s := r.servers[id]; s.up && !s.gone {
+		if s := r.state(id); s.up && !s.gone {
 			live = append(live, id)
 		}
 	}
+	r.liveBuf = live
 	if len(live) == 0 {
 		return policy.NoServer
 	}
@@ -267,11 +331,11 @@ func (r *runner) route(fs int) ServerID {
 	return live[fs%len(live)]
 }
 
-// complete records a finished request and, when the SAN is modelled,
+// jobDone records a finished request and, when the SAN is modelled,
 // releases the client's data transfer to the shared disks.
-func (r *runner) complete(s *serverState, j *sim.Job) {
-	req := j.Payload.(pendingRequest)
-	latency := r.eng.Now() - req.arrive
+func (r *runner) jobDone(j *sim.Job) {
+	s := r.states[j.Aux-1]
+	latency := r.eng.Now() - j.Stamp
 	r.result.Completed++
 	r.result.Aggregate.Add(latency)
 	r.result.LatencyHist.Add(latency)
@@ -284,7 +348,7 @@ func (r *runner) complete(s *serverState, j *sim.Job) {
 	s.intervalCount++
 	s.intervalSum += latency
 	if r.san != nil {
-		r.san.transfer(r, req.fs, req.arrive)
+		r.san.transfer(j.Tag, j.Stamp)
 	}
 }
 
@@ -300,15 +364,20 @@ func (r *runner) tuningRound() {
 	r.applyPlacement(true)
 }
 
-// retunePolicy snapshots the environment and retunes the policy.
+// retunePolicy snapshots the environment and retunes the policy. The
+// snapshot slices are scratch buffers reused across rounds; policies
+// must not retain them past Retune (they copy what they keep, as the
+// long-lived FileSetLoads slice has always required).
 func (r *runner) retunePolicy() error {
 	env := policy.Env{Now: r.eng.Now()}
+	servers := r.envServers[:0]
+	reports := r.envReports[:0]
 	for _, id := range r.order {
-		s := r.servers[id]
+		s := r.state(id)
 		if s.gone {
 			continue
 		}
-		env.Servers = append(env.Servers, policy.ServerInfo{ID: id, Speed: s.speed, Up: s.up})
+		servers = append(servers, policy.ServerInfo{ID: id, Speed: s.speed, Up: s.up})
 		if s.up {
 			rep := anu.Report{Server: id, Requests: s.intervalCount}
 			if s.intervalCount > 0 {
@@ -317,10 +386,12 @@ func (r *runner) retunePolicy() error {
 					rep.Latency += s.res.Backlog() / s.speed
 				}
 			}
-			env.Reports = append(env.Reports, rep)
+			reports = append(reports, rep)
 		}
 		s.intervalCount, s.intervalSum = 0, 0
 	}
+	r.envServers, r.envReports = servers, reports
+	env.Servers, env.Reports = servers, reports
 	env.FileSetLoads = r.fsLoads
 	if err := r.policy.Retune(&env); err != nil {
 		return fmt.Errorf("clustersim: retune at t=%.0f: %w", r.eng.Now(), err)
@@ -347,19 +418,17 @@ func (r *runner) applyPlacement(record bool) {
 		movedWork += r.fsWork[fs]
 		// The shedding server flushes its cache for the departing file
 		// set; the acquiring server starts cold.
-		if old, ok := r.servers[prev]; ok && old.up {
+		if old := r.state(prev); old != nil && old.up {
 			if r.cfg.MoveFlushTime > 0 {
 				old.res.InjectBusy(r.cfg.MoveFlushTime)
 			}
 			if r.cfg.RedirectOnMove {
-				fs32 := int32(fs)
-				redirected := old.res.DrainQueue(func(j *sim.Job) bool {
-					req, isReq := j.Payload.(pendingRequest)
-					return !isReq || req.fs != fs32
-				})
+				r.drainFS = int32(fs)
+				redirected := old.res.DrainQueue(r.keepFn)
 				for _, j := range redirected {
-					req := j.Payload.(pendingRequest)
-					r.dispatch(req.fs, j.Demand, req.arrive)
+					fs32, demand, arrive := j.Tag, j.Demand, j.Stamp
+					r.eng.ReleaseJob(j)
+					r.dispatch(fs32, demand, arrive)
 				}
 			}
 		}
@@ -382,6 +451,22 @@ func (r *runner) applyPlacement(record bool) {
 	r.result.TotalWorkMovedFrac += frac
 }
 
+// reclaimOrphans re-dispatches a failed server's queued request jobs
+// (latency keeps counting from the original arrival, as a client retry
+// would observe) and recycles injected flush work, which dies with the
+// server.
+func (r *runner) reclaimOrphans(orphans []*sim.Job) {
+	for _, j := range orphans {
+		if j.Aux == 0 {
+			r.eng.ReleaseJob(j)
+			continue
+		}
+		fs, demand, arrive := j.Tag, j.Demand, j.Stamp
+		r.eng.ReleaseJob(j)
+		r.dispatch(fs, demand, arrive)
+	}
+}
+
 // applyEvent executes a scheduled configuration change.
 func (r *runner) applyEvent(ev Event) {
 	if r.err != nil {
@@ -389,53 +474,38 @@ func (r *runner) applyEvent(ev Event) {
 	}
 	switch ev.Kind {
 	case Fail:
-		s, ok := r.servers[ev.Server]
-		if !ok || !s.up {
+		s := r.state(ev.Server)
+		if s == nil || !s.up {
 			return
 		}
 		orphans := s.res.Fail()
 		s.up = false
 		r.reactToEvent()
-		// Re-route the failed server's queued work; latency keeps
-		// counting from the original arrival, as a client retry would
-		// observe.
-		for _, j := range orphans {
-			req, ok := j.Payload.(pendingRequest)
-			if !ok {
-				continue // injected flush work dies with the server
-			}
-			r.dispatch(req.fs, j.Demand, req.arrive)
-		}
+		r.reclaimOrphans(orphans)
 	case Recover:
-		s, ok := r.servers[ev.Server]
-		if !ok || s.up || s.gone {
+		s := r.state(ev.Server)
+		if s == nil || s.up || s.gone {
 			return
 		}
 		s.res.Recover()
 		s.up = true
 		r.reactToEvent()
 	case Commission:
-		if _, dup := r.servers[ev.Server]; dup {
+		if r.state(ev.Server) != nil {
 			return
 		}
 		r.addServer(ev.Server, ev.Speed)
 		r.reactToEvent()
 	case Decommission:
-		s, ok := r.servers[ev.Server]
-		if !ok || s.gone {
+		s := r.state(ev.Server)
+		if s == nil || s.gone {
 			return
 		}
 		orphans := s.res.Fail()
 		s.up = false
 		s.gone = true
 		r.reactToEvent()
-		for _, j := range orphans {
-			req, ok := j.Payload.(pendingRequest)
-			if !ok {
-				continue
-			}
-			r.dispatch(req.fs, j.Demand, req.arrive)
-		}
+		r.reclaimOrphans(orphans)
 	}
 }
 

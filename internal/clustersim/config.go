@@ -127,6 +127,13 @@ type Config struct {
 	// metadata tier (see SANConfig).
 	SAN SANConfig
 
+	// Scratch optionally supplies reusable simulation memory — the
+	// engine's event pool, job pool and calendar backing array — so a
+	// caller running many simulations back to back pays the steady-state
+	// allocations once instead of once per run. A Scratch must never be
+	// shared by concurrent runs; nil keeps the run self-contained.
+	Scratch *Scratch
+
 	// SteadyAfterFrac marks the start of the steady-state measurement
 	// window as a fraction of the trace duration (default 0.25):
 	// requests completing after that instant also feed

@@ -1,0 +1,61 @@
+package clustersim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"anurand/internal/metrics"
+)
+
+// DeterminismDigest folds every numerically meaningful field of the
+// Result — counters, bit-exact float values, per-server statistics in id
+// order, the movement log and the latency distribution — into one short
+// hex string. Two runs of the same configuration must produce the same
+// digest; the experiment package pins golden digests for every
+// registered strategy so engine-level optimizations (event pooling,
+// calendar layout, buffer reuse) can prove they did not perturb results.
+//
+// Floats are digested through math.Float64bits: the digest detects a
+// single ULP of drift, not just "roughly equal" changes.
+func (r *Result) DeterminismDigest() string {
+	h := fnv.New64a()
+	put := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+	}
+	f := func(x float64) uint64 { return math.Float64bits(x) }
+	sum := func(tag string, s metrics.Summary) {
+		put("%s:%d:%x:%x:%x:%x;", tag, s.N(), f(s.Sum()), f(s.Mean()), f(s.Min()), f(s.Max()))
+	}
+
+	put("policy=%s;", r.Policy)
+	put("events=%d;completed=%d;dropped=%d;rerouted=%d;rounds=%d;", r.EventsRun, r.Completed, r.Dropped, r.Rerouted, r.TuningRounds)
+	put("moved=%d:%x;state=%d;duration=%x;", r.TotalMoved, f(r.TotalWorkMovedFrac), r.SharedStateBytes, f(r.Duration))
+	sum("agg", r.Aggregate)
+	sum("steady", r.SteadyAggregate)
+	if r.LatencyHist != nil {
+		put("hist:%d:%d:%d:%x;", r.LatencyHist.Total(), r.LatencyHist.Underflow(), r.LatencyHist.Overflow(), f(r.LatencyHist.Max()))
+		for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+			put("q%x=%x;", f(q), f(r.LatencyHist.Quantile(q)))
+		}
+	}
+	ids := make([]ServerID, 0, len(r.Servers))
+	for id := range r.Servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := r.Servers[id]
+		put("srv%d:%x:%x:%d;", id, f(s.Speed), f(s.BusyTime), s.Served)
+		sum("lat", s.Latency)
+	}
+	for _, m := range r.Moves {
+		put("mv%d:%x:%d:%x;", m.Round, f(m.Time), m.FileSetsMoved, f(m.WorkMovedFrac))
+	}
+	if r.SAN != nil {
+		put("san:%d:%d:%x:%x;", r.SAN.Disks, r.SAN.Transfers, f(r.SAN.BusyInWindow), f(r.SAN.UtilizationInWindow))
+		sum("e2e", r.SAN.EndToEnd)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -82,6 +82,12 @@ type Result struct {
 	// TuningRounds is the number of tuning rounds executed.
 	TuningRounds int
 
+	// EventsRun is the engine's executed-event count for the whole run —
+	// the cheapest whole-trajectory determinism probe: two runs that
+	// executed different event sequences cannot agree on it by accident
+	// alongside the latency statistics.
+	EventsRun uint64
+
 	// SAN holds the data-path statistics when Config.SAN was enabled,
 	// nil otherwise.
 	SAN *SANStats

@@ -3,6 +3,7 @@ package clustersim
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"anurand/internal/hashx"
 	"anurand/internal/metrics"
@@ -72,35 +73,47 @@ type SANStats struct {
 // san is the live data-path state inside the runner.
 type san struct {
 	cfg    SANConfig
+	eng    *sim.Engine
 	family hashx.Family
 	disks  []*sim.Resource
 	stats  SANStats
 	seq    uint64
+	keyBuf []byte         // reusable striping-key scratch ("fs/seq")
+	doneFn func(*sim.Job) // shared transfer-completion callback
 }
 
 // newSAN builds the disk pool on the runner's engine.
 func newSAN(eng *sim.Engine, cfg SANConfig) *san {
-	s := &san{cfg: cfg, family: hashx.NewFamily(0x5a4e)}
+	s := &san{cfg: cfg, eng: eng, family: hashx.NewFamily(0x5a4e)}
 	for i := 0; i < cfg.Disks; i++ {
 		s.disks = append(s.disks, sim.NewResource(eng, fmt.Sprintf("disk-%d", i), 1))
 	}
 	s.stats.Disks = cfg.Disks
+	s.doneFn = func(j *sim.Job) {
+		s.stats.Transfers++
+		s.stats.EndToEnd.Add(s.eng.Now() - j.Stamp)
+	}
 	return s
 }
 
 // transfer dispatches the data transfer that follows a completed
 // metadata request. arrive is the original request arrival, so EndToEnd
-// captures the full client-visible latency.
-func (s *san) transfer(r *runner, fs int32, arrive float64) {
+// captures the full client-visible latency. The striping key is
+// formatted into a reused buffer and hashed with PrehashBytes —
+// bit-identical to hashing fmt.Sprintf("%d/%d", fs, seq), without the
+// two allocations.
+func (s *san) transfer(fs int32, arrive float64) {
 	s.seq++
-	disk := s.disks[s.family.Hash(fmt.Sprintf("%d/%d", fs, s.seq), 0)%uint64(len(s.disks))]
-	disk.Submit(&sim.Job{
-		Demand: s.cfg.TransferDemand,
-		Done: func(j *sim.Job) {
-			s.stats.Transfers++
-			s.stats.EndToEnd.Add(r.eng.Now() - arrive)
-		},
-	})
+	b := strconv.AppendInt(s.keyBuf[:0], int64(fs), 10)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, s.seq, 10)
+	s.keyBuf = b
+	disk := s.disks[s.family.HashDigest(hashx.PrehashBytes(b), 0)%uint64(len(s.disks))]
+	j := s.eng.AcquireJob()
+	j.Demand = s.cfg.TransferDemand
+	j.Stamp = arrive
+	j.Done = s.doneFn
+	disk.Submit(j)
 }
 
 // snapshotWindow records the in-window busy time; the runner schedules

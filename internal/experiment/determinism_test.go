@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"anurand/internal/clustersim"
+)
+
+// fig5Digests pins the bit-exact outcome of the Quick Figure-5 cell for
+// every registered strategy, recorded before the allocation-lean engine
+// rework (pooled events, typed callbacks, 4-ary calendar, dense server
+// state). The digest covers EventsRun, every counter, bit-level float
+// statistics, the per-server breakdown and the movement log — see
+// Result.DeterminismDigest. If an engine change shifts any of it by one
+// ULP, this test names the strategy that diverged.
+//
+// The goldens are amd64 values; other architectures may legally differ
+// in float rounding (fused multiply-add), so the comparison is gated on
+// GOARCH while the double-run determinism check always applies.
+var fig5Digests = map[PolicyName]string{
+	Simple:          "9e86a940d286609e",
+	ANU:             "5afe09b52a3aa7f3",
+	Prescient:       "d2092b9c5dadde10",
+	VP:              "2d03a691768e5268",
+	"chord":         "3238b63a7c1e38cd",
+	"chord-bounded": "89ff43d064eef4d0",
+}
+
+// sweepDigests runs the Quick synthetic trace under every runnable
+// policy sequentially and returns each cell's digest.
+func sweepDigests(t *testing.T) map[PolicyName]string {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	cfg.Workers = 1
+	s := NewSuite(cfg)
+	trace, err := s.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[PolicyName]string)
+	for _, name := range Policies() {
+		placer, err := s.BuildPolicy(name, trace, cfg.DefaultVP)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := clustersim.Run(clustersim.DefaultConfig(trace, placer))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.EventsRun == 0 {
+			t.Fatalf("%s: EventsRun = 0, engine counter not threaded", name)
+		}
+		out[name] = res.DeterminismDigest()
+	}
+	return out
+}
+
+// TestStrategySweepDigestGoldens proves the optimized engine is
+// bit-identical to the pre-optimization engine for every registered
+// strategy.
+func TestStrategySweepDigestGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure cell per strategy")
+	}
+	got := sweepDigests(t)
+	for name, digest := range got {
+		want, ok := fig5Digests[name]
+		if !ok {
+			t.Errorf("strategy %q has no pinned digest; add %q", name, digest)
+			continue
+		}
+		if runtime.GOARCH != "amd64" {
+			continue // goldens are amd64 float roundings
+		}
+		if digest != want {
+			t.Errorf("strategy %q digest = %s, want %s (results diverged from the pre-optimization engine)", name, digest, want)
+		}
+	}
+	for name := range fig5Digests {
+		if _, ok := got[name]; !ok {
+			t.Errorf("pinned strategy %q is no longer registered", name)
+		}
+	}
+}
+
+// TestStrategySweepDigestStable reruns the sweep and demands identical
+// digests — pure replay determinism, architecture-independent.
+func TestStrategySweepDigestStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full figure cells per strategy")
+	}
+	a, b := sweepDigests(t), sweepDigests(t)
+	for name, d := range a {
+		if b[name] != d {
+			t.Errorf("strategy %q: digests differ between identical runs: %s vs %s", name, d, b[name])
+		}
+	}
+}

@@ -210,13 +210,14 @@ func (s *Suite) BuildPolicy(name PolicyName, trace *workload.Trace, numVP int) (
 func (s *Suite) runPolicies(trace *workload.Trace, names []PolicyName) (map[PolicyName]*clustersim.Result, error) {
 	results := make([]*clustersim.Result, len(names))
 	errs := make([]error, len(names))
-	s.forEachCell(len(names), func(i int) {
+	s.forEachCell(len(names), func(i int, sc *clustersim.Scratch) {
 		placer, err := s.BuildPolicy(names[i], trace, s.cfg.DefaultVP)
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		cfg := clustersim.DefaultConfig(trace, placer)
+		cfg.Scratch = sc
 		res, err := clustersim.Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("experiment: %s: %w", names[i], err)
@@ -361,13 +362,14 @@ func (s *Suite) ExtSAN() (map[PolicyName]*clustersim.Result, error) {
 	}
 	results := make([]*clustersim.Result, len(AllPolicies))
 	errs := make([]error, len(AllPolicies))
-	s.forEachCell(len(AllPolicies), func(i int) {
+	s.forEachCell(len(AllPolicies), func(i int, sc *clustersim.Scratch) {
 		placer, err := s.BuildPolicy(AllPolicies[i], trace, s.cfg.DefaultVP)
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		cfg := clustersim.DefaultConfig(trace, placer)
+		cfg.Scratch = sc
 		cfg.SAN = clustersim.SANConfig{Enabled: true, Disks: 16, TransferDemand: 1.5}
 		res, err := clustersim.Run(cfg)
 		if err != nil {
@@ -475,13 +477,14 @@ func (s *Suite) fig8Sweep(trace *workload.Trace, counts []int) ([]Fig8Point, Fig
 	}
 	results := make([]*clustersim.Result, len(cells))
 	errs := make([]error, len(cells))
-	s.forEachCell(len(cells), func(i int) {
+	s.forEachCell(len(cells), func(i int, sc *clustersim.Scratch) {
 		placer, err := s.BuildPolicy(cells[i].name, trace, cells[i].numVP)
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		cfg := clustersim.DefaultConfig(trace, placer)
+		cfg.Scratch = sc
 		res, err := clustersim.Run(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("experiment: fig8 %s: %w", cells[i].name, err)

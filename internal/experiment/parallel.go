@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"anurand/internal/clustersim"
 )
 
 // workers resolves Config.Workers: 0 means one worker per logical CPU,
@@ -27,16 +29,24 @@ func (s *Suite) workers() int {
 // and the caller assembles slots in index order, the results are
 // bit-identical for every worker count; only wall-clock time changes.
 //
+// Each worker owns one clustersim.Scratch for its whole lifetime and
+// hands it to every cell it claims, so the simulator's steady-state
+// memory (event pool, job pool, calendar) is allocated once per worker
+// rather than once per cell. The scratch is private to the worker —
+// never shared across goroutines — which is exactly the ownership rule
+// Scratch demands.
+//
 // With one worker (or one cell) it runs inline on the caller's
 // goroutine — the sequential path has no pool overhead at all.
-func (s *Suite) forEachCell(n int, f func(i int)) {
+func (s *Suite) forEachCell(n int, f func(i int, sc *clustersim.Scratch)) {
 	w := s.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		sc := new(clustersim.Scratch)
 		for i := 0; i < n; i++ {
-			f(i)
+			f(i, sc)
 		}
 		return
 	}
@@ -46,12 +56,13 @@ func (s *Suite) forEachCell(n int, f func(i int)) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			sc := new(clustersim.Scratch)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				f(i, sc)
 			}
 		}()
 	}

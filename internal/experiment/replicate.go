@@ -38,7 +38,10 @@ func ReplicateFig5(base Config, n int) ([]Replication, error) {
 	pool := NewSuite(base)
 	perSeed := make([]map[PolicyName]*clustersim.Result, n)
 	errs := make([]error, n)
-	pool.forEachCell(n, func(i int) {
+	// Each cell is a whole nested suite, which provisions its own
+	// per-worker scratch inside its runPolicies fan-out; the pool-level
+	// scratch goes unused here.
+	pool.forEachCell(n, func(i int, _ *clustersim.Scratch) {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)
 		if n > 1 {

@@ -96,6 +96,19 @@ func Prehash(key string) Digest {
 	return Digest(h)
 }
 
+// PrehashBytes is Prehash over a byte slice — bit-identical to Prehash
+// on string(b), without materializing the string. Callers that format a
+// key into a reusable buffer (the SAN's "fs/seq" striping key) hash it
+// allocation-free.
+func PrehashBytes(b []byte) Digest {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return Digest(h)
+}
+
 // Hash returns h_round(key), the round-th member of the family applied
 // to key.
 func (f Family) Hash(key string, round int) uint64 {

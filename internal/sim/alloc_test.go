@@ -1,0 +1,113 @@
+package sim
+
+import "testing"
+
+// TestScheduleRunZeroAlloc asserts the engine's steady-state event cycle
+// — schedule a typed callback, run it, chain the next — never allocates:
+// the popped event is recycled into the very slot the callback's
+// re-schedule acquires.
+func TestScheduleRunZeroAlloc(t *testing.T) {
+	var eng Engine
+	var fired int
+	var self Callback
+	self = func(arg any) {
+		fired++
+		e := arg.(*Engine)
+		if fired%2 == 0 {
+			e.ScheduleCall(1, self, e)
+		}
+	}
+	// Warm the pool: one event in flight, free list primed.
+	eng.ScheduleCall(1, self, &eng)
+	eng.RunAll()
+
+	if n := testing.AllocsPerRun(200, func() {
+		eng.ScheduleCall(1, self, &eng)
+		eng.RunAll()
+	}); n != 0 {
+		t.Errorf("steady-state ScheduleCall+Run allocates %v per cycle, want 0", n)
+	}
+	if fired == 0 {
+		t.Fatal("callback never ran")
+	}
+}
+
+// TestTickerZeroAlloc asserts a ticker's re-arm cycle does not allocate:
+// each tick's event slot is reused by the next arm.
+func TestTickerZeroAlloc(t *testing.T) {
+	var eng Engine
+	ticks := 0
+	tk := eng.NewTicker(1, func() { ticks++ })
+	eng.Run(2) // warm: the first arm's slot is now pooled
+	horizon := eng.Now()
+	if n := testing.AllocsPerRun(100, func() {
+		horizon += 5
+		eng.Run(horizon)
+	}); n != 0 {
+		t.Errorf("ticker steady state allocates %v per window, want 0", n)
+	}
+	tk.Stop()
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+}
+
+// TestResourceSubmitZeroAlloc asserts the full pooled request cycle —
+// acquire a job, submit, serve, complete, auto-release — runs without
+// allocating once the pools are warm. This is the clustersim dispatch
+// path.
+func TestResourceSubmitZeroAlloc(t *testing.T) {
+	var eng Engine
+	res := NewResource(&eng, "srv", 2)
+	var served int
+	done := func(*Job) { served++ }
+
+	submit := func() {
+		j := eng.AcquireJob()
+		j.Demand = 1
+		j.Tag = 7
+		j.Aux = 1
+		j.Stamp = eng.Now()
+		j.Done = done
+		res.Submit(j)
+	}
+	// Warm both pools (job + completion event).
+	submit()
+	eng.RunAll()
+
+	if n := testing.AllocsPerRun(200, func() {
+		submit()
+		eng.RunAll()
+	}); n != 0 {
+		t.Errorf("pooled Submit cycle allocates %v per job, want 0", n)
+	}
+	if served == 0 {
+		t.Fatal("no jobs served")
+	}
+}
+
+// TestArenaReuseAcrossRuns asserts a second engine run on the same arena
+// starts with everything it needs pooled: no allocations at all for a
+// fresh engine's whole schedule/submit/run lifetime.
+func TestArenaReuseAcrossRuns(t *testing.T) {
+	var arena Arena
+	run := func() {
+		var eng Engine
+		eng.UseArena(&arena)
+		res := NewResource(&eng, "srv", 1)
+		for i := 0; i < 10; i++ {
+			j := eng.AcquireJob()
+			j.Demand = 1
+			res.Submit(j)
+		}
+		eng.RunAll()
+	}
+	run() // warm the arena
+	// NewResource itself allocates (one struct + name), so the budget is
+	// the per-run fixed cost, not per-event: all 10 jobs and their
+	// completion events must come from the pool.
+	n := testing.AllocsPerRun(50, run)
+	if n > 4 {
+		t.Errorf("arena-backed run allocates %v, want only the fixed per-run cost (<= 4)", n)
+	}
+}

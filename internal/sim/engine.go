@@ -1,29 +1,191 @@
 // Package sim is a small discrete-event simulation engine, the
 // repository's substitute for the YACSIM toolkit the paper used.
 //
-// The engine maintains a virtual clock and an event calendar. Events are
-// closures scheduled for a future instant; Run drains the calendar in
-// time order, breaking ties by scheduling order so runs are exactly
-// reproducible. On top of the calendar the package provides Timer
-// (cancellable one-shot), Ticker (periodic callback, used for the
-// load-tuning interval) and Resource (a single FIFO queueing station
-// with a speed factor, used to model a metadata server).
+// The engine maintains a virtual clock and an event calendar. Events
+// carry either a plain closure or a typed (callback, arg) pair; Run
+// drains the calendar in time order, breaking ties by scheduling order
+// so runs are exactly reproducible. On top of the calendar the package
+// provides Timer (cancellable one-shot), Ticker (periodic callback,
+// used for the load-tuning interval) and Resource (a single FIFO
+// queueing station with a speed factor, used to model a metadata
+// server).
+//
+// The hot path is allocation-lean by construction: event structs are
+// recycled through a free list, the calendar is an index-based 4-ary
+// heap (no container/heap interface boxing), Timers are values, and the
+// typed (callback, arg) form lets steady-state scheduling — resource
+// completions, ticker re-arms, chained arrivals — run without
+// allocating a closure per event. An Arena makes that recycled memory
+// reusable across consecutive runs.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
+
+// Callback is the typed event form: a plain function pointer applied to
+// a caller-supplied argument. Scheduling a Callback whose argument is a
+// pointer does not allocate, unlike a capturing closure; it is the form
+// every steady-state event in this package uses.
+type Callback func(arg any)
+
+// event is a calendar entry, recycled through the arena's free list.
+type event struct {
+	at  float64
+	seq uint64 // breaks ties deterministically in FIFO order
+
+	// Exactly one of fn or cb is set: fn is the closure form, (cb, arg)
+	// the allocation-free typed form.
+	fn  func()
+	cb  Callback
+	arg any
+
+	// gen invalidates Timer handles across recycling: a Timer captures
+	// the generation at scheduling time and every release increments it,
+	// so a stale handle can never cancel the slot's next occupant.
+	gen uint64
+
+	eng       *Engine
+	next      *event // free-list link
+	cancelled bool
+}
+
+// Arena owns an engine's recyclable memory: the calendar backing array,
+// the event free list and the job free list. An engine without an
+// explicit arena creates a private one on first use, so the zero-value
+// Engine keeps working unchanged. Callers that run many simulations
+// back to back (the experiment worker pool) hand one arena to each
+// successive engine via UseArena, making steady-state memory a
+// per-worker, allocate-once cost instead of a per-run one.
+//
+// An arena must never be used by two engines at the same time; each
+// parallel worker owns its own.
+type Arena struct {
+	cal     []*event
+	freeEv  *event
+	freeJob *Job
+}
+
+// acquireEvent pops a recycled event or allocates a fresh one.
+func (a *Arena) acquireEvent() *event {
+	ev := a.freeEv
+	if ev == nil {
+		return new(event)
+	}
+	a.freeEv = ev.next
+	ev.next = nil
+	return ev
+}
+
+// releaseEvent invalidates outstanding Timer handles and returns the
+// event to the free list.
+func (a *Arena) releaseEvent(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cb = nil
+	ev.arg = nil
+	ev.cancelled = false
+	ev.next = a.freeEv
+	a.freeEv = ev
+}
+
+// less orders the calendar by (time, seq).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the 4-ary min-heap. A 4-ary layout halves the
+// tree depth of a binary heap; sift-down compares at most four children
+// per level, which trades more comparisons per level for fewer cache
+// misses — the standard choice for event calendars.
+func (a *Arena) push(ev *event) {
+	a.cal = append(a.cal, ev)
+	cal := a.cal
+	i := len(cal) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, cal[p]) {
+			break
+		}
+		cal[i] = cal[p]
+		i = p
+	}
+	cal[i] = ev
+}
+
+// pop removes and returns the earliest event.
+func (a *Arena) pop() *event {
+	cal := a.cal
+	top := cal[0]
+	n := len(cal) - 1
+	moved := cal[n]
+	cal[n] = nil
+	a.cal = cal[:n]
+	if n == 0 {
+		return top
+	}
+	cal = a.cal
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(cal[j], cal[m]) {
+				m = j
+			}
+		}
+		if !less(cal[m], moved) {
+			break
+		}
+		cal[i] = cal[m]
+		i = m
+	}
+	cal[i] = moved
+	return top
+}
 
 // Engine is a discrete-event simulator. The zero value is ready to use;
 // its clock starts at time 0.
 type Engine struct {
 	now     float64
 	seq     uint64
-	cal     calendar
 	stopped bool
 	events  uint64
+	live    int // scheduled, non-cancelled events (O(1) Pending)
+	arena   *Arena
+}
+
+// UseArena attaches a caller-owned arena, adopting its recycled events,
+// jobs and calendar capacity. It must be called before any scheduling;
+// attaching while events are pending panics.
+func (e *Engine) UseArena(a *Arena) {
+	if a == nil {
+		return
+	}
+	if e.arena != nil && len(e.arena.cal) > 0 {
+		panic("sim: UseArena with events pending")
+	}
+	e.arena = a
+}
+
+// arenaRef returns the engine's arena, creating a private one on first
+// use so the zero-value Engine needs no setup.
+func (e *Engine) arenaRef() *Arena {
+	if e.arena == nil {
+		e.arena = new(Arena)
+	}
+	return e.arena
 }
 
 // Now returns the current virtual time in seconds.
@@ -36,23 +198,50 @@ func (e *Engine) EventsRun() uint64 { return e.events }
 // Schedule runs fn after delay seconds of virtual time and returns a
 // Timer that can cancel it. A negative delay panics: the calendar only
 // moves forward.
-func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+func (e *Engine) Schedule(delay float64, fn func()) Timer {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: Schedule with invalid delay %g", delay))
 	}
-	return e.ScheduleAt(e.now+delay, fn)
+	return e.schedule(e.now+delay, fn, nil, nil)
 }
 
 // ScheduleAt runs fn at absolute virtual time t. Scheduling in the past
 // panics.
-func (e *Engine) ScheduleAt(t float64, fn func()) *Timer {
+func (e *Engine) ScheduleAt(t float64, fn func()) Timer {
+	return e.schedule(t, fn, nil, nil)
+}
+
+// ScheduleCall runs cb(arg) after delay seconds of virtual time. It is
+// Schedule without the closure: when arg is a pointer, scheduling does
+// not allocate, so self-rescheduling hot paths run allocation-free.
+func (e *Engine) ScheduleCall(delay float64, cb Callback, arg any) Timer {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: ScheduleCall with invalid delay %g", delay))
+	}
+	return e.schedule(e.now+delay, nil, cb, arg)
+}
+
+// ScheduleCallAt runs cb(arg) at absolute virtual time t.
+func (e *Engine) ScheduleCallAt(t float64, cb Callback, arg any) Timer {
+	return e.schedule(t, nil, cb, arg)
+}
+
+func (e *Engine) schedule(t float64, fn func(), cb Callback, arg any) Timer {
 	if t < e.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("sim: ScheduleAt(%g) before now=%g", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	a := e.arenaRef()
+	ev := a.acquireEvent()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.cb = cb
+	ev.arg = arg
+	ev.eng = e
 	e.seq++
-	heap.Push(&e.cal, ev)
-	return &Timer{ev: ev}
+	e.live++
+	a.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Run executes events in order until the calendar is empty, the virtual
@@ -61,21 +250,33 @@ func (e *Engine) ScheduleAt(t float64, fn func()) *Timer {
 // call.
 func (e *Engine) Run(until float64) uint64 {
 	e.stopped = false
+	a := e.arenaRef()
 	var n uint64
-	for len(e.cal) > 0 && !e.stopped {
-		next := e.cal[0]
+	for len(a.cal) > 0 && !e.stopped {
+		next := a.cal[0]
 		if next.at > until {
 			break
 		}
-		heap.Pop(&e.cal)
+		a.pop()
 		if next.cancelled {
+			a.releaseEvent(next)
 			continue
 		}
 		if next.at < e.now {
 			panic(fmt.Sprintf("sim: calendar yielded time %g before now %g", next.at, e.now))
 		}
 		e.now = next.at
-		next.fn()
+		e.live--
+		// Copy the body and recycle the slot before running it: the
+		// callback may schedule, and in the steady state (a chained
+		// arrival, a completion re-arm) it reuses this very event.
+		fn, cb, arg := next.fn, next.cb, next.arg
+		a.releaseEvent(next)
+		if fn != nil {
+			fn()
+		} else {
+			cb(arg)
+		}
 		n++
 		e.events++
 	}
@@ -93,75 +294,30 @@ func (e *Engine) RunAll() uint64 { return e.Run(math.Inf(1)) }
 // Stop halts the current Run after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.cal {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (non-cancelled) events. It is
+// O(1): the engine counts live events as they are scheduled, cancelled
+// and run instead of scanning the calendar.
+func (e *Engine) Pending() int { return e.live }
 
-// Timer is a handle to a scheduled event.
+// Timer is a value handle to a scheduled event. The zero Timer is valid
+// and never cancels anything.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the event from running. Cancelling an already-run or
 // already-cancelled timer is a no-op. It reports whether the event was
-// still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+// still pending. Cancelled entries stay in the calendar until their
+// time comes and are discarded then (lazy deletion).
+func (t Timer) Cancel() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.cancelled {
 		return false
 	}
-	t.ev.cancelled = true
+	ev.cancelled = true
+	ev.eng.live--
 	return true
-}
-
-// event is a calendar entry.
-type event struct {
-	at        float64
-	seq       uint64 // breaks ties deterministically in FIFO order
-	fn        func()
-	cancelled bool
-	done      bool
-	index     int
-}
-
-// calendar is a min-heap of events ordered by (time, seq).
-type calendar []*event
-
-func (c calendar) Len() int { return len(c) }
-
-func (c calendar) Less(i, j int) bool {
-	if c[i].at != c[j].at {
-		return c[i].at < c[j].at
-	}
-	return c[i].seq < c[j].seq
-}
-
-func (c calendar) Swap(i, j int) {
-	c[i], c[j] = c[j], c[i]
-	c[i].index = i
-	c[j].index = j
-}
-
-func (c *calendar) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*c)
-	*c = append(*c, ev)
-}
-
-func (c *calendar) Pop() any {
-	old := *c
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*c = old[:n-1]
-	ev.done = true
-	return ev
 }
 
 // Ticker invokes a callback at a fixed period. It is the mechanism
@@ -170,7 +326,7 @@ type Ticker struct {
 	eng    *Engine
 	period float64
 	fn     func()
-	timer  *Timer
+	timer  Timer
 	stop   bool
 }
 
@@ -185,16 +341,21 @@ func (e *Engine) NewTicker(period float64, fn func()) *Ticker {
 	return t
 }
 
+// tickerFire is the shared re-arm callback: with the ticker itself as
+// the argument, every tick schedules the next without allocating.
+func tickerFire(arg any) {
+	t := arg.(*Ticker)
+	if t.stop {
+		return
+	}
+	t.fn()
+	if !t.stop {
+		t.arm()
+	}
+}
+
 func (t *Ticker) arm() {
-	t.timer = t.eng.Schedule(t.period, func() {
-		if t.stop {
-			return
-		}
-		t.fn()
-		if !t.stop {
-			t.arm()
-		}
-	})
+	t.timer = t.eng.ScheduleCall(t.period, tickerFire, t)
 }
 
 // Stop cancels future ticks.

@@ -23,6 +23,9 @@ type Process struct {
 	parked   chan struct{}
 	done     bool
 	panicVal any
+	// stepDone is the bound step callback, created once so Acquire
+	// completions do not allocate a closure per job.
+	stepDone func(*Job)
 }
 
 // Go spawns body as a simulation process starting at the current
@@ -35,6 +38,7 @@ func (e *Engine) Go(name string, body func(p *Process)) *Process {
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
+	p.stepDone = func(*Job) { p.step() }
 	go func() {
 		<-p.resume // wait for the engine to hand over control
 		defer func() {
@@ -46,9 +50,12 @@ func (e *Engine) Go(name string, body func(p *Process)) *Process {
 		}()
 		body(p)
 	}()
-	e.Schedule(0, func() { p.step() })
+	e.ScheduleCall(0, processStep, p)
 	return p
 }
+
+// processStep is the shared resume callback for typed scheduling.
+func processStep(arg any) { arg.(*Process).step() }
 
 // step transfers control to the process and blocks the event loop until
 // the process suspends or finishes.
@@ -81,7 +88,7 @@ func (p *Process) Delay(d float64) {
 	if d < 0 || math.IsNaN(d) {
 		panic(fmt.Sprintf("sim: process %q Delay(%g)", p.name, d))
 	}
-	p.eng.Schedule(d, func() { p.step() })
+	p.eng.ScheduleCall(d, processStep, p)
 	p.park()
 }
 
@@ -90,10 +97,10 @@ func (p *Process) Delay(d float64) {
 // response time. It is the process-style equivalent of Submit+Done.
 func (p *Process) Acquire(r *Resource, demand float64) float64 {
 	start := p.eng.Now()
-	r.Submit(&Job{
-		Demand: demand,
-		Done:   func(*Job) { p.step() },
-	})
+	j := p.eng.AcquireJob()
+	j.Demand = demand
+	j.Done = p.stepDone
+	r.Submit(j)
 	p.park()
 	return p.eng.Now() - start
 }

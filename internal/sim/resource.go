@@ -10,6 +10,15 @@ import (
 // Demand/s seconds of service, after any queueing delay. This mirrors
 // the paper's heterogeneity model where the same request takes time T on
 // the slowest server and T/9 on the fastest.
+//
+// Jobs come in two flavours. A caller-constructed &Job{} behaves as it
+// always did and is never touched after Done returns. A pooled job from
+// Engine.AcquireJob is recycled automatically the moment its Done
+// callback returns (or, for jobs handed back by DrainQueue or Fail,
+// when the caller resubmits it or calls Engine.ReleaseJob) — the
+// allocation-free path for steady-state request streams. A pooled job
+// must not be resubmitted from inside its own Done callback and must
+// not be referenced after release.
 type Job struct {
 	// Demand is the amount of work in unit-speed seconds. Must be
 	// positive and finite.
@@ -20,14 +29,25 @@ type Job struct {
 	Done func(j *Job)
 
 	// Payload carries caller context (for example the request being
-	// served) through the queue.
+	// served) through the queue. Storing a non-pointer here allocates;
+	// hot paths should use the typed slots below instead.
 	Payload any
+
+	// Tag and Aux are caller-owned integer slots and Stamp a
+	// caller-owned time slot: the typed, allocation-free alternative to
+	// Payload. With a single shared Done function they carry everything
+	// a per-request context closure used to (the cluster layer stores
+	// the file set in Tag, the target server in Aux and the arrival
+	// time in Stamp).
+	Tag, Aux int32
+	Stamp    float64
 
 	// Arrive, Start and Finish are stamped by the Resource with the
 	// virtual times of submission, service start and completion.
 	Arrive, Start, Finish float64
 
-	next *Job // intrusive FIFO link
+	next   *Job // intrusive FIFO / free-list link
+	pooled bool
 }
 
 // Wait returns the queueing delay the job experienced.
@@ -35,6 +55,34 @@ func (j *Job) Wait() float64 { return j.Start - j.Arrive }
 
 // Latency returns the total response time (queueing plus service).
 func (j *Job) Latency() float64 { return j.Finish - j.Arrive }
+
+// AcquireJob returns a zeroed job from the engine's pool. The job is
+// recycled automatically after its Done callback returns; see Job.
+func (e *Engine) AcquireJob() *Job {
+	a := e.arenaRef()
+	j := a.freeJob
+	if j == nil {
+		j = new(Job)
+	} else {
+		a.freeJob = j.next
+		j.next = nil
+	}
+	j.pooled = true
+	return j
+}
+
+// ReleaseJob returns a pooled job to the engine's pool without running
+// it — the path for orphans from Fail or DrainQueue that the caller
+// does not resubmit. Releasing a caller-constructed (non-pooled) job or
+// releasing twice is a no-op.
+func (e *Engine) ReleaseJob(j *Job) {
+	if j == nil || !j.pooled {
+		return
+	}
+	a := e.arenaRef()
+	*j = Job{next: a.freeJob} // drop references so the pool retains nothing
+	a.freeJob = j
+}
 
 // Resource is a single-server FIFO queueing station with a speed
 // factor, the model of one metadata server. It is driven entirely by an
@@ -50,7 +98,7 @@ type Resource struct {
 	head, tail *Job // waiting jobs, FIFO
 	queued     int
 	current    *Job
-	completion *Timer
+	completion Timer
 
 	served      uint64
 	busy        float64 // accumulated busy seconds (completed service)
@@ -152,7 +200,17 @@ func (r *Resource) InjectBusy(d float64) {
 	if d <= 0 {
 		return
 	}
-	r.Submit(&Job{Demand: d * r.speed})
+	j := r.eng.AcquireJob()
+	j.Demand = d * r.speed
+	r.Submit(j)
+}
+
+// resourceComplete is the shared completion callback: the in-service
+// job is always r.current, so the resource itself is argument enough
+// and completions schedule without allocating.
+func resourceComplete(arg any) {
+	r := arg.(*Resource)
+	r.complete(r.current)
 }
 
 func (r *Resource) startService(j *Job) {
@@ -160,13 +218,13 @@ func (r *Resource) startService(j *Job) {
 	j.Finish = j.Start + j.Demand/r.speed
 	r.current = j
 	r.serviceFrom = j.Start
-	r.completion = r.eng.ScheduleAt(j.Finish, func() { r.complete(j) })
+	r.completion = r.eng.ScheduleCallAt(j.Finish, resourceComplete, r)
 }
 
 func (r *Resource) complete(j *Job) {
 	r.busy += r.eng.Now() - r.serviceFrom
 	r.current = nil
-	r.completion = nil
+	r.completion = Timer{}
 	r.served++
 	if r.head != nil {
 		next := r.head
@@ -180,12 +238,15 @@ func (r *Resource) complete(j *Job) {
 	if j.Done != nil {
 		j.Done(j)
 	}
+	r.eng.ReleaseJob(j) // no-op for caller-constructed jobs
 }
 
 // DrainQueue removes and returns the waiting jobs (not the one in
 // service) for which keep returns false. The relative order of the
 // remaining queue is preserved. It is the mechanism for redirecting
-// queued requests when their file set moves to another server.
+// queued requests when their file set moves to another server. Drained
+// pooled jobs are owned by the caller: resubmit them or release them
+// with Engine.ReleaseJob.
 func (r *Resource) DrainQueue(keep func(*Job) bool) []*Job {
 	var drained []*Job
 	var head, tail *Job
@@ -212,7 +273,9 @@ func (r *Resource) DrainQueue(keep func(*Job) bool) []*Job {
 
 // Fail takes the resource down and returns all unfinished jobs: the job
 // in service (its partial progress is lost, as a crashed server would
-// lose it) followed by the FIFO queue. The caller re-routes them.
+// lose it) followed by the FIFO queue. The caller re-routes them;
+// pooled orphans it does not resubmit must go back via
+// Engine.ReleaseJob.
 func (r *Resource) Fail() []*Job {
 	if !r.up {
 		return nil
@@ -226,7 +289,7 @@ func (r *Resource) Fail() []*Job {
 		r.current.Start, r.current.Finish = 0, 0
 		orphans = append(orphans, r.current)
 		r.current = nil
-		r.completion = nil
+		r.completion = Timer{}
 	}
 	for j := r.head; j != nil; {
 		next := j.next
