@@ -1,16 +1,24 @@
-// Failover: crash a node mid-round and restart it from its journal.
+// Failover: live-migrate a serving cluster to a new placement
+// strategy, crash a node inside the cutover window, and finish the
+// migration from its journal.
 //
 // The example runs a five-node delegate cluster on a lossy in-memory
-// network, with every node journaling each installed placement (map +
-// view epoch + round) to disk. It then kills one node, damages its
-// journal tail the way an interrupted write would, and restarts the
-// process from the surviving bytes: the node rejoins at the recovered
-// (epoch, round) — not at the bootstrap snapshot — and a replayed map
-// from a superseded epoch bounces off its install fence instead of
-// rolling the placement back. This is the durability story behind the
-// paper's recovery argument: half-occupancy guarantees a free partition
-// for a recovering server, and the journal guarantees the server comes
-// back knowing which placement it had agreed to.
+// network, with every node journaling installed placements AND
+// migration phase records to disk. While client lookups hammer every
+// node, the delegate drives a zero-downtime migration from the
+// paper's ANU strategy to the bounded-load chord ring:
+//
+//	Idle -> Proposed -> DualTag -> Committed
+//
+// During the dual-tag window each node keeps serving lock-free
+// lookups from the old ANU snapshot while the chord placement warms;
+// the flip is one atomic snapshot publish fenced by an epoch bump.
+// Mid-window, one follower is killed and restarted from its journal:
+// the journaled DualTag record (with the warm snapshot) resumes the
+// window, and the leader's post-commit retries finish the cutover —
+// no lookup ever fails, and no node is left behind on the old
+// strategy. Requiring every member to acknowledge the window
+// (Quorum = 5) keeps the crash landing inside it deterministically.
 //
 // Run with: go run ./examples/failover
 package main
@@ -20,6 +28,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"anurand/internal/anu"
@@ -27,6 +37,7 @@ import (
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
 	"anurand/internal/journal"
+	"anurand/internal/migrate"
 	"anurand/internal/placement"
 )
 
@@ -40,9 +51,9 @@ func main() {
 	speeds := map[delegate.NodeID]float64{0: 1, 1: 2, 2: 4, 3: 6, 4: 8}
 
 	cn, err := cluster.NewChaosNetwork(cluster.ChaosConfig{
-		Drop:      0.10,
+		Drop:      0.05,
 		Duplicate: 0.05,
-		MaxDelay:  10 * time.Millisecond,
+		MaxDelay:  5 * time.Millisecond,
 		Seed:      7,
 	})
 	check(err)
@@ -66,7 +77,11 @@ func main() {
 			Controller:        anu.DefaultControllerConfig(),
 			RoundInterval:     40 * time.Millisecond,
 			HeartbeatInterval: 8 * time.Millisecond,
-			FailAfter:         120 * time.Millisecond,
+			FailAfter:         400 * time.Millisecond,
+			WatchdogRounds:    10,
+			Quorum:            len(ids), // the dual-tag window closes only when everyone acked
+			MigrateTimeout:    20 * time.Second,
+			MigrateRetry:      80 * time.Millisecond,
 			Observe: func(p placement.Strategy, id delegate.NodeID) (uint64, float64) {
 				share := p.Shares()[id]
 				return uint64(1 + 1000*share), 0.002 + share/speeds[id]
@@ -91,75 +106,110 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("5 nodes tuning over a lossy network, journaling every installed placement\n\n")
+	fmt.Printf("5 nodes tuning %q over a lossy network, journaling placements and migration phases\n\n", placement.StrategyANU)
 	waitUntil("initial convergence", 20*time.Second, func() bool {
 		return convergedAll(rts) && rts[2].MapRound() >= 4
 	})
-	s := rts[2].Stats()
-	fmt.Printf("converged: node 2 installed map fence (epoch %d, round %d), journal holds %d appends\n",
-		s.MapEpoch, s.MapRound, s.Journal.Appends)
+	s := rts[0].Stats()
+	fmt.Printf("converged on %s at fence (epoch %d, round %d)\n", s.Strategy, s.MapEpoch, s.MapRound)
 
-	// --- crash node 2 mid-round, tearing its last journal write -------
-	victim := 2
-	rts[victim].Stop()
-	durable, _ := journals[victim].Last()
-	chaosJ := journal.NewChaos(journals[victim], 99)
-	if kind, ok, err := chaosJ.InjectTailFault(); err != nil {
-		log.Fatal(err)
-	} else if ok {
-		fmt.Printf("\nnode 2 killed mid-round; injected a %v into its journal tail\n", kind)
-	}
-	check(journals[victim].Close())
-
-	// --- restart from the damaged journal ------------------------------
-	openJournal(victim)
-	rec, ok := journals[victim].Last()
-	if !ok {
-		log.Fatal("journal recovered no record")
-	}
-	js := journals[victim].Stats()
-	fmt.Printf("reopened journal: recovered %d record(s), truncated %d torn tail(s)\n",
-		js.RecordsRecovered, js.TornTailsTruncated)
-	fmt.Printf("recovered fence (epoch %d, round %d) — durable state at the kill was (epoch %d, round %d)\n",
-		rec.Epoch, rec.Round, durable.Epoch, durable.Round)
-
-	rts[victim] = start(victim)
-	rs := rts[victim].Stats()
-	fmt.Printf("node 2 restarted: resumes at (epoch %d, round %d), not the bootstrap snapshot\n",
-		rs.RecoveredEpoch, rs.RecoveredRound)
-
-	// --- a superseded delegate replays an old map -----------------------
-	// The restarted node's fence rejects it even though its round number
-	// raced far ahead while the stale delegate was partitioned.
-	if rec.Epoch > 0 {
-		inj := cn.Endpoint(99)
-		check(inj.Send(delegate.Message{
-			Kind:    delegate.MsgMap,
-			From:    4,
-			To:      ids[victim],
-			Epoch:   rec.Epoch - 1,
-			Round:   rec.Round + 1000,
-			Payload: snapshot,
-		}))
-		waitUntil("stale-epoch rejection", 10*time.Second, func() bool {
-			return rts[victim].Stats().StaleEpochsRejected > 0
-		})
-		fmt.Printf("replayed map from epoch %d round %d: rejected by the fence, placement untouched\n",
-			rec.Epoch-1, rec.Round+1000)
+	// --- client lookups hammer every node for the whole cutover --------
+	var lookups, failures atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	keys := []string{"/home/alice", "/home/bob", "/var/mail", "/srv/data"}
+	for _, rt := range rts {
+		wg.Add(1)
+		go func(rt *cluster.Runtime) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(500 * time.Microsecond)
+				if _, ok := rt.Lookup(keys[n%len(keys)]); ok {
+					lookups.Add(1)
+				} else {
+					failures.Add(1)
+				}
+			}
+		}(rt)
 	}
 
-	// --- reconvergence ---------------------------------------------------
-	waitUntil("reconvergence", 20*time.Second, func() bool {
-		return convergedAll(rts) && rts[victim].MapRound() > rec.Round
+	// --- the delegate proposes the live cutover -------------------------
+	epochBefore := rts[0].MapEpoch()
+	migID, err := rts[0].Migrate(placement.StrategyChordBounded)
+	check(err)
+	fmt.Printf("\ndelegate proposed migration %d: %s -> %s\n", migID, placement.StrategyANU, placement.StrategyChordBounded)
+
+	// --- crash a follower inside the dual-tag window --------------------
+	victim := 3
+	waitUntil("victim inside the dual-tag window", 20*time.Second, func() bool {
+		phase, _ := rts[victim].MigrationPhase()
+		return phase == migrate.DualTag
 	})
+	rts[victim].Stop()
+	check(journals[victim].Close())
+	fmt.Printf("node %d killed inside the dual-tag window (old strategy still serving everywhere)\n", victim)
+
+	// --- restart it from the journal ------------------------------------
+	openJournal(victim)
+	if rec, ok := journals[victim].LastMigration(); ok {
+		mr, err := migrate.Decode(rec.Map)
+		check(err)
+		fmt.Printf("reopened journal: migration record %s (id %d, warm snapshot %d bytes)\n",
+			mr.Phase, mr.ID, len(mr.Snapshot))
+	}
+	rts[victim] = start(victim)
+	if phase, id := rts[victim].MigrationPhase(); phase == migrate.DualTag {
+		fmt.Printf("node %d restarted: resumed migration %d in %s — window reopened from disk\n", victim, id, phase)
+	} else {
+		fmt.Printf("node %d restarted in %s; the leader's commit retries will catch it up\n", victim, phase)
+	}
+
+	// --- the cutover completes everywhere -------------------------------
+	waitUntil("cluster-wide cutover", 30*time.Second, func() bool {
+		for _, rt := range rts {
+			if rt.Strategy() != placement.StrategyChordBounded {
+				return false
+			}
+			if phase, _ := rt.MigrationPhase(); phase != migrate.Idle {
+				return false
+			}
+		}
+		return true
+	})
+	fmt.Printf("\nevery node now serves %q; commit bumped the install epoch %d -> %d\n",
+		placement.StrategyChordBounded, epochBefore, rts[0].MapEpoch())
+
+	waitUntil("reconvergence on the new strategy", 20*time.Second, func() bool {
+		if !convergedAll(rts) {
+			return false
+		}
+		// Let the post-commit gossip settle so the per-node stats below
+		// show the cluster at rest: everyone back behind delegate 0 with
+		// the migrating bit cleared.
+		for _, rt := range rts {
+			s := rt.Stats()
+			if s.Delegate != 0 || s.DelegateMigrating {
+				return false
+			}
+		}
+		return true
+	})
+	close(stop)
+	wg.Wait()
+	fmt.Printf("client lookups during the whole cutover: %d served, %d failed\n", lookups.Load(), failures.Load())
+	if failures.Load() != 0 {
+		log.Fatal("the zero-downtime contract was violated")
+	}
+
 	fmt.Printf("\ncluster reconverged; per-node view:\n")
 	for _, rt := range rts {
 		fmt.Printf("  %s\n", rt.Stats())
 	}
-	if err := rts[victim].Map().CheckInvariants(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nconverged map passes CheckInvariants (incl. half-occupancy for recovery headroom)\n")
 }
 
 func convergedAll(rts []*cluster.Runtime) bool {
@@ -181,7 +231,7 @@ func waitUntil(what string, d time.Duration, cond func() bool) {
 		if cond() {
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
 	}
 	log.Fatalf("timed out waiting for %s", what)
 }

@@ -58,16 +58,25 @@ import (
 // observers read shares through s.Shares().
 type ObserveFunc func(s placement.Strategy, id delegate.NodeID) (requests uint64, meanLatencySeconds float64)
 
-// Journal persists installed placements. Implementations must make
-// Append durable before returning (the runtime treats a nil error as
-// "this placement survives a crash") and must keep the monotone rule:
-// a record that does not supersede the last one is skipped, not an
-// error. *journal.Journal and *journal.ChaosJournal implement it. The
-// caller owns the journal's lifecycle; the Runtime never closes it.
+// Journal persists installed placements and live-migration phase
+// records. Implementations must make Append durable before returning
+// (the runtime treats a nil error as "this record survives a crash")
+// and must keep the monotone rule: a record that does not supersede
+// the last one is skipped, not an error. *journal.Journal and
+// *journal.ChaosJournal implement it. The caller owns the journal's
+// lifecycle; the Runtime never closes it.
 type Journal interface {
-	// Last returns the newest recovered or appended record.
+	// Last returns the newest recovered or appended record of any
+	// class.
 	Last() (journal.Record, bool)
-	// Append durably records an installed placement.
+	// LastPlacement returns the newest placement record — what a
+	// restarting node serves from.
+	LastPlacement() (journal.Record, bool)
+	// LastMigration returns the newest migration phase record — what a
+	// restarting node resumes (or recognises as complete).
+	LastMigration() (journal.Record, bool)
+	// Append durably records an installed placement or migration
+	// phase.
 	Append(rec journal.Record) error
 }
 
@@ -116,6 +125,14 @@ type Config struct {
 	// many round intervals: the current delegate is suspected for
 	// FailAfter so election moves to the next id. Default: 3.
 	WatchdogRounds uint64
+	// MigrateTimeout bounds each phase of a live strategy migration
+	// (Migrate): a phase that does not advance within it rolls back to
+	// the old placement. Default: 20×RoundInterval.
+	MigrateTimeout time.Duration
+	// MigrateRetry is how often the migration leader re-broadcasts the
+	// current phase message to peers that have not acknowledged it.
+	// Default: 2×RoundInterval.
+	MigrateRetry time.Duration
 
 	// Observe samples local performance each round. Optional; when nil
 	// the node reports zero load.
@@ -147,20 +164,49 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.RoundInterval <= 0 {
 		return cfg, fmt.Errorf("cluster: RoundInterval must be positive, got %v", cfg.RoundInterval)
 	}
-	if cfg.HeartbeatInterval <= 0 {
+	// Timing knobs are validated, not silently clamped: zero means "use
+	// the default", but a negative duration is always a config bug —
+	// tickers would panic or loops would spin — so it fails Start.
+	for _, knob := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"HeartbeatInterval", cfg.HeartbeatInterval},
+		{"FailAfter", cfg.FailAfter},
+		{"ReportGrace", cfg.ReportGrace},
+		{"MigrateTimeout", cfg.MigrateTimeout},
+		{"MigrateRetry", cfg.MigrateRetry},
+	} {
+		if knob.val < 0 {
+			return cfg, fmt.Errorf("cluster: %s must not be negative, got %v", knob.name, knob.val)
+		}
+	}
+	if cfg.Quorum < 0 {
+		return cfg, fmt.Errorf("cluster: Quorum must not be negative, got %d", cfg.Quorum)
+	}
+	if cfg.Quorum > len(cfg.Members) {
+		return cfg, fmt.Errorf("cluster: Quorum %d exceeds the %d configured members", cfg.Quorum, len(cfg.Members))
+	}
+	if cfg.HeartbeatInterval == 0 {
 		cfg.HeartbeatInterval = cfg.RoundInterval / 8
 		if cfg.HeartbeatInterval < time.Millisecond {
 			cfg.HeartbeatInterval = time.Millisecond
 		}
 	}
-	if cfg.FailAfter <= 0 {
+	if cfg.FailAfter == 0 {
 		cfg.FailAfter = 4*cfg.HeartbeatInterval + cfg.RoundInterval
 	}
-	if cfg.ReportGrace <= 0 {
+	if cfg.ReportGrace == 0 {
 		cfg.ReportGrace = cfg.RoundInterval / 2
 	}
-	if cfg.Quorum <= 0 {
+	if cfg.Quorum == 0 {
 		cfg.Quorum = len(cfg.Members)/2 + 1
+	}
+	if cfg.MigrateTimeout == 0 {
+		cfg.MigrateTimeout = 20 * cfg.RoundInterval
+	}
+	if cfg.MigrateRetry == 0 {
+		cfg.MigrateRetry = 2 * cfg.RoundInterval
 	}
 	if cfg.WatchdogRounds == 0 {
 		cfg.WatchdogRounds = 3

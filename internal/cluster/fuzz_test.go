@@ -25,6 +25,7 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(seed(delegate.Message{Kind: delegate.MsgMap, From: -1, To: 0, Epoch: 1 << 60, Round: 1 << 40, Payload: nil}))
 	hb := seed(delegate.Message{Kind: MsgHeartbeat, From: 4, To: 0, Epoch: 9, Round: 1000})
 	f.Add(hb)
+	f.Add(seed(delegate.Message{Kind: MsgMigratePropose, Flags: FlagMigrating, From: 0, To: 3, Epoch: 5, Round: 6, Payload: []byte("mig")}))
 	wrongVer := append([]byte(nil), hb...)
 	wrongVer[0] = 1
 	f.Add(wrongVer)
@@ -46,7 +47,7 @@ func FuzzReadFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-read re-encoded frame: %v", err)
 		}
-		if again.Kind != msg.Kind || again.From != msg.From || again.To != msg.To ||
+		if again.Kind != msg.Kind || again.Flags != msg.Flags || again.From != msg.From || again.To != msg.To ||
 			again.Epoch != msg.Epoch || again.Round != msg.Round || !bytes.Equal(again.Payload, msg.Payload) {
 			t.Fatalf("frame round trip diverged: %+v -> %+v", msg, again)
 		}

@@ -10,6 +10,7 @@ import (
 	"anurand/internal/delegate"
 	"anurand/internal/hashx"
 	"anurand/internal/journal"
+	"anurand/internal/migrate"
 	"anurand/internal/placement"
 )
 
@@ -53,15 +54,29 @@ type Runtime struct {
 	epoch      uint64
 	round      uint64
 	roundStart time.Time
-	// journalStage is the placement staged for the journal under mu and
-	// appended (fsynced) outside it; Journal.Append's own monotone guard
-	// keeps racing flushes safe.
-	journalStage *journal.Record
+	// journalStage holds records (placements and migration phases, in
+	// order) staged for the journal under mu and appended (fsynced)
+	// outside it; Journal.Append's own monotone guard keeps racing
+	// flushes safe.
+	journalStage []journal.Record
 	recovered    *journal.Record // the record Start resumed from, if any
 	lastMapTime  time.Time
 	curDelegate  delegate.NodeID
 	stopped      bool
 	counters     counters
+
+	// mig is the live strategy migration in flight on this node, nil
+	// when idle; migLinger is the leader's post-commit catch-up window.
+	// See migrate.go for the state machine.
+	mig       *migration
+	migLinger *migrationLinger
+	migSeq    uint64
+	// recoveredMig names the migration phase Start resumed (or
+	// recognised as committed) from the journal, "" when none.
+	recoveredMig string
+	// delegateMigrating mirrors the FlagMigrating bit last gossiped by
+	// the current delegate — informational only.
+	delegateMigrating bool
 }
 
 // nodeTransport adapts the runtime's mailbox to delegate.Transport.
@@ -82,15 +97,23 @@ func (nt nodeTransport) Deliver(to delegate.NodeID) []delegate.Message {
 // Start brings up a runtime on the given transport and begins
 // heartbeating and round-driving immediately.
 //
-// With a configured Journal, Start recovers the journal's last record
-// and resumes from it: the persisted map replaces cfg.Snapshot as the
-// bootstrap placement, and the node's install fence and the runtime's
-// epoch and round resume at the persisted (epoch, round) — the restart
-// rejoins where it crashed instead of replaying the seed placement. A
-// journaled map that no longer decodes is an error, never a silent
-// fallback: the journal's CRC framing already rejected disk damage, so
-// an undecodable record means the operator pointed the node at the
-// wrong file.
+// With a configured Journal, Start recovers the journal's newest
+// placement record and resumes from it: the persisted map replaces
+// cfg.Snapshot as the bootstrap placement, and the node's install
+// fence and the runtime's epoch and round resume at the persisted
+// (epoch, round) — the restart rejoins where it crashed instead of
+// replaying the seed placement. A journaled map that no longer decodes
+// is an error, never a silent fallback: the journal's CRC framing
+// already rejected disk damage, so an undecodable record means the
+// operator pointed the node at the wrong file.
+//
+// The journal's newest migration record refines that picture (the
+// exact phase a crash interrupted — see migrate.go for the recovery
+// table): an in-flight Proposed or DualTag phase resumes so the
+// cluster's leader retry or the rollback watchdog settles it, a
+// journaled cutover to a new strategy boots the new strategy even
+// though cfg.Strategy still names the old one, and a terminal record
+// behind the placement is history.
 func Start(cfg Config, tr Transport) (*Runtime, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -106,29 +129,105 @@ func Start(cfg Config, tr Transport) (*Runtime, error) {
 	}
 	r.counters.InstallLatencyHist = latencyHistogram()
 	r.counters.SampleLatencyHist = latencyHistogram()
+	r.counters.MigratePhaseLatencyHist = latencyHistogram()
+	r.counters.MigrateLatencyHist = latencyHistogram()
 	snapshot := cfg.Snapshot
 	if tag, terr := placement.Tag(snapshot); terr != nil {
 		return nil, fmt.Errorf("cluster: node %d: bootstrap snapshot: %w", cfg.ID, terr)
 	} else if tag != cfg.Strategy {
 		return nil, fmt.Errorf("cluster: node %d: bootstrap snapshot carries strategy %q, configured %q", cfg.ID, tag, cfg.Strategy)
 	}
+	var resumeMig *migrate.Record
 	if cfg.Journal != nil {
-		if rec, ok := cfg.Journal.Last(); ok {
-			// A journaled placement from a different strategy is rejected,
-			// not adopted: the operator either pointed the node at the
-			// wrong journal or changed Config.Strategy without wiping
-			// durable state, and both deserve a loud error.
-			tag, terr := placement.Tag(rec.Map)
+		plcRec, havePlc := cfg.Journal.LastPlacement()
+		migRaw, haveMig := cfg.Journal.LastMigration()
+		var migRec migrate.Record
+		if haveMig {
+			// The CRC framing already accepted these bytes, so a decode
+			// failure means a software mismatch, not disk damage: loud
+			// error, never a guessed phase.
+			mr, merr := migrate.Decode(migRaw.Map)
+			if merr != nil {
+				return nil, fmt.Errorf("cluster: node %d: journaled migration record unusable: %w", cfg.ID, merr)
+			}
+			migRec = mr
+		}
+		switch {
+		case havePlc:
+			tag, terr := placement.Tag(plcRec.Map)
 			if terr != nil {
 				return nil, fmt.Errorf("cluster: node %d: journaled placement unusable: %w", cfg.ID, terr)
 			}
-			if tag != cfg.Strategy {
+			migNewer := haveMig && migRaw.Supersedes(plcRec)
+			switch {
+			case tag == cfg.Strategy:
+				snapshot = plcRec.Map
+				r.recovered = &plcRec
+				r.epoch, r.round = plcRec.Epoch, plcRec.Round
+				if haveMig && migRec.From == cfg.Strategy && migRec.Phase != migrate.Aborted {
+					// The crash interrupted a migration after its last
+					// durable phase record: resume that phase (a journaled
+					// Committed whose placement append was lost resumes as
+					// a dual-tag catch-up window — see resumeMigration).
+					// The placement tail is usually NEWER than the phase
+					// record — the old strategy keeps tuning and journaling
+					// installs throughout the dual-tag window — so the fence
+					// comparison says nothing about liveness; what proves
+					// the migration is still open is that the newest
+					// migration record is non-terminal (commit and rollback
+					// both journal a terminal record).
+					resumeMig = &migRec
+					if migNewer {
+						r.epoch, r.round = migRaw.Epoch, migRaw.Round
+					}
+				}
+			case haveMig && migRec.To == tag && (migRec.Phase == migrate.DualTag || migRec.Phase == migrate.Committed):
+				// The journal's tail is a cutover this node durably passed
+				// through before crashing: the placement carries the target
+				// strategy, so boot it — cfg.Strategy still names the old
+				// one and that is expected, not an operator mistake.
+				cfg.Strategy = tag
+				r.cfg.Strategy = tag
+				snapshot = plcRec.Map
+				r.recovered = &plcRec
+				r.epoch, r.round = plcRec.Epoch, plcRec.Round
+				if migNewer {
+					r.epoch, r.round = migRaw.Epoch, migRaw.Round
+				}
+				r.recoveredMig = migrate.Committed.String()
+				cfg.logf("node %d: journal records a committed migration %s -> %s; booting %q", cfg.ID, migRec.From, migRec.To, tag)
+			case haveMig && migRec.From == tag && migRec.Phase.InFlight():
+				// The placement tag names the SOURCE of an open migration:
+				// an earlier cutover left cfg.Strategy stale (the journal,
+				// not the config, tracks strategy across restarts) and the
+				// crash landed mid-way through the next migration. Boot
+				// what the journal serves and resume the phase.
+				cfg.Strategy = tag
+				r.cfg.Strategy = tag
+				snapshot = plcRec.Map
+				r.recovered = &plcRec
+				r.epoch, r.round = plcRec.Epoch, plcRec.Round
+				if migNewer {
+					r.epoch, r.round = migRaw.Epoch, migRaw.Round
+				}
+				resumeMig = &migRec
+				cfg.logf("node %d: journal serves %q with an open migration %s -> %s; resuming", cfg.ID, tag, migRec.From, migRec.To)
+			default:
+				// A journaled placement from a different strategy with no
+				// migration explaining it is rejected, not adopted: the
+				// operator either pointed the node at the wrong journal or
+				// changed Config.Strategy without wiping durable state.
 				return nil, fmt.Errorf("cluster: node %d: journaled placement carries strategy %q, configured %q", cfg.ID, tag, cfg.Strategy)
 			}
-			snapshot = rec.Map
-			r.recovered = &rec
-			r.epoch = rec.Epoch
-			r.round = rec.Round
+		case haveMig:
+			// Migration records but no placement yet (the journal was
+			// compacted down to an in-flight migration, or the node
+			// crashed before its first install): bootstrap from
+			// cfg.Snapshot and resume the phase.
+			if migRec.Phase.InFlight() && migRec.From == cfg.Strategy {
+				resumeMig = &migRec
+				r.epoch, r.round = migRaw.Epoch, migRaw.Round
+			}
 		}
 	}
 	node, err := delegate.NewNodeWithOptions(cfg.ID, snapshot, cfg.placementOptions(), nodeTransport{r})
@@ -143,9 +242,12 @@ func Start(cfg Config, tr Transport) (*Runtime, error) {
 		cfg.logf("node %d: resumed from journal at epoch %d round %d", cfg.ID, r.recovered.Epoch, r.recovered.Round)
 	}
 	r.node = node
+	now := time.Now()
+	if resumeMig != nil {
+		r.resumeMigration(*resumeMig, now)
+	}
 	s := node.Placement().Clone()
 	r.placement.Store(&s)
-	now := time.Now()
 	r.roundStart, r.lastMapTime = now, now
 	r.wg.Add(3)
 	go r.recvLoop()
@@ -197,6 +299,11 @@ func (r *Runtime) handle(msg delegate.Message) {
 	if msg.Epoch > r.epoch {
 		r.epoch = msg.Epoch
 	}
+	// Migration gossip: mirror the delegate's FlagMigrating bit so
+	// operators can watch a cutover propagate through Stats.
+	if msg.From == r.curDelegate {
+		r.delegateMigrating = msg.Flags&FlagMigrating != 0
+	}
 	switch msg.Kind {
 	case MsgHeartbeat:
 		r.counters.HeartbeatsReceived++
@@ -205,10 +312,7 @@ func (r *Runtime) handle(msg delegate.Message) {
 		r.enqueueLocked(msg)
 	case delegate.MsgMap:
 		r.enqueueLocked(msg)
-		applied, err := r.node.CollectReports(r.round)
-		if err != nil {
-			r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
-		}
+		applied := r.collectLocked(now)
 		if applied {
 			r.counters.MapsInstalled++
 			r.lastMapTime = now
@@ -217,6 +321,8 @@ func (r *Runtime) handle(msg delegate.Message) {
 			r.counters.InstallLatencyHist.Add(install)
 			r.publishPlacementLocked()
 		}
+	case MsgMigratePropose, MsgMigrateWarm, MsgMigrateCommit, MsgMigrateAbort, MsgMigrateAck:
+		r.handleMigrateLocked(msg, now)
 	default:
 		// Unknown kinds are dropped at the runtime boundary; the
 		// protocol node only ever sees MsgReport and MsgMap.
@@ -302,13 +408,14 @@ func (r *Runtime) heartbeatLoop() {
 func (r *Runtime) sendHeartbeats() {
 	r.mu.Lock()
 	epoch, round := r.epoch, r.round
+	flags := r.migFlagsLocked()
 	r.counters.HeartbeatsSent += uint64(len(r.cfg.Members) - 1)
 	r.mu.Unlock()
 	for _, id := range r.cfg.Members {
 		if id == r.cfg.ID {
 			continue
 		}
-		r.tr.Send(delegate.Message{Kind: MsgHeartbeat, From: r.cfg.ID, To: id, Epoch: epoch, Round: round})
+		r.tr.Send(delegate.Message{Kind: MsgHeartbeat, Flags: flags, From: r.cfg.ID, To: id, Epoch: epoch, Round: round})
 	}
 }
 
@@ -361,6 +468,7 @@ func (r *Runtime) tick() {
 		r.curDelegate = del
 	}
 	isDelegate := del == r.cfg.ID
+	r.migrateTickLocked(now)
 	var epoch, round uint64
 	if isDelegate {
 		// This node paces the cluster: open the round, announce it to
@@ -369,23 +477,26 @@ func (r *Runtime) tick() {
 		r.round++
 		epoch, round = r.epoch, r.round
 		r.roundStart = now
+		flags := r.migFlagsLocked()
 		for _, id := range r.cfg.Members {
 			if id == r.cfg.ID {
 				continue
 			}
-			r.outbox = append(r.outbox, delegate.Message{Kind: MsgHeartbeat, From: r.cfg.ID, To: id, Epoch: epoch, Round: round})
+			r.outbox = append(r.outbox, delegate.Message{Kind: MsgHeartbeat, Flags: flags, From: r.cfg.ID, To: id, Epoch: epoch, Round: round})
 		}
 		r.counters.HeartbeatsSent += uint64(len(r.cfg.Members) - 1)
 	}
 	out := r.takeOutboxLocked()
+	recs := r.takeJournalLocked()
 	r.mu.Unlock()
 	r.sendAll(out)
+	r.flushJournal(recs)
 	if !isDelegate {
 		return
 	}
 	requests, latency := r.sample()
 	r.mu.Lock()
-	if r.stopped || r.round != round || r.curDelegate != r.cfg.ID {
+	if r.stopped || r.round != round || r.epoch != epoch || r.curDelegate != r.cfg.ID {
 		r.mu.Unlock()
 		return // superseded while sampling
 	}
@@ -408,22 +519,19 @@ func (r *Runtime) tune(epoch, round uint64) {
 		poll = 500 * time.Microsecond
 	}
 	for {
+		now := time.Now()
 		r.mu.Lock()
-		if r.round != round || r.curDelegate != r.cfg.ID {
+		if r.round != round || r.epoch != epoch || r.curDelegate != r.cfg.ID {
 			r.mu.Unlock()
-			return // superseded by a newer round or a re-election
+			return // superseded by a newer round, epoch, or re-election
 		}
-		applied, err := r.node.CollectReports(round)
-		if err != nil {
-			r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
-		}
-		if applied {
+		if r.collectLocked(now) {
 			r.publishPlacementLocked()
 		}
 		got := r.node.PendingReports() + 1 // + the delegate's own sample
-		rec := r.takeJournalLocked()
+		recs := r.takeJournalLocked()
 		r.mu.Unlock()
-		r.flushJournal(rec)
+		r.flushJournal(recs)
 		if got >= r.cfg.Quorum || !time.Now().Before(deadline) {
 			break
 		}
@@ -435,17 +543,12 @@ func (r *Runtime) tune(epoch, round uint64) {
 	}
 	now := time.Now()
 	r.mu.Lock()
-	if r.round != round || r.curDelegate != r.cfg.ID {
+	if r.round != round || r.epoch != epoch || r.curDelegate != r.cfg.ID {
 		r.mu.Unlock()
 		return
 	}
-	if applied, err := r.node.CollectReports(round); err != nil || applied {
-		if err != nil {
-			r.cfg.logf("node %d: collect: %v", r.cfg.ID, err)
-		}
-		if applied {
-			r.publishPlacementLocked()
-		}
+	if r.collectLocked(now) {
+		r.publishPlacementLocked()
 	}
 	members := r.tuneMembersLocked(now)
 	r.counters.ReportsPerTune.Add(float64(r.node.PendingReports() + 1))
@@ -599,37 +702,36 @@ func (r *Runtime) publishPlacementLocked() {
 	s := r.node.Placement().Clone()
 	r.placement.Store(&s)
 	if r.cfg.Journal != nil {
-		r.journalStage = &journal.Record{
+		r.journalStage = append(r.journalStage, journal.Record{
 			Epoch: r.node.MapEpoch(),
 			Round: r.node.MapRound(),
 			Map:   r.node.Placement().Encode(),
-		}
+		})
 	}
 }
 
-// takeJournalLocked drains the staged journal record for flushing
+// takeJournalLocked drains the staged journal records for flushing
 // outside the lock.
-func (r *Runtime) takeJournalLocked() *journal.Record {
-	rec := r.journalStage
+func (r *Runtime) takeJournalLocked() []journal.Record {
+	recs := r.journalStage
 	r.journalStage = nil
-	return rec
+	return recs
 }
 
-// flushJournal appends a staged record, fsyncing, outside the runtime
-// lock so disk latency never stalls the protocol. Append's internal
-// monotone guard makes concurrent flushes safe regardless of order; a
-// failure is counted and logged — the in-memory placement is already
-// live, so the node keeps serving and retries durability on the next
-// install.
-func (r *Runtime) flushJournal(rec *journal.Record) {
-	if rec == nil {
-		return
-	}
-	if err := r.cfg.Journal.Append(*rec); err != nil {
-		r.cfg.logf("node %d: journal append (epoch %d round %d): %v", r.cfg.ID, rec.Epoch, rec.Round, err)
-		r.mu.Lock()
-		r.counters.JournalAppendErrors++
-		r.mu.Unlock()
+// flushJournal appends staged records in order, fsyncing, outside the
+// runtime lock so disk latency never stalls the protocol. Append's
+// internal monotone guard makes concurrent flushes safe regardless of
+// order; a failure is counted and logged — the in-memory placement is
+// already live, so the node keeps serving and retries durability on
+// the next install.
+func (r *Runtime) flushJournal(recs []journal.Record) {
+	for _, rec := range recs {
+		if err := r.cfg.Journal.Append(rec); err != nil {
+			r.cfg.logf("node %d: journal append (epoch %d round %d): %v", r.cfg.ID, rec.Epoch, rec.Round, err)
+			r.mu.Lock()
+			r.counters.JournalAppendErrors++
+			r.mu.Unlock()
+		}
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 )
 
 // bootstrap builds the shared initial ANU map all members start from.
-func bootstrap(t *testing.T, k int) ([]delegate.NodeID, []byte) {
+func bootstrap(t testing.TB, k int) ([]delegate.NodeID, []byte) {
 	t.Helper()
 	ids := make([]delegate.NodeID, k)
 	for i := range ids {
@@ -27,7 +27,7 @@ func bootstrap(t *testing.T, k int) ([]delegate.NodeID, []byte) {
 }
 
 // bootstrapStrategy is bootstrap for an arbitrary registered strategy.
-func bootstrapStrategy(t *testing.T, k int, strategy string) ([]delegate.NodeID, []byte) {
+func bootstrapStrategy(t testing.TB, k int, strategy string) ([]delegate.NodeID, []byte) {
 	t.Helper()
 	ids := make([]delegate.NodeID, k)
 	for i := range ids {

@@ -7,6 +7,7 @@ import (
 	"anurand/internal/delegate"
 	"anurand/internal/journal"
 	"anurand/internal/metrics"
+	"anurand/internal/migrate"
 )
 
 // latencyHistogram builds the runtime's standard latency histogram:
@@ -29,14 +30,26 @@ type counters struct {
 	HeartbeatsSent      uint64
 	HeartbeatsReceived  uint64
 	JournalAppendErrors uint64
-	ReportsPerTune      metrics.Summary
-	InstallLatency      metrics.Summary
+	// Migration counters: attempts started on this node as leader,
+	// cutovers completed locally, rollbacks, and migration messages
+	// dropped as undecodable.
+	MigrationsStarted     uint64
+	MigrationsCommitted   uint64
+	MigrationsAborted     uint64
+	MigrationMsgsRejected uint64
+	ReportsPerTune        metrics.Summary
+	InstallLatency        metrics.Summary
 	// InstallLatencyHist and SampleLatencyHist carry the distributions
 	// behind the two Summary means above: the paper's claim is
 	// performance *consistency*, and a mean cannot show the tail where
 	// inconsistency lives.
 	InstallLatencyHist *metrics.Histogram
 	SampleLatencyHist  *metrics.Histogram
+	// MigratePhaseLatencyHist distributes seconds spent per migration
+	// phase edge; MigrateLatencyHist distributes whole-migration
+	// (propose-to-flip) latency.
+	MigratePhaseLatencyHist *metrics.Histogram
+	MigrateLatencyHist      *metrics.Histogram
 }
 
 // Stats is an operator snapshot of one runtime: where the node thinks
@@ -68,6 +81,14 @@ type Stats struct {
 	// strategy tag differed from the node's — a misconfigured peer, not
 	// a protocol race.
 	TagMismatchesRejected uint64
+	// CrossTagInstallsRejected counts placements refused during a
+	// dual-tag window because they carried neither the node's current
+	// strategy nor the migration target — a third strategy has no
+	// business on the wire mid-cutover.
+	CrossTagInstallsRejected uint64
+	// UndecodableMapsRejected counts placement payloads that failed to
+	// decode at all (truncated or corrupt snapshots).
+	UndecodableMapsRejected uint64
 	// Reelections counts observed delegate changes.
 	Reelections uint64
 	// WatchdogTrips counts delegates suspected for producing no maps.
@@ -77,6 +98,29 @@ type Stats struct {
 	ReportsReceived    uint64
 	HeartbeatsSent     uint64
 	HeartbeatsReceived uint64
+
+	// MigrationPhase is the in-flight live migration's phase ("idle"
+	// when none), with its id and endpoints; DualTagInstalls counts
+	// cutover installs accepted through a dual-tag window.
+	MigrationPhase  string
+	MigrationID     uint64
+	MigrationFrom   string
+	MigrationTo     string
+	DualTagInstalls uint64
+	// MigrationsStarted counts migrations this node led;
+	// MigrationsCommitted/Aborted count local cutovers and rollbacks;
+	// MigrationMsgsRejected counts undecodable or tag-mismatched
+	// migration payloads.
+	MigrationsStarted     uint64
+	MigrationsCommitted   uint64
+	MigrationsAborted     uint64
+	MigrationMsgsRejected uint64
+	// RecoveredMigration names the migration phase Start resumed (or
+	// recognised as committed) from the journal, "" when none.
+	RecoveredMigration string
+	// DelegateMigrating mirrors the FlagMigrating gossip bit last seen
+	// from the current delegate — informational only.
+	DelegateMigrating bool
 
 	// Recovered reports whether Start resumed from a journal record
 	// rather than the bootstrap snapshot; RecoveredEpoch/RecoveredRound
@@ -106,6 +150,11 @@ type Stats struct {
 	// SampleLatencyHist is the distribution of latencies this node's
 	// observer reported into the protocol (seconds, observer-defined).
 	SampleLatencyHist *metrics.Histogram
+	// MigratePhaseLatencyHist is the per-phase migration latency
+	// distribution (seconds per phase edge, including rollbacks);
+	// MigrateLatencyHist is whole-migration propose-to-flip latency.
+	MigratePhaseLatencyHist *metrics.Histogram
+	MigrateLatencyHist      *metrics.Histogram
 }
 
 // Stats returns the runtime's operator snapshot.
@@ -113,30 +162,48 @@ func (r *Runtime) Stats() Stats {
 	now := time.Now()
 	r.mu.Lock()
 	s := Stats{
-		ID:                    r.cfg.ID,
-		Epoch:                 r.epoch,
-		Round:                 r.round,
-		Delegate:              r.curDelegate,
-		Live:                  r.viewLocked(now),
-		MapEpoch:              r.node.MapEpoch(),
-		MapRound:              r.node.MapRound(),
-		Strategy:              r.node.Strategy(),
-		Tunes:                 r.counters.Tunes,
-		MapsInstalled:         r.counters.MapsInstalled,
-		StaleMapsRejected:     r.node.StaleMapsRejected(),
-		StaleEpochsRejected:   r.node.StaleEpochsRejected(),
-		TagMismatchesRejected: r.node.TagMismatchesRejected(),
-		Reelections:           r.counters.Reelections,
-		WatchdogTrips:         r.counters.WatchdogTrips,
-		ReportsSent:           r.counters.ReportsSent,
-		ReportsReceived:       r.counters.ReportsReceived,
-		HeartbeatsSent:        r.counters.HeartbeatsSent,
-		HeartbeatsReceived:    r.counters.HeartbeatsReceived,
-		JournalAppendErrors:   r.counters.JournalAppendErrors,
-		ReportsPerTune:        r.counters.ReportsPerTune,
-		InstallLatency:        r.counters.InstallLatency,
-		InstallLatencyHist:    r.counters.InstallLatencyHist.Clone(),
-		SampleLatencyHist:     r.counters.SampleLatencyHist.Clone(),
+		ID:                       r.cfg.ID,
+		Epoch:                    r.epoch,
+		Round:                    r.round,
+		Delegate:                 r.curDelegate,
+		Live:                     r.viewLocked(now),
+		MapEpoch:                 r.node.MapEpoch(),
+		MapRound:                 r.node.MapRound(),
+		Strategy:                 r.node.Strategy(),
+		Tunes:                    r.counters.Tunes,
+		MapsInstalled:            r.counters.MapsInstalled,
+		StaleMapsRejected:        r.node.StaleMapsRejected(),
+		StaleEpochsRejected:      r.node.StaleEpochsRejected(),
+		TagMismatchesRejected:    r.node.TagMismatchesRejected(),
+		CrossTagInstallsRejected: r.node.CrossTagRejected(),
+		UndecodableMapsRejected:  r.node.UndecodableMapsRejected(),
+		Reelections:              r.counters.Reelections,
+		WatchdogTrips:            r.counters.WatchdogTrips,
+		ReportsSent:              r.counters.ReportsSent,
+		ReportsReceived:          r.counters.ReportsReceived,
+		HeartbeatsSent:           r.counters.HeartbeatsSent,
+		HeartbeatsReceived:       r.counters.HeartbeatsReceived,
+		JournalAppendErrors:      r.counters.JournalAppendErrors,
+		MigrationPhase:           migrate.Idle.String(),
+		DualTagInstalls:          r.node.DualTagInstalls(),
+		MigrationsStarted:        r.counters.MigrationsStarted,
+		MigrationsCommitted:      r.counters.MigrationsCommitted,
+		MigrationsAborted:        r.counters.MigrationsAborted,
+		MigrationMsgsRejected:    r.counters.MigrationMsgsRejected,
+		RecoveredMigration:       r.recoveredMig,
+		DelegateMigrating:        r.delegateMigrating,
+		ReportsPerTune:           r.counters.ReportsPerTune,
+		InstallLatency:           r.counters.InstallLatency,
+		InstallLatencyHist:       r.counters.InstallLatencyHist.Clone(),
+		SampleLatencyHist:        r.counters.SampleLatencyHist.Clone(),
+		MigratePhaseLatencyHist:  r.counters.MigratePhaseLatencyHist.Clone(),
+		MigrateLatencyHist:       r.counters.MigrateLatencyHist.Clone(),
+	}
+	if r.mig != nil {
+		s.MigrationPhase = r.mig.phase.String()
+		s.MigrationID = r.mig.rec.ID
+		s.MigrationFrom = r.mig.rec.From
+		s.MigrationTo = r.mig.rec.To
 	}
 	if r.recovered != nil {
 		s.Recovered = true
@@ -159,14 +226,32 @@ func (s Stats) String() string {
 		s.StaleMapsRejected, s.StaleEpochsRejected, s.TagMismatchesRejected, s.Reelections, s.WatchdogTrips,
 		s.ReportsSent, s.ReportsReceived, s.ReportsPerTune.String(), s.InstallLatency.String(),
 	)
+	if s.MigrationPhase != "" && s.MigrationPhase != "idle" {
+		out += fmt.Sprintf(" migration(%s id=%d %s->%s)", s.MigrationPhase, s.MigrationID, s.MigrationFrom, s.MigrationTo)
+	}
+	if s.MigrationsStarted+s.MigrationsCommitted+s.MigrationsAborted+s.DualTagInstalls+
+		s.CrossTagInstallsRejected+s.UndecodableMapsRejected+s.MigrationMsgsRejected > 0 {
+		out += fmt.Sprintf(" migrations(started=%d committed=%d aborted=%d dual-installs=%d cross-tag=%d undecodable=%d bad-msgs=%d)",
+			s.MigrationsStarted, s.MigrationsCommitted, s.MigrationsAborted, s.DualTagInstalls,
+			s.CrossTagInstallsRejected, s.UndecodableMapsRejected, s.MigrationMsgsRejected)
+	}
+	if s.DelegateMigrating {
+		out += " delegate-migrating"
+	}
 	if s.InstallLatencyHist != nil && s.InstallLatencyHist.Total() > 0 {
 		out += fmt.Sprintf(" install-hist(%s)", s.InstallLatencyHist)
 	}
 	if s.SampleLatencyHist != nil && s.SampleLatencyHist.Total() > 0 {
 		out += fmt.Sprintf(" sample-hist(%s)", s.SampleLatencyHist)
 	}
+	if s.MigratePhaseLatencyHist != nil && s.MigratePhaseLatencyHist.Total() > 0 {
+		out += fmt.Sprintf(" migrate-phase-hist(%s)", s.MigratePhaseLatencyHist)
+	}
 	if s.Recovered {
 		out += fmt.Sprintf(" recovered=(%d,%d)", s.RecoveredEpoch, s.RecoveredRound)
+	}
+	if s.RecoveredMigration != "" {
+		out += fmt.Sprintf(" recovered-migration=%s", s.RecoveredMigration)
 	}
 	if s.Journal != (journal.Stats{}) || s.JournalAppendErrors > 0 {
 		out += fmt.Sprintf(" journal(recovered=%d torn=%d appends=%d skipped=%d compactions=%d fsync-errs=%d append-errs=%d)",

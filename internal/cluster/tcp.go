@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -52,9 +53,14 @@ func DefaultTCPOptions() TCPOptions {
 
 // TCPStats is an operator snapshot of one transport's activity.
 type TCPStats struct {
-	Sent, SendErrors   uint64
-	Dials, Retries     uint64
-	FramesReceived     uint64
+	Sent, SendErrors uint64
+	Dials, Retries   uint64
+	FramesReceived   uint64
+	// BadVersionFrames counts inbound frames rejected for a foreign
+	// frame version — a peer running an incompatible protocol build
+	// (e.g. a v2 node dialing a v3 cluster). Each rejection also drops
+	// that stream: version skew is a config error, not noise.
+	BadVersionFrames   uint64
 	SendLatencySeconds metrics.Summary
 }
 
@@ -81,6 +87,7 @@ type TCPTransport struct {
 	dials   uint64
 	retries uint64
 	frames  uint64
+	badVer  uint64
 	sendLat metrics.Summary
 }
 
@@ -248,6 +255,11 @@ func (t *TCPTransport) serve(conn net.Conn) {
 		conn.SetReadDeadline(time.Now().Add(t.opts.IdleTimeout))
 		msg, err := readFrame(conn, t.opts.MaxPayload)
 		if err != nil {
+			if errors.Is(err, errFrameVersion) {
+				t.mu.Lock()
+				t.badVer++
+				t.mu.Unlock()
+			}
 			return // EOF, idle timeout, or a malformed frame: this stream is done
 		}
 		t.mu.Lock()
@@ -301,6 +313,7 @@ func (t *TCPTransport) Stats() TCPStats {
 		Dials:              t.dials,
 		Retries:            t.retries,
 		FramesReceived:     t.frames,
+		BadVersionFrames:   t.badVer,
 		SendLatencySeconds: t.sendLat,
 	}
 }

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"encoding/binary"
+	"net"
 	"testing"
 	"time"
 
@@ -158,4 +160,49 @@ func TestTCPCloseIsIdempotentAndStopsSends(t *testing.T) {
 	if err := a.Send(delegate.Message{Kind: delegate.MsgReport, From: 1, To: 2}); err == nil {
 		t.Fatal("send on closed transport succeeded")
 	}
+}
+
+// TestTCPRejectsOldProtocolPeer models a node from a previous build (v2
+// frames, no flags byte) dialing a v3 cluster: the stream must be
+// dropped at the first frame, nothing delivered, and the rejection
+// surfaced in BadVersionFrames.
+func TestTCPRejectsOldProtocolPeer(t *testing.T) {
+	a, b := testTCPPair(t)
+	addr, _ := a.book.Get(b.id)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := []byte("v2 map bytes")
+	v2 := make([]byte, 30+len(payload))
+	v2[0] = 2
+	v2[1] = byte(delegate.MsgMap)
+	binary.LittleEndian.PutUint32(v2[26:30], uint32(len(payload)))
+	copy(v2[30:], payload)
+	if _, err := conn.Write(v2); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must be closed by the receiver.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("receiver kept the old-protocol stream open")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().BadVersionFrames == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("BadVersionFrames never incremented: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case msg := <-b.Recv():
+		t.Fatalf("old-protocol frame delivered: %+v", msg)
+	default:
+	}
+	// The v3 path still works on a fresh stream.
+	if err := a.Send(delegate.Message{Kind: delegate.MsgReport, From: 1, To: 2, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
 }

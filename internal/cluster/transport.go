@@ -67,44 +67,63 @@ func (b *AddressBook) All() map[delegate.NodeID]string {
 	return out
 }
 
-// Wire framing shared by every stream transport (version 2 — version 1
-// had no ver or epoch field and is rejected by its incompatible layout):
+// Wire framing shared by every stream transport (version 3 — version 2
+// had no flags byte, version 1 neither ver nor epoch; both are rejected
+// by version check, so a mixed-version cluster fails loudly at the
+// first frame instead of corrupting state):
 //
-//	ver u8 | kind u8 | from i32 | to i32 | epoch u64 | round u64 | len u32 | payload
+//	ver u8 | kind u8 | flags u8 | from i32 | to i32 | epoch u64 | round u64 | len u32 | payload
 //
 // little-endian, matching the integer-only encodings of package anu.
+// The flags byte gossips out-of-band sender state on every message;
+// today its only bit is FlagMigrating.
 const (
-	frameVersion   = 2
-	frameHeaderLen = 1 + 1 + 4 + 4 + 8 + 8 + 4
+	frameVersion   = 3
+	frameHeaderLen = 1 + 1 + 1 + 4 + 4 + 8 + 8 + 4
 )
+
+// FlagMigrating is set on every frame a node sends while a live
+// strategy migration is in flight on it (Proposed or DualTag). It is
+// informational gossip — surfaced in Stats so operators can see a
+// cutover propagate — never a correctness input: reordered frames make
+// flag edges unreliable, so rollback decisions ride the explicit
+// migration messages and timeouts instead.
+const FlagMigrating uint8 = 1 << 0
+
+// errFrameVersion marks a frame whose version byte is not ours — the
+// peer speaks an older (or newer) protocol build. Stream transports
+// count these separately from transport errors: a v2 peer dialing a v3
+// cluster is an operator mistake worth its own counter.
+var errFrameVersion = fmt.Errorf("cluster: unsupported frame version")
 
 // writeFrame writes one framed message.
 func writeFrame(w io.Writer, msg delegate.Message) error {
 	buf := make([]byte, frameHeaderLen+len(msg.Payload))
 	buf[0] = frameVersion
 	buf[1] = byte(msg.Kind)
-	binary.LittleEndian.PutUint32(buf[2:6], uint32(msg.From))
-	binary.LittleEndian.PutUint32(buf[6:10], uint32(msg.To))
-	binary.LittleEndian.PutUint64(buf[10:18], msg.Epoch)
-	binary.LittleEndian.PutUint64(buf[18:26], msg.Round)
-	binary.LittleEndian.PutUint32(buf[26:30], uint32(len(msg.Payload)))
+	buf[2] = msg.Flags
+	binary.LittleEndian.PutUint32(buf[3:7], uint32(msg.From))
+	binary.LittleEndian.PutUint32(buf[7:11], uint32(msg.To))
+	binary.LittleEndian.PutUint64(buf[11:19], msg.Epoch)
+	binary.LittleEndian.PutUint64(buf[19:27], msg.Round)
+	binary.LittleEndian.PutUint32(buf[27:31], uint32(len(msg.Payload)))
 	copy(buf[frameHeaderLen:], msg.Payload)
 	_, err := w.Write(buf)
 	return err
 }
 
 // readFrame reads one framed message, rejecting unknown frame versions
-// and payloads larger than maxPayload so a corrupt length field cannot
-// exhaust memory.
+// (errFrameVersion) and payloads larger than maxPayload so a corrupt
+// length field cannot exhaust memory.
 func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
 	head := make([]byte, frameHeaderLen)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return delegate.Message{}, err
 	}
 	if head[0] != frameVersion {
-		return delegate.Message{}, fmt.Errorf("cluster: frame version %d, want %d", head[0], frameVersion)
+		return delegate.Message{}, fmt.Errorf("%w: got %d, want %d", errFrameVersion, head[0], frameVersion)
 	}
-	n := binary.LittleEndian.Uint32(head[26:30])
+	n := binary.LittleEndian.Uint32(head[27:31])
 	if int(n) > maxPayload {
 		return delegate.Message{}, fmt.Errorf("cluster: frame payload %d exceeds limit %d", n, maxPayload)
 	}
@@ -114,10 +133,11 @@ func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
 	}
 	return delegate.Message{
 		Kind:    delegate.MsgKind(head[1]),
-		From:    delegate.NodeID(binary.LittleEndian.Uint32(head[2:6])),
-		To:      delegate.NodeID(binary.LittleEndian.Uint32(head[6:10])),
-		Epoch:   binary.LittleEndian.Uint64(head[10:18]),
-		Round:   binary.LittleEndian.Uint64(head[18:26]),
+		Flags:   head[2],
+		From:    delegate.NodeID(binary.LittleEndian.Uint32(head[3:7])),
+		To:      delegate.NodeID(binary.LittleEndian.Uint32(head[7:11])),
+		Epoch:   binary.LittleEndian.Uint64(head[11:19]),
+		Round:   binary.LittleEndian.Uint64(head[19:27]),
 		Payload: payload,
 	}, nil
 }

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
 
 	"anurand/internal/delegate"
@@ -12,6 +14,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		Kind:    delegate.MsgMap,
 		From:    3,
 		To:      1,
+		Flags:   FlagMigrating | 0x80,
 		Epoch:   0xfedcba9876543210,
 		Round:   math64(),
 		Payload: []byte("payload bytes"),
@@ -24,7 +27,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Kind != in.Kind || out.From != in.From || out.To != in.To || out.Epoch != in.Epoch || out.Round != in.Round {
+	if out.Kind != in.Kind || out.From != in.From || out.To != in.To || out.Epoch != in.Epoch || out.Round != in.Round || out.Flags != in.Flags {
 		t.Fatalf("header round trip %+v -> %+v", in, out)
 	}
 	if !bytes.Equal(out.Payload, in.Payload) {
@@ -33,14 +36,40 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameRejectsWrongVersion(t *testing.T) {
-	var buf bytes.Buffer
-	if err := writeFrame(&buf, delegate.Message{Kind: delegate.MsgReport, Payload: []byte("x")}); err != nil {
-		t.Fatal(err)
+	for _, ver := range []byte{1, 2, 4, 0xff} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, delegate.Message{Kind: delegate.MsgReport, Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		raw[0] = ver // an old-protocol peer (or garbage) on the wire
+		_, err := readFrame(bytes.NewReader(raw), 1<<10)
+		if err == nil {
+			t.Fatalf("frame version %d accepted", ver)
+		}
+		if !errors.Is(err, errFrameVersion) {
+			t.Fatalf("version %d: err = %v, want errFrameVersion", ver, err)
+		}
 	}
-	raw := buf.Bytes()
-	raw[0] = 1 // a v1 peer (or garbage) on the wire
-	if _, err := readFrame(bytes.NewReader(raw), 1<<10); err == nil {
-		t.Fatal("wrong frame version accepted")
+}
+
+// TestFrameRejectsV2Layout feeds readFrame a frame built with the old
+// v2 layout (no flags byte) — the interop case the version byte exists
+// for. The frame must be rejected as a version error, never
+// misinterpreted.
+func TestFrameRejectsV2Layout(t *testing.T) {
+	payload := []byte("v2 payload")
+	v2 := make([]byte, 30+len(payload))
+	v2[0] = 2
+	v2[1] = byte(delegate.MsgMap)
+	binary.LittleEndian.PutUint32(v2[2:6], 3)
+	binary.LittleEndian.PutUint32(v2[6:10], 1)
+	binary.LittleEndian.PutUint64(v2[10:18], 7)
+	binary.LittleEndian.PutUint64(v2[18:26], 9)
+	binary.LittleEndian.PutUint32(v2[26:30], uint32(len(payload)))
+	copy(v2[30:], payload)
+	if _, err := readFrame(bytes.NewReader(v2), 1<<10); !errors.Is(err, errFrameVersion) {
+		t.Fatalf("v2 frame: err = %v, want errFrameVersion", err)
 	}
 }
 

@@ -23,7 +23,10 @@
 // ANU map specifically. ANU remains the default and its wire bytes are
 // unchanged; a node refuses to install a snapshot whose strategy tag
 // differs from its own, so mixed-strategy broadcasts can never corrupt
-// a cluster.
+// a cluster. The one sanctioned exception is a live migration's
+// dual-tag window (OpenDualTag): while it is open the node will also
+// accept a superseding snapshot carrying exactly the named target
+// strategy — that install IS the cutover, and it closes the window.
 package delegate
 
 import (
@@ -60,9 +63,13 @@ const (
 // within an epoch; a re-election starts a higher epoch and thereby
 // fences out everything the previous delegate may still have in flight.
 type Message struct {
-	Kind    MsgKind
-	From    NodeID
-	To      NodeID
+	Kind MsgKind
+	From NodeID
+	To   NodeID
+	// Flags carries out-of-band sender state (v3 wire frames). The
+	// delegate protocol itself ignores it; the cluster runtime uses it
+	// to gossip "a migration is in flight" on ordinary traffic.
+	Flags   uint8
 	Epoch   uint64
 	Round   uint64
 	Payload []byte
@@ -137,10 +144,21 @@ type Node struct {
 	// staleMaps counts maps rejected for a stale round within the current
 	// epoch; staleEpochs counts maps rejected for a superseded epoch;
 	// tagMismatches counts maps rejected for carrying a different
-	// placement strategy than this node runs.
+	// placement strategy than this node runs (outside any dual-tag
+	// window); crossTag counts maps rejected during a dual-tag window
+	// for carrying neither the current nor the target strategy;
+	// undecodable counts maps whose payload failed to decode at all.
 	staleMaps     uint64
 	staleEpochs   uint64
 	tagMismatches uint64
+	crossTag      uint64
+	undecodable   uint64
+	// dualTagTarget, when non-empty, names the one foreign strategy tag
+	// the node will accept an install of — the live-migration window.
+	dualTagTarget string
+	// dualTagInstalls counts cutovers: installs that switched the
+	// node's strategy through an open window.
+	dualTagInstalls uint64
 }
 
 // supersedes reports whether fence (e, r) is at least fence (oe, or):
@@ -222,6 +240,7 @@ func (n *Node) Crash() {
 	n.up = false
 	n.last = Report{}
 	n.pending = make(map[NodeID]Report)
+	n.dualTagTarget = "" // an open migration window is in-memory state
 	if rs, ok := n.s.(placement.SoftStateResetter); ok {
 		rs.ResetSoftState()
 	}
@@ -249,6 +268,7 @@ func (n *Node) Restart(snapshot []byte) error {
 	n.pending = make(map[NodeID]Report)
 	n.mapEpoch = 0
 	n.mapRound = 0
+	n.dualTagTarget = ""
 	return nil
 }
 
@@ -333,13 +353,27 @@ func (n *Node) CollectReports(round uint64) (mapApplied bool, err error) {
 			s, derr := placement.Decode(msg.Payload, n.opts)
 			if derr != nil {
 				// A corrupt map must never be installed.
+				n.undecodable++
 				continue
 			}
 			if s.Name() != n.s.Name() {
-				// A placement from a different strategy must never be
-				// installed, whatever its fence says.
-				n.tagMismatches++
-				continue
+				if n.dualTagTarget == "" {
+					// A placement from a different strategy must never be
+					// installed, whatever its fence says.
+					n.tagMismatches++
+					continue
+				}
+				if s.Name() != n.dualTagTarget {
+					// Even mid-migration only the one named target tag is
+					// admissible; anything else is still poison.
+					n.crossTag++
+					continue
+				}
+				// The cutover: a superseding map carrying the migration
+				// target installs, switches the node's strategy, and
+				// closes the window.
+				n.dualTagInstalls++
+				n.dualTagTarget = ""
 			}
 			if ad, ok := s.(placement.StateAdopter); ok {
 				// Keep soft state (latency smoothing) warm across installs,
@@ -394,6 +428,41 @@ func (n *Node) StaleEpochsRejected() uint64 { return n.staleEpochs }
 // TagMismatchesRejected returns how many map messages the node refused
 // to install because they carried a different placement strategy.
 func (n *Node) TagMismatchesRejected() uint64 { return n.tagMismatches }
+
+// CrossTagRejected returns how many map messages the node refused
+// during a dual-tag window because they carried neither the current
+// nor the migration-target strategy.
+func (n *Node) CrossTagRejected() uint64 { return n.crossTag }
+
+// UndecodableMapsRejected returns how many map messages the node
+// refused because their payload failed to decode.
+func (n *Node) UndecodableMapsRejected() uint64 { return n.undecodable }
+
+// DualTagInstalls returns how many installs cut the node over to a
+// migration-target strategy through an open dual-tag window.
+func (n *Node) DualTagInstalls() uint64 { return n.dualTagInstalls }
+
+// OpenDualTag opens the live-migration window: until the window closes
+// the node will additionally accept a superseding map install carrying
+// exactly the target strategy tag, and that install switches the
+// node's strategy. Opening a window with a different target replaces
+// the previous one (a new migration supersedes an abandoned one).
+// Opening with the node's own strategy is a no-op close: there is
+// nothing to migrate to.
+func (n *Node) OpenDualTag(target string) {
+	if target == n.s.Name() {
+		target = ""
+	}
+	n.dualTagTarget = target
+}
+
+// CloseDualTag closes the window without installing anything — the
+// rollback path. The node's serving placement was never touched.
+func (n *Node) CloseDualTag() { n.dualTagTarget = "" }
+
+// DualTagTarget returns the open window's target strategy tag, or ""
+// when no window is open.
+func (n *Node) DualTagTarget() string { return n.dualTagTarget }
 
 // RunDelegate executes the delegate role for one round over the reports
 // collected so far: servers that did not report are treated as failed

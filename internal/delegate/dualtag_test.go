@@ -1,0 +1,162 @@
+package delegate
+
+import (
+	"testing"
+
+	"anurand/internal/placement"
+)
+
+// targetSnapshot builds a chord-bounded placement over the cluster's
+// member set — the warm snapshot a live migration would install.
+func targetSnapshot(t *testing.T, c *Cluster) []byte {
+	t.Helper()
+	ids := make([]placement.ServerID, len(c.Nodes))
+	for i, n := range c.Nodes {
+		ids[i] = n.ID()
+	}
+	s, err := placement.New(placement.StrategyChordBounded, ids, placement.Options{HashSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Encode()
+}
+
+func sendMap(c *Cluster, to NodeID, epoch, round uint64, payload []byte) {
+	c.Transport().Send(Message{Kind: MsgMap, From: 0, To: to, Epoch: epoch, Round: round, Payload: payload})
+}
+
+// TestDualTagWindowInstallsTarget: with the window open, a superseding
+// map carrying the target tag installs, switches the node's strategy,
+// and closes the window.
+func TestDualTagWindowInstallsTarget(t *testing.T) {
+	c := testCluster(t, 3)
+	n := c.Node(1)
+	snap := targetSnapshot(t, c)
+
+	// Without a window the foreign tag is rejected.
+	sendMap(c, 1, 1, 1, snap)
+	if _, err := n.CollectReports(1); err != nil {
+		t.Fatal(err)
+	}
+	if n.Strategy() != placement.StrategyANU || n.TagMismatchesRejected() != 1 {
+		t.Fatalf("foreign tag installed without a window: strategy=%s mismatches=%d",
+			n.Strategy(), n.TagMismatchesRejected())
+	}
+
+	n.OpenDualTag(placement.StrategyChordBounded)
+	if n.DualTagTarget() != placement.StrategyChordBounded {
+		t.Fatalf("DualTagTarget = %q", n.DualTagTarget())
+	}
+	// Same-tag installs still work inside the window (the old strategy
+	// keeps tuning while the migration is in flight) — a fresh ANU
+	// snapshot from a peer installs fine.
+	sendMap(c, 1, 1, 2, c.Node(0).Placement().Encode())
+	if applied, err := n.CollectReports(2); err != nil || !applied {
+		t.Fatalf("same-tag install inside window: applied=%v err=%v", applied, err)
+	}
+	if n.Strategy() != placement.StrategyANU {
+		t.Fatalf("same-tag install switched strategy to %s", n.Strategy())
+	}
+
+	// The cutover: target-tag install at a superseding fence.
+	sendMap(c, 1, 2, 3, snap)
+	if applied, err := n.CollectReports(3); err != nil || !applied {
+		t.Fatalf("cutover install: applied=%v err=%v", applied, err)
+	}
+	if n.Strategy() != placement.StrategyChordBounded {
+		t.Fatalf("strategy after cutover = %s", n.Strategy())
+	}
+	if n.DualTagTarget() != "" {
+		t.Fatal("window still open after cutover")
+	}
+	if n.DualTagInstalls() != 1 {
+		t.Fatalf("DualTagInstalls = %d", n.DualTagInstalls())
+	}
+	if n.MapEpoch() != 2 || n.MapRound() != 3 {
+		t.Fatalf("fence after cutover = (%d, %d)", n.MapEpoch(), n.MapRound())
+	}
+}
+
+// TestDualTagWindowStillFencesStaleAndCross: the window relaxes only
+// the tag check, never the fence; and tags other than the named target
+// stay poison.
+func TestDualTagWindowStillFencesStaleAndCross(t *testing.T) {
+	c := testCluster(t, 3)
+	n := c.Node(1)
+	snap := targetSnapshot(t, c)
+
+	// Advance the node's fence first.
+	sendMap(c, 1, 3, 5, c.Node(0).Placement().Encode())
+	if _, err := n.CollectReports(5); err != nil {
+		t.Fatal(err)
+	}
+
+	n.OpenDualTag(placement.StrategyChordBounded)
+	// Stale fence with the target tag: still rejected, window stays open.
+	sendMap(c, 1, 2, 9, snap)
+	// Cross tag (neither anu nor chord-bounded) at a fresh fence.
+	ids := []placement.ServerID{0, 1, 2}
+	chord, err := placement.New(placement.StrategyChord, ids, placement.Options{HashSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendMap(c, 1, 3, 6, chord.Encode())
+	// Undecodable garbage at a fresh fence.
+	sendMap(c, 1, 3, 7, []byte("not a snapshot"))
+	if _, err := n.CollectReports(7); err != nil {
+		t.Fatal(err)
+	}
+	if n.Strategy() != placement.StrategyANU {
+		t.Fatalf("strategy = %s, want anu", n.Strategy())
+	}
+	if n.StaleEpochsRejected() != 1 {
+		t.Fatalf("StaleEpochsRejected = %d", n.StaleEpochsRejected())
+	}
+	if n.CrossTagRejected() != 1 {
+		t.Fatalf("CrossTagRejected = %d", n.CrossTagRejected())
+	}
+	if n.UndecodableMapsRejected() != 1 {
+		t.Fatalf("UndecodableMapsRejected = %d", n.UndecodableMapsRejected())
+	}
+	if n.DualTagTarget() == "" {
+		t.Fatal("window closed by rejected installs")
+	}
+
+	// Rollback: CloseDualTag leaves the serving strategy untouched and
+	// the target tag becomes poison again.
+	n.CloseDualTag()
+	sendMap(c, 1, 4, 8, snap)
+	if _, err := n.CollectReports(8); err != nil {
+		t.Fatal(err)
+	}
+	if n.Strategy() != placement.StrategyANU || n.TagMismatchesRejected() != 1 {
+		t.Fatalf("post-rollback: strategy=%s mismatches=%d", n.Strategy(), n.TagMismatchesRejected())
+	}
+}
+
+// TestDualTagWindowLifecycle: self-target is a no-op, re-open replaces,
+// crash and restart clear the window.
+func TestDualTagWindowLifecycle(t *testing.T) {
+	c := testCluster(t, 2)
+	n := c.Node(1)
+	n.OpenDualTag(placement.StrategyANU) // own strategy: nothing to migrate to
+	if n.DualTagTarget() != "" {
+		t.Fatal("self-target opened a window")
+	}
+	n.OpenDualTag(placement.StrategyChord)
+	n.OpenDualTag(placement.StrategyChordBounded)
+	if n.DualTagTarget() != placement.StrategyChordBounded {
+		t.Fatalf("re-open did not replace target: %q", n.DualTagTarget())
+	}
+	n.Crash()
+	if n.DualTagTarget() != "" {
+		t.Fatal("window survived a crash")
+	}
+	n.OpenDualTag(placement.StrategyChord)
+	if err := n.Restart(c.Node(0).Placement().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if n.DualTagTarget() != "" {
+		t.Fatal("window survived a restart")
+	}
+}

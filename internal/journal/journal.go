@@ -19,11 +19,19 @@
 //	payload           epoch u64 | round u64 | map bytes
 //
 // The CRC is CRC-32C (Castagnoli) over the length field and the
-// payload, so a bit flip in either is detected. Each record fully
-// supersedes all earlier ones (a placement map is the system's entire
-// replicated state), which makes compaction trivial: once the live
-// tail exceeds CompactThreshold, the newest record is rewritten alone
-// into a temp file that atomically renames over the journal.
+// payload, so a bit flip in either is detected. The map bytes carry
+// one of two record classes, distinguished by their leading magic:
+// tagged placement snapshots (the common case) and live-migration
+// phase records ("MIG1", internal/migrate) journaled while a strategy
+// cutover is in flight. A placement record fully supersedes all
+// earlier placement records (a placement map is the system's entire
+// replicated state), and likewise for migration records, which keeps
+// compaction near-trivial: once the live tail exceeds
+// CompactThreshold, the newest placement record — plus the newest
+// migration record when it is still live (in flight, or a terminal
+// record at or past the placement's fence, which restart recovery
+// still consults) — is rewritten into a temp file that atomically
+// renames over the journal.
 //
 // Recovery tolerates exactly the damage a crash can cause. A final
 // record that is short (torn write) or CRC-corrupt (bit rot on the
@@ -42,6 +50,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"anurand/internal/migrate"
 )
 
 // Record is one durable placement install: the encoded map plus the
@@ -123,6 +133,13 @@ type Journal struct {
 	size int64
 	last Record
 	have bool
+	// The newest record of each class, tracked separately so restart
+	// recovery can answer both "what placement do I serve" and "what
+	// migration phase was I in" after any crash.
+	lastPlacement Record
+	havePlacement bool
+	lastMigration Record
+	haveMigration bool
 	// lastFrameLen is the on-disk size of the final frame — where the
 	// chaos injector aims its tail faults.
 	lastFrameLen int64
@@ -201,8 +218,7 @@ func (j *Journal) recover() error {
 			}
 			return j.truncateTo(headerLen+off, false)
 		}
-		j.last = rec
-		j.have = true
+		j.noteRecordLocked(rec)
 		j.lastFrameLen = n
 		j.stats.RecordsRecovered++
 		off += n
@@ -283,6 +299,21 @@ func (j *Journal) truncateTo(off int64, rewriteHeader bool) error {
 	return nil
 }
 
+// noteRecordLocked folds one intact record into the newest-record
+// tracking: the overall newest (Last) plus the per-class newest
+// (LastPlacement / LastMigration).
+func (j *Journal) noteRecordLocked(rec Record) {
+	j.last = rec
+	j.have = true
+	if migrate.IsRecord(rec.Map) {
+		j.lastMigration = rec
+		j.haveMigration = true
+	} else {
+		j.lastPlacement = rec
+		j.havePlacement = true
+	}
+}
+
 // encodeFrame builds one on-disk frame for a record.
 func encodeFrame(rec Record) []byte {
 	n := recordMinLen + len(rec.Map)
@@ -320,8 +351,7 @@ func (j *Journal) Append(rec Record) error {
 	}
 	j.size += int64(len(frame))
 	j.lastFrameLen = int64(len(frame))
-	j.last = Record{Epoch: rec.Epoch, Round: rec.Round, Map: append([]byte(nil), rec.Map...)}
-	j.have = true
+	j.noteRecordLocked(Record{Epoch: rec.Epoch, Round: rec.Round, Map: append([]byte(nil), rec.Map...)})
 	j.stats.Appends++
 	if j.opts.CompactThreshold > 0 && j.size > j.opts.CompactThreshold {
 		if err := j.compactLocked(); err != nil {
@@ -331,9 +361,38 @@ func (j *Journal) Append(rec Record) error {
 	return nil
 }
 
-// compactLocked rewrites the journal as header + the single newest
-// record, via temp file and atomic rename, so a crash at any instant
-// leaves either the old journal or the new one — never a mix.
+// compactKeepLocked picks which records survive compaction, in file
+// order (older fence first, so a reopened journal's newest record is
+// the final frame). The newest placement record always survives. The
+// newest migration record survives when it still matters to restart
+// recovery: an in-flight phase (Proposed/DualTag) must be resumed no
+// matter how many placement tunes were journaled after it, and a
+// terminal record at or past the placement's fence is what lets a
+// restart recognise a committed cutover whose config still names the
+// old strategy.
+func (j *Journal) compactKeepLocked() []Record {
+	migLive := j.haveMigration
+	if migLive && j.havePlacement && !j.lastMigration.Supersedes(j.lastPlacement) {
+		if mr, err := migrate.Decode(j.lastMigration.Map); err != nil || !mr.Phase.InFlight() {
+			migLive = false // terminal history behind the placement: drop
+		}
+	}
+	switch {
+	case !migLive:
+		return []Record{j.lastPlacement}
+	case !j.havePlacement:
+		return []Record{j.lastMigration}
+	case j.lastMigration.Supersedes(j.lastPlacement):
+		return []Record{j.lastPlacement, j.lastMigration}
+	default:
+		return []Record{j.lastMigration, j.lastPlacement}
+	}
+}
+
+// compactLocked rewrites the journal as header + the newest live
+// records (see compactKeepLocked), via temp file and atomic rename, so
+// a crash at any instant leaves either the old journal or the new one
+// — never a mix.
 func (j *Journal) compactLocked() error {
 	tmpPath := j.path + ".tmp"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -341,9 +400,11 @@ func (j *Journal) compactLocked() error {
 		j.stats.SyncErrors++
 		return fmt.Errorf("journal: compact: %w", err)
 	}
-	buf := make([]byte, 0, headerLen+frameHeadLen+recordMinLen+len(j.last.Map))
-	buf = append(buf, fileMagic[:]...)
-	buf = append(buf, encodeFrame(j.last)...)
+	keep := j.compactKeepLocked()
+	buf := append([]byte(nil), fileMagic[:]...)
+	for _, rec := range keep {
+		buf = append(buf, encodeFrame(rec)...)
+	}
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		os.Remove(tmpPath)
@@ -380,7 +441,9 @@ func (j *Journal) compactLocked() error {
 	j.f.Close()
 	j.f = f
 	j.size = int64(len(buf))
-	j.lastFrameLen = j.size - headerLen
+	tail := keep[len(keep)-1]
+	j.last = tail
+	j.lastFrameLen = int64(frameHeadLen + recordMinLen + len(tail.Map))
 	j.stats.Compactions++
 	return nil
 }
@@ -393,7 +456,33 @@ func (j *Journal) Last() (Record, bool) {
 	if !j.have {
 		return Record{}, false
 	}
-	return Record{Epoch: j.last.Epoch, Round: j.last.Round, Map: append([]byte(nil), j.last.Map...)}, true
+	return copyRecord(j.last), true
+}
+
+// LastPlacement returns a copy of the newest placement record — the
+// map a restarting node serves from — and whether one exists.
+func (j *Journal) LastPlacement() (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.havePlacement {
+		return Record{}, false
+	}
+	return copyRecord(j.lastPlacement), true
+}
+
+// LastMigration returns a copy of the newest migration record — the
+// phase a restarting node was in — and whether one exists.
+func (j *Journal) LastMigration() (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.haveMigration {
+		return Record{}, false
+	}
+	return copyRecord(j.lastMigration), true
+}
+
+func copyRecord(r Record) Record {
+	return Record{Epoch: r.Epoch, Round: r.Round, Map: append([]byte(nil), r.Map...)}
 }
 
 // Stats returns a snapshot of the journal's counters.

@@ -1,0 +1,205 @@
+package journal
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"anurand/internal/migrate"
+)
+
+func migRec(epoch, round uint64, mr migrate.Record) Record {
+	return Record{Epoch: epoch, Round: round, Map: mr.Encode()}
+}
+
+func wantMigrationPhase(t *testing.T, j *Journal, want migrate.Phase) migrate.Record {
+	t.Helper()
+	rec, ok := j.LastMigration()
+	if !ok {
+		t.Fatalf("LastMigration() empty, want %s", want)
+	}
+	mr, err := migrate.Decode(rec.Map)
+	if err != nil {
+		t.Fatalf("decode last migration: %v", err)
+	}
+	if mr.Phase != want {
+		t.Fatalf("recovered migration phase %s, want %s", mr.Phase, want)
+	}
+	return mr
+}
+
+// TestMigrationRecordsTrackedSeparately: placement installs after a
+// migration record must not hide the in-flight phase, and vice versa.
+func TestMigrationRecordsTrackedSeparately(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "placement.wal")
+	j := openT(t, path, Options{})
+
+	if err := j.Append(rec(1, 1, "old-map")); err != nil {
+		t.Fatal(err)
+	}
+	prop := migrate.Record{Phase: migrate.Proposed, ID: 7, From: "anu", To: "chord-bounded"}
+	if err := j.Append(migRec(1, 2, prop)); err != nil {
+		t.Fatal(err)
+	}
+	// Tunes keep landing while the proposal is out.
+	if err := j.Append(rec(1, 3, "old-map-tuned")); err != nil {
+		t.Fatal(err)
+	}
+
+	plc, ok := j.LastPlacement()
+	if !ok || !bytes.Equal(plc.Map, []byte("old-map-tuned")) || plc.Round != 3 {
+		t.Fatalf("LastPlacement = %+v, %v", plc, ok)
+	}
+	mr := wantMigrationPhase(t, j, migrate.Proposed)
+	if mr.ID != 7 || mr.From != "anu" || mr.To != "chord-bounded" {
+		t.Fatalf("migration record mangled: %+v", mr)
+	}
+	wantLast(t, j, rec(1, 3, "old-map-tuned"))
+	j.Close()
+
+	// Everything must survive a reopen.
+	j2 := openT(t, path, Options{})
+	defer j2.Close()
+	plc, ok = j2.LastPlacement()
+	if !ok || !bytes.Equal(plc.Map, []byte("old-map-tuned")) {
+		t.Fatalf("reopened LastPlacement = %+v, %v", plc, ok)
+	}
+	wantMigrationPhase(t, j2, migrate.Proposed)
+}
+
+// TestCompactionKeepsInFlightMigration: a compacted WAL whose tail
+// spans Proposed/DualTag records must recover to the same phase even
+// when newer placement tunes pushed the migration record behind the
+// placement fence.
+func TestCompactionKeepsInFlightMigration(t *testing.T) {
+	for _, phase := range []migrate.Phase{migrate.Proposed, migrate.DualTag} {
+		t.Run(phase.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "placement.wal")
+			// Threshold small enough that the final append compacts.
+			j := openT(t, path, Options{CompactThreshold: 128})
+			mr := migrate.Record{Phase: phase, ID: 3, From: "anu", To: "chord-bounded"}
+			if phase == migrate.DualTag {
+				mr.Snapshot = []byte("warm-target-snapshot")
+			}
+			if err := j.Append(rec(4, 10, "serving-map")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(migRec(4, 11, mr)); err != nil {
+				t.Fatal(err)
+			}
+			for r := uint64(12); r < 20; r++ {
+				if err := j.Append(rec(4, r, "serving-map-tuned-xxxxxxxxxxxxxxxx")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s := j.Stats(); s.Compactions == 0 {
+				t.Fatalf("compaction never triggered: %+v", s)
+			}
+			j.Close()
+
+			j2 := openT(t, path, Options{})
+			defer j2.Close()
+			got := wantMigrationPhase(t, j2, phase)
+			if !bytes.Equal(got.Snapshot, mr.Snapshot) {
+				t.Fatalf("warm snapshot lost in compaction: %x vs %x", got.Snapshot, mr.Snapshot)
+			}
+			plc, ok := j2.LastPlacement()
+			if !ok || plc.Round != 19 {
+				t.Fatalf("LastPlacement after compaction = %+v, %v", plc, ok)
+			}
+			// Newest overall must still be the placement: appends after
+			// reopen stay monotone.
+			if last, _ := j2.Last(); last.Round != 19 {
+				t.Fatalf("Last() after compaction = %+v", last)
+			}
+			if err := j2.Append(rec(4, 20, "post-compaction")); err != nil {
+				t.Fatal(err)
+			}
+			if s := j2.Stats(); s.AppendsSkipped != 0 {
+				t.Fatalf("monotone guard misfired after compaction: %+v", s)
+			}
+		})
+	}
+}
+
+// TestCompactionKeepsSupersedingTerminalRecord: the commit pair —
+// placement at the bumped epoch, then the Committed record at the same
+// fence — must both survive compaction, because a restart whose config
+// still names the old strategy needs the Committed record to accept
+// the new-tag placement.
+func TestCompactionKeepsSupersedingTerminalRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "placement.wal")
+	j := openT(t, path, Options{CompactThreshold: 64})
+	if err := j.Append(rec(5, 9, "new-strategy-map")); err != nil {
+		t.Fatal(err)
+	}
+	com := migrate.Record{Phase: migrate.Committed, ID: 8, From: "anu", To: "chord-bounded"}
+	if err := j.Append(migRec(5, 9, com)); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.Stats(); s.Compactions == 0 {
+		t.Fatalf("compaction never triggered: %+v", s)
+	}
+	j.Close()
+
+	j2 := openT(t, path, Options{})
+	defer j2.Close()
+	wantMigrationPhase(t, j2, migrate.Committed)
+	plc, ok := j2.LastPlacement()
+	if !ok || !bytes.Equal(plc.Map, []byte("new-strategy-map")) {
+		t.Fatalf("LastPlacement = %+v, %v", plc, ok)
+	}
+}
+
+// TestCompactionDropsStaleTerminalRecord: a terminal migration record
+// strictly behind the newest placement is history and must not survive
+// compaction.
+func TestCompactionDropsStaleTerminalRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "placement.wal")
+	j := openT(t, path, Options{CompactThreshold: 64})
+	ab := migrate.Record{Phase: migrate.Aborted, ID: 2, From: "anu", To: "chord"}
+	if err := j.Append(migRec(2, 4, ab)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(2, 5, "map-after-abort-padding-padding")); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.Stats(); s.Compactions == 0 {
+		t.Fatalf("compaction never triggered: %+v", s)
+	}
+	j.Close()
+
+	j2 := openT(t, path, Options{})
+	defer j2.Close()
+	if _, ok := j2.LastMigration(); ok {
+		t.Fatal("stale aborted record survived compaction")
+	}
+	if _, ok := j2.LastPlacement(); !ok {
+		t.Fatal("placement lost in compaction")
+	}
+}
+
+// TestMigrationOnlyJournal: a crash right after the first journaled
+// phase record (before any placement install ever landed) must still
+// recover the phase.
+func TestMigrationOnlyJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "placement.wal")
+	j := openT(t, path, Options{CompactThreshold: 64})
+	prop := migrate.Record{Phase: migrate.Proposed, ID: 1, From: "anu", To: "chord"}
+	if err := j.Append(migRec(1, 1, prop)); err != nil {
+		t.Fatal(err)
+	}
+	// Force a compaction with no placement record present.
+	dt := migrate.Record{Phase: migrate.DualTag, ID: 1, From: "anu", To: "chord", Snapshot: bytes.Repeat([]byte{7}, 64)}
+	if err := j.Append(migRec(1, 2, dt)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2 := openT(t, path, Options{})
+	defer j2.Close()
+	wantMigrationPhase(t, j2, migrate.DualTag)
+	if _, ok := j2.LastPlacement(); ok {
+		t.Fatal("LastPlacement nonempty in migration-only journal")
+	}
+}

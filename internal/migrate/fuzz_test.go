@@ -1,0 +1,45 @@
+package migrate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMigrationRecord drives Decode with arbitrary bytes. Invariants:
+// no panic; a successful decode yields a record that passes Validate
+// and re-encodes to decode equal (the codec is canonical); bytes
+// without the magic always return ErrNotRecord.
+func FuzzMigrationRecord(f *testing.F) {
+	f.Add(Record{Phase: Proposed, ID: 1, From: "anu", To: "chord-bounded"}.Encode())
+	f.Add(Record{Phase: DualTag, ID: 7, From: "anu", To: "chord", Snapshot: []byte("warm-bytes")}.Encode())
+	f.Add(Record{Phase: Committed, ID: 2, From: "chord", To: "anu"}.Encode())
+	f.Add(Record{Phase: Aborted, ID: 3, From: "a", To: "b"}.Encode())
+	f.Add([]byte("MIG1"))
+	f.Add([]byte("MIG1\x01\x02garbage"))
+	f.Add([]byte("ANU1not-a-migration-record"))
+	torn := Record{Phase: DualTag, ID: 9, From: "anu", To: "chord", Snapshot: bytes.Repeat([]byte{0xab}, 64)}.Encode()
+	f.Add(torn[:len(torn)/2])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, err := Decode(b)
+		if err != nil {
+			if err == ErrNotRecord && IsRecord(b) {
+				t.Fatalf("ErrNotRecord for bytes carrying the magic: %x", b)
+			}
+			return
+		}
+		if !IsRecord(b) {
+			t.Fatalf("decode succeeded without magic: %x", b)
+		}
+		if verr := rec.Validate(); verr != nil {
+			t.Fatalf("decoded record fails Validate: %v", verr)
+		}
+		again, err := Decode(rec.Encode())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.Phase != rec.Phase || again.ID != rec.ID || again.From != rec.From || again.To != rec.To || !bytes.Equal(again.Snapshot, rec.Snapshot) {
+			t.Fatalf("codec not canonical: %+v vs %+v", rec, again)
+		}
+	})
+}

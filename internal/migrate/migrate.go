@@ -1,0 +1,252 @@
+// Package migrate defines the crash-safe state machine that drives a
+// live placement-strategy cutover (e.g. ANU → chord-bounded) without
+// restarting the cluster or dropping a lookup.
+//
+// A migration walks four phases:
+//
+//	Idle → Proposed → DualTag → Committed
+//	            \________\→ Aborted
+//
+// The delegate proposes a migration, collects a quorum of
+// acknowledgements, opens a dual-tag window in which every node keeps
+// serving lock-free lookups from the old placement while a snapshot of
+// the new strategy warms in the background, and finally commits by
+// bumping the view epoch and installing the warm snapshot through the
+// ordinary (epoch, round) install fence. Any failure — quorum loss,
+// timeout, tag decode error, re-election mid-window — aborts the
+// migration and leaves the old placement serving untouched.
+//
+// Every phase transition is journaled as a Record so a crash-restart
+// recovers the exact phase. Records are self-describing byte payloads
+// (magic "MIG1") that travel both in the WAL — alongside, and
+// distinguishable from, tagged placement snapshots — and as the
+// payloads of the cluster's migration protocol messages. This package
+// is pure codec + state machine; the cluster runtime owns timers,
+// quorum counting, and the actual snapshot publish.
+package migrate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Phase is a state of the migration state machine.
+type Phase uint8
+
+const (
+	// Idle: no migration in flight. Never journaled; it is the
+	// implied state when the newest migration record is terminal.
+	Idle Phase = iota
+	// Proposed: the delegate has announced the migration and is
+	// collecting acknowledgements. The data plane is untouched.
+	Proposed
+	// DualTag: the node holds a warm snapshot of the target strategy
+	// and will accept installs carrying either the old or the new
+	// strategy tag. Lookups still serve from the old placement.
+	DualTag
+	// Committed: the warm snapshot was installed under a bumped
+	// epoch; the migration is complete. Terminal.
+	Committed
+	// Aborted: the migration was rolled back; the old placement
+	// never stopped serving. Terminal.
+	Aborted
+)
+
+// String returns the phase name used in logs, stats, and tests.
+func (p Phase) String() string {
+	switch p {
+	case Idle:
+		return "idle"
+	case Proposed:
+		return "proposed"
+	case DualTag:
+		return "dual-tag"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Terminal reports whether the phase ends a migration.
+func (p Phase) Terminal() bool { return p == Committed || p == Aborted }
+
+// InFlight reports whether the phase names a migration that must be
+// resumed (or rolled back) after a crash.
+func (p Phase) InFlight() bool { return p == Proposed || p == DualTag }
+
+// ValidNext reports whether the state machine permits moving from p to
+// next. Abort is reachable from both in-flight phases; commit only
+// from the dual-tag window.
+func (p Phase) ValidNext(next Phase) bool {
+	switch p {
+	case Idle:
+		return next == Proposed
+	case Proposed:
+		return next == DualTag || next == Aborted
+	case DualTag:
+		return next == Committed || next == Aborted
+	default: // terminal phases restart from Idle
+		return next == Proposed
+	}
+}
+
+// Record is one journaled (and wire-carried) migration event.
+//
+// ID identifies the migration attempt: the proposing delegate stamps
+// it from its (epoch, sequence) so concurrent or retried attempts
+// cannot be confused. From and To are placement-strategy names as
+// registered in internal/placement. Snapshot is only populated on
+// DualTag records: the tagged encoding of the warm target placement,
+// so a node that crashes inside the window can restore the exact warm
+// state it acknowledged.
+type Record struct {
+	Phase    Phase
+	ID       uint64
+	From     string
+	To       string
+	Snapshot []byte
+}
+
+// Encoding layout (all little-endian):
+//
+//	magic    u32   "MIG1"
+//	version  u8    = 1
+//	phase    u8
+//	id       u64
+//	fromLen  u8    | from bytes
+//	toLen    u8    | to bytes
+//	snapLen  u32   | snapshot bytes
+//
+// The magic distinguishes migration records from tagged placement
+// snapshots ("ANU1" raw maps and "PLC1" containers) sharing the same
+// WAL, mirroring how the placement codec sniffs its own containers.
+const (
+	// Magic is the little-endian u32 spelling "MIG1".
+	Magic = uint32('M') | uint32('I')<<8 | uint32('G')<<16 | uint32('1')<<24
+
+	recordVersion = 1
+	headerLen     = 4 + 1 + 1 + 8 // magic, version, phase, id
+	maxNameLen    = 255
+	maxSnapLen    = 1 << 26 // matches the journal's frame ceiling
+)
+
+var (
+	// ErrNotRecord reports bytes that do not start with the MIG1
+	// magic — i.e. some other record class entirely.
+	ErrNotRecord = errors.New("migrate: not a migration record")
+)
+
+// IsRecord reports whether b carries the migration-record magic. It
+// is how the journal classifies WAL payloads without decoding them.
+func IsRecord(b []byte) bool {
+	return len(b) >= 4 && binary.LittleEndian.Uint32(b) == Magic
+}
+
+// Validate checks the structural invariants every record must hold,
+// whether it came from the local API or off the wire.
+func (r Record) Validate() error {
+	if r.Phase == Idle || r.Phase > Aborted {
+		return fmt.Errorf("migrate: phase %s is not journalable", r.Phase)
+	}
+	if r.From == "" || r.To == "" {
+		return errors.New("migrate: empty strategy name")
+	}
+	if r.From == r.To {
+		return fmt.Errorf("migrate: from and to are both %q", r.From)
+	}
+	if len(r.From) > maxNameLen || len(r.To) > maxNameLen {
+		return errors.New("migrate: strategy name too long")
+	}
+	if len(r.Snapshot) > maxSnapLen {
+		return fmt.Errorf("migrate: snapshot %d bytes exceeds limit", len(r.Snapshot))
+	}
+	if r.Phase != DualTag && len(r.Snapshot) != 0 {
+		return fmt.Errorf("migrate: %s record carries a snapshot", r.Phase)
+	}
+	return nil
+}
+
+// Encode serialises the record. It panics on records that fail
+// Validate — encoding an invalid record is a programming error, the
+// same contract placement.EncodeTagged keeps.
+func (r Record) Encode() []byte {
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	b := make([]byte, 0, headerLen+2+len(r.From)+len(r.To)+4+len(r.Snapshot))
+	b = binary.LittleEndian.AppendUint32(b, Magic)
+	b = append(b, recordVersion, byte(r.Phase))
+	b = binary.LittleEndian.AppendUint64(b, r.ID)
+	b = append(b, byte(len(r.From)))
+	b = append(b, r.From...)
+	b = append(b, byte(len(r.To)))
+	b = append(b, r.To...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Snapshot)))
+	b = append(b, r.Snapshot...)
+	return b
+}
+
+// Decode parses a migration record. Bytes without the MIG1 magic
+// return ErrNotRecord (so callers can fall through to other record
+// classes); anything else malformed is a hard error. The returned
+// record always passes Validate.
+func Decode(b []byte) (Record, error) {
+	if !IsRecord(b) {
+		return Record{}, ErrNotRecord
+	}
+	if len(b) < headerLen {
+		return Record{}, errors.New("migrate: truncated record header")
+	}
+	if v := b[4]; v != recordVersion {
+		return Record{}, fmt.Errorf("migrate: unsupported record version %d", v)
+	}
+	rec := Record{
+		Phase: Phase(b[5]),
+		ID:    binary.LittleEndian.Uint64(b[6:14]),
+	}
+	rest := b[headerLen:]
+	var err error
+	if rec.From, rest, err = takeString(rest); err != nil {
+		return Record{}, fmt.Errorf("migrate: from: %w", err)
+	}
+	if rec.To, rest, err = takeString(rest); err != nil {
+		return Record{}, fmt.Errorf("migrate: to: %w", err)
+	}
+	if len(rest) < 4 {
+		return Record{}, errors.New("migrate: truncated snapshot length")
+	}
+	snapLen := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(snapLen) > maxSnapLen {
+		return Record{}, fmt.Errorf("migrate: snapshot length %d exceeds limit", snapLen)
+	}
+	if uint64(len(rest)) != uint64(snapLen) {
+		return Record{}, fmt.Errorf("migrate: snapshot length %d, have %d trailing bytes", snapLen, len(rest))
+	}
+	if snapLen > 0 {
+		rec.Snapshot = append([]byte(nil), rest...)
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 1 {
+		return "", nil, errors.New("truncated length byte")
+	}
+	n := int(b[0])
+	b = b[1:]
+	if n == 0 {
+		return "", nil, errors.New("empty name")
+	}
+	if len(b) < n {
+		return "", nil, errors.New("truncated name bytes")
+	}
+	return string(b[:n]), b[n:], nil
+}

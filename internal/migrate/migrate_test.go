@@ -1,0 +1,129 @@
+package migrate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Phase: Proposed, ID: 1, From: "anu", To: "chord-bounded"},
+		{Phase: DualTag, ID: 42, From: "anu", To: "chord", Snapshot: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Phase: Committed, ID: 1<<63 + 7, From: "chord-bounded", To: "anu"},
+		{Phase: Aborted, ID: 9, From: "chord", To: "anu"},
+	}
+	for _, want := range recs {
+		b := want.Encode()
+		if !IsRecord(b) {
+			t.Fatalf("IsRecord(%s encode) = false", want.Phase)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", want.Phase, err)
+		}
+		if got.Phase != want.Phase || got.ID != want.ID || got.From != want.From || got.To != want.To {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if !bytes.Equal(got.Snapshot, want.Snapshot) {
+			t.Fatalf("round trip snapshot: got %x want %x", got.Snapshot, want.Snapshot)
+		}
+	}
+}
+
+func TestDecodeRejectsForeignMagic(t *testing.T) {
+	for _, b := range [][]byte{nil, {1, 2}, []byte("ANU1xxxx"), []byte("PLC1xxxx"), []byte("....")} {
+		if IsRecord(b) {
+			t.Fatalf("IsRecord(%q) = true", b)
+		}
+		if _, err := Decode(b); err != ErrNotRecord {
+			t.Fatalf("Decode(%q) err = %v, want ErrNotRecord", b, err)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := Record{Phase: DualTag, ID: 3, From: "anu", To: "chord", Snapshot: []byte("warm")}.Encode()
+	cases := map[string][]byte{
+		"truncated header":   good[:8],
+		"bad version":        append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"truncated names":    good[:15],
+		"truncated snapshot": good[:len(good)-1],
+		"trailing garbage":   append(append([]byte{}, good...), 0),
+	}
+	// Phase byte outside the journalable range.
+	badPhase := append([]byte{}, good...)
+	badPhase[5] = 0
+	cases["idle phase"] = badPhase
+	// A snapshot on a non-DualTag record violates Validate.
+	snapOnCommit := append([]byte{}, good...)
+	snapOnCommit[5] = byte(Committed)
+	cases["snapshot on committed"] = snapOnCommit
+
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: Decode accepted %x", name, b)
+		} else if err == ErrNotRecord {
+			t.Errorf("%s: got ErrNotRecord, want a hard decode error", name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Record{
+		{Phase: Proposed, From: "", To: "chord"},
+		{Phase: Proposed, From: "anu", To: ""},
+		{Phase: Proposed, From: "anu", To: "anu"},
+		{Phase: Idle, From: "anu", To: "chord"},
+		{Phase: Proposed, From: "anu", To: "chord", Snapshot: []byte{1}},
+		{Phase: Proposed, From: strings.Repeat("x", 256), To: "chord"},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, r)
+		}
+	}
+	if err := (Record{Phase: DualTag, From: "anu", To: "chord", Snapshot: []byte{1}}).Validate(); err != nil {
+		t.Errorf("valid dual-tag record rejected: %v", err)
+	}
+}
+
+func TestEncodePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode of invalid record did not panic")
+		}
+	}()
+	Record{Phase: Idle, From: "a", To: "b"}.Encode()
+}
+
+func TestPhaseMachine(t *testing.T) {
+	allowed := map[Phase][]Phase{
+		Idle:      {Proposed},
+		Proposed:  {DualTag, Aborted},
+		DualTag:   {Committed, Aborted},
+		Committed: {Proposed},
+		Aborted:   {Proposed},
+	}
+	phases := []Phase{Idle, Proposed, DualTag, Committed, Aborted}
+	for _, from := range phases {
+		ok := map[Phase]bool{}
+		for _, p := range allowed[from] {
+			ok[p] = true
+		}
+		for _, to := range phases {
+			if got := from.ValidNext(to); got != ok[to] {
+				t.Errorf("ValidNext(%s → %s) = %v, want %v", from, to, got, ok[to])
+			}
+		}
+	}
+	if !Proposed.InFlight() || !DualTag.InFlight() || Committed.InFlight() || Aborted.InFlight() || Idle.InFlight() {
+		t.Error("InFlight classification wrong")
+	}
+	if !Committed.Terminal() || !Aborted.Terminal() || Proposed.Terminal() {
+		t.Error("Terminal classification wrong")
+	}
+	if Phase(99).String() != "phase(99)" {
+		t.Errorf("unknown phase String = %q", Phase(99).String())
+	}
+}
