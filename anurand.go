@@ -167,14 +167,32 @@ type Options struct {
 	// mean per-server request rate. Zero means the default (1.25);
 	// other strategies ignore it.
 	LoadBound float64
+	// Weights carries per-server capacity weights — a-priori knowledge
+	// of relative server speeds — for the weight-aware strategies
+	// ("rendezvous", "weighted-static", "power-of-d"). Zero value means
+	// uniform capacity; absent servers default to weight 1. Strategies
+	// without capacity knowledge ignore it. In Restore the snapshot's
+	// own weights win, as with every other replicated field.
+	Weights map[ServerID]float64
+	// Choices is the d of the "power-of-d" sampler; zero means the
+	// default (2). Other strategies ignore it.
+	Choices int
 }
 
 func (o Options) placementOptions() placement.Options {
-	return placement.Options{
+	po := placement.Options{
 		HashSeed:   o.HashSeed,
 		Controller: o.Tuning.toConfig(),
 		LoadBound:  o.LoadBound,
+		Choices:    o.Choices,
 	}
+	if len(o.Weights) > 0 {
+		po.Weights = make(map[placement.ServerID]float64, len(o.Weights))
+		for id, w := range o.Weights {
+			po.Weights[placement.ServerID(id)] = w
+		}
+	}
+	return po
 }
 
 func (o Options) strategyName() string {
@@ -366,6 +384,40 @@ func (b *Balancer) Fail(id ServerID) error {
 // Recover re-admits a failed server with an equal share.
 func (b *Balancer) Recover(id ServerID) error {
 	return b.mutate(func(s placement.Strategy) error { return s.Recover(placement.ServerID(id)) })
+}
+
+// SetWeights installs updated per-server capacity weights on a
+// weight-aware strategy (rendezvous, weighted-static, power-of-d). The
+// update is partial: listed servers take the new weight, absent servers
+// keep theirs. Strategies without capacity knowledge return an error.
+func (b *Balancer) SetWeights(weights map[ServerID]float64) error {
+	return b.mutate(func(s placement.Strategy) error {
+		rw, ok := s.(placement.Reweigher)
+		if !ok {
+			return fmt.Errorf("anurand: strategy %q does not support weights", s.Name())
+		}
+		pw := make(map[placement.ServerID]float64, len(weights))
+		for id, w := range weights {
+			pw[placement.ServerID(id)] = w
+		}
+		return rw.SetWeights(pw)
+	})
+}
+
+// Weights returns the current per-server capacity weights of a
+// weight-aware strategy, or nil for strategies without capacity
+// knowledge.
+func (b *Balancer) Weights() map[ServerID]float64 {
+	rw, ok := b.strategy().(placement.Reweigher)
+	if !ok {
+		return nil
+	}
+	pw := rw.Weights()
+	out := make(map[ServerID]float64, len(pw))
+	for id, w := range pw {
+		out[ServerID(id)] = w
+	}
+	return out
 }
 
 // Advisory flags a server the controller considers incompetent for this

@@ -408,6 +408,64 @@ func BenchmarkChordBoundedLookup(b *testing.B) {
 	}
 }
 
+// newWeightedStrategy is newStrategy with a skewed capacity table, so
+// the weighted benchmarks measure the real weighted path rather than
+// the uniform special case.
+func newWeightedStrategy(b *testing.B, tag string) placement.Strategy {
+	ids := make([]placement.ServerID, 16)
+	weights := make(map[placement.ServerID]float64, 16)
+	for i := range ids {
+		ids[i] = placement.ServerID(i)
+		weights[ids[i]] = float64(1 + i%5*2) // speeds 1,3,5,7,9 as in the paper
+	}
+	s, err := placement.New(tag, ids, placement.Options{HashSeed: 0, Weights: weights})
+	if err != nil {
+		b.Fatalf("strategy %s init failed: %v", tag, err)
+	}
+	return s
+}
+
+// BenchmarkRendezvousLookup measures weighted-HRW addressing: one FNV
+// pass, then one mix plus one log per live member — no allocation.
+func BenchmarkRendezvousLookup(b *testing.B) {
+	s := newWeightedStrategy(b, placement.StrategyRendezvous)
+	keys := benchKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(keys[i&1023]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkWeightedStaticLookup measures the a-priori static partition:
+// one FNV pass, one mix, one binary search over the cumulative-weight
+// array — no allocation.
+func BenchmarkWeightedStaticLookup(b *testing.B) {
+	s := newWeightedStrategy(b, placement.StrategyWeightedStatic)
+	keys := benchKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(keys[i&1023]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkPowerOfDLookup measures the two-choice sampler with live
+// load state: one FNV pass, then d weighted draws — no allocation.
+func BenchmarkPowerOfDLookup(b *testing.B) {
+	s := newWeightedStrategy(b, placement.StrategyPowerOfD)
+	skewTune(b, s)
+	keys := benchKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(keys[i&1023]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
 // BenchmarkStrategyLookupBatch measures every registered strategy's
 // batch data plane under one shared harness; a newly registered
 // strategy gets a sub-benchmark (and the bench gate's attention)

@@ -234,7 +234,18 @@ func buildPolicy(name string, trace *workload.Trace, speeds []float64, numVP int
 	}
 	for _, tag := range placement.Names() {
 		if tag == name {
-			return policy.NewStrategyPlacerKeys(tag, keys, servers, placement.Options{HashSeed: 42})
+			// The -speeds flag is the a-priori capacity knowledge handed to
+			// weight-aware strategies; others ignore the weights.
+			weights := make(map[policy.ServerID]float64, len(speeds))
+			for i, sp := range speeds {
+				if sp > 0 {
+					weights[servers[i]] = sp
+				}
+			}
+			return policy.NewStrategyPlacerKeys(tag, keys, servers, placement.Options{
+				HashSeed: 42,
+				Weights:  weights,
+			})
 		}
 	}
 	return nil, fmt.Errorf("unknown policy %q (want simple, anu, prescient, vp, or a registered strategy: %v)",

@@ -101,6 +101,13 @@ type Config struct {
 	// LoadBound configures the bounded-load strategies; zero means the
 	// default. Ignored by ANU.
 	LoadBound float64
+	// Weights carries per-server capacity weights for weight-aware
+	// strategies (rendezvous, weighted-static, power-of-d). They apply
+	// when this node constructs a fresh placement — bootstrap and the
+	// warm target of a live migration; decoded snapshots carry their own
+	// weights in the bytes. Zero value means uniform. Ignored by
+	// strategies without capacity knowledge.
+	Weights map[delegate.NodeID]float64
 
 	// RoundInterval is the tuning cadence (the paper's two-minute
 	// interval; tests use milliseconds). Required.
@@ -220,7 +227,7 @@ func (cfg Config) withDefaults() (Config, error) {
 // placementOptions builds the strategy construction options used when
 // this node decodes snapshots.
 func (cfg Config) placementOptions() placement.Options {
-	return placement.Options{Controller: cfg.Controller, LoadBound: cfg.LoadBound}
+	return placement.Options{Controller: cfg.Controller, LoadBound: cfg.LoadBound, Weights: cfg.Weights}
 }
 
 // logf emits a diagnostic when a logger is configured.

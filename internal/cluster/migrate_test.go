@@ -390,6 +390,142 @@ func TestMigrateHappyPath(t *testing.T) {
 	}
 }
 
+// TestMigrateWeightsSurviveCutover is the weight-aware acceptance path:
+// the leader carries a-priori capacity weights in its Config, migrates
+// the live cluster from ANU to weighted rendezvous hashing, and the
+// weights must arrive everywhere through the bytes alone — the
+// followers are configured WITHOUT weights, so everything they serve
+// and journal was learned from the leader's warm snapshot. A follower
+// restart from its journal must come back weighted too.
+func TestMigrateWeightsSurviveCutover(t *testing.T) {
+	cn, err := NewChaosNetwork(ChaosConfig{Seed: 11, MaxDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	ids, snapshot := bootstrap(t, 3)
+	speeds := map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5}
+	weights := map[delegate.NodeID]float64{0: 1, 1: 3, 2: 5}
+	dir := t.TempDir()
+	journals := make([]*journal.Journal, len(ids))
+	rts := make([]*Runtime, len(ids))
+	openJournal := func(i int) {
+		j, err := journal.Open(filepath.Join(dir, fmt.Sprintf("node%d.wal", i)), journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		journals[i] = j
+	}
+	startNode := func(i int) {
+		cfg := Config{
+			ID: ids[i], Members: ids, Snapshot: snapshot,
+			Controller: anu.DefaultControllerConfig(), RoundInterval: 40 * time.Millisecond,
+			HeartbeatInterval: 8 * time.Millisecond, FailAfter: 400 * time.Millisecond,
+			WatchdogRounds: 10, MigrateTimeout: 8 * time.Second, MigrateRetry: 80 * time.Millisecond,
+			Observe: closedLoopObserve(speeds), Journal: journals[i], Logf: t.Logf,
+		}
+		if i == 0 {
+			// Only the leader knows the capacities a priori.
+			cfg.Weights = weights
+		}
+		rt, err := Start(cfg, cn.Endpoint(ids[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[i] = rt
+	}
+	for i := range ids {
+		openJournal(i)
+		startNode(i)
+	}
+	defer func() {
+		for i, rt := range rts {
+			rt.Stop()
+			journals[i].Close()
+		}
+	}()
+
+	waitFor(t, 15*time.Second, "pre-migration convergence", func() bool {
+		return converged(rts) && rts[0].Stats().Tunes >= 1
+	})
+	hammer := startLookupHammer(rts, len(ids), placement.StrategyANU, placement.StrategyRendezvous)
+	del := waitDelegate(t, rts)
+	if del.ID() != 0 {
+		t.Fatalf("delegate %d, want 0 (the weighted config)", del.ID())
+	}
+	if _, err := del.Migrate(placement.StrategyRendezvous); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "cluster-wide weighted cutover", func() bool {
+		hammer.check(t)
+		for _, rt := range rts {
+			if rt.Strategy() != placement.StrategyRendezvous {
+				return false
+			}
+			if phase, _ := rt.MigrationPhase(); phase != migrate.Idle {
+				return false
+			}
+		}
+		return true
+	})
+	// Keep serving across a couple of post-cutover tuning rounds: the
+	// weighted strategy must survive feedback, not just the install.
+	tunesAtFlip := del.Stats().Tunes
+	waitFor(t, 15*time.Second, "post-migration tuning", func() bool {
+		hammer.check(t)
+		return del.Stats().Tunes >= tunesAtFlip+2
+	})
+	hammer.close(t)
+
+	wantWeights := func(ctx string, s placement.Strategy) {
+		t.Helper()
+		rw, ok := s.(placement.Reweigher)
+		if !ok {
+			t.Fatalf("%s: strategy %q has no weights", ctx, s.Name())
+		}
+		got := rw.Weights()
+		for id, w := range weights {
+			if got[id] != w {
+				t.Errorf("%s: weight[%d] = %g, want %g", ctx, id, got[id], w)
+			}
+		}
+	}
+	for i, rt := range rts {
+		// The live placement each node serves carries the leader's weights.
+		wantWeights(fmt.Sprintf("node %d live", i), rt.Placement())
+		// And so does the placement each node journaled.
+		prec, ok := journals[i].LastPlacement()
+		if !ok {
+			t.Fatalf("node %d: no journaled placement", i)
+		}
+		if tag, _ := placement.Tag(prec.Map); tag != placement.StrategyRendezvous {
+			t.Fatalf("node %d: journaled placement tag %q", i, tag)
+		}
+		dec, err := placement.Decode(prec.Map, placement.Options{})
+		if err != nil {
+			t.Fatalf("node %d: journaled placement undecodable: %v", i, err)
+		}
+		wantWeights(fmt.Sprintf("node %d journal", i), dec)
+	}
+
+	// Restart follower 2 from its journal, weightless config and all:
+	// the recovered placement must still be weighted rendezvous.
+	const victim = 2
+	rts[victim].Stop()
+	if err := journals[victim].Close(); err != nil {
+		t.Fatal(err)
+	}
+	openJournal(victim)
+	startNode(victim)
+	if got := rts[victim].Strategy(); got != placement.StrategyRendezvous {
+		t.Fatalf("restarted node boots strategy %q, want %q", got, placement.StrategyRendezvous)
+	}
+	wantWeights("restarted node", rts[victim].Placement())
+	waitFor(t, 15*time.Second, "post-restart reconvergence", func() bool {
+		return converged(rts)
+	})
+}
+
 // TestMigrateAbortOnTimeout: the leader's proposals go unacknowledged
 // (the followers' acks are dropped), so the Proposed phase times out
 // and rolls back — the leader stays on the old strategy, broadcasts

@@ -19,12 +19,15 @@ import (
 // in float rounding (fused multiply-add), so the comparison is gated on
 // GOARCH while the double-run determinism check always applies.
 var fig5Digests = map[PolicyName]string{
-	Simple:          "9e86a940d286609e",
-	ANU:             "5afe09b52a3aa7f3",
-	Prescient:       "d2092b9c5dadde10",
-	VP:              "2d03a691768e5268",
-	"chord":         "3238b63a7c1e38cd",
-	"chord-bounded": "89ff43d064eef4d0",
+	Simple:            "9e86a940d286609e",
+	ANU:               "5afe09b52a3aa7f3",
+	Prescient:         "d2092b9c5dadde10",
+	VP:                "2d03a691768e5268",
+	"chord":           "3238b63a7c1e38cd",
+	"chord-bounded":   "89ff43d064eef4d0",
+	"power-of-d":      "3195b7868879142e",
+	"rendezvous":      "183a116250208076",
+	"weighted-static": "fa66453f5c8ec073",
 }
 
 // sweepDigests runs the Quick synthetic trace under every runnable

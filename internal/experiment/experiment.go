@@ -176,6 +176,18 @@ func Servers() []policy.ServerID { return []policy.ServerID{0, 1, 2, 3, 4} }
 // Speeds returns the paper's capacity factors.
 func Speeds() []float64 { return []float64{1, 3, 5, 7, 9} }
 
+// SpeedWeights returns the paper's capacity factors keyed by server id —
+// the a-priori knowledge handed to weight-aware strategies (rendezvous,
+// weighted-static, power-of-d) through placement.Options.Weights.
+func SpeedWeights() map[policy.ServerID]float64 {
+	servers, speeds := Servers(), Speeds()
+	weights := make(map[policy.ServerID]float64, len(servers))
+	for i, id := range servers {
+		weights[id] = speeds[i]
+	}
+	return weights
+}
+
 // BuildPolicy constructs one of the compared systems over a trace. The
 // four canonical names build the paper's policies; any other name is
 // resolved through the placement-strategy registry, so a registered
@@ -197,7 +209,10 @@ func (s *Suite) BuildPolicy(name PolicyName, trace *workload.Trace, numVP int) (
 	}
 	for _, tag := range placement.Names() {
 		if tag == string(name) {
-			return policy.NewStrategyPlacerKeys(tag, keys, Servers(), placement.Options{HashSeed: s.cfg.HashSeed})
+			return policy.NewStrategyPlacerKeys(tag, keys, Servers(), placement.Options{
+				HashSeed: s.cfg.HashSeed,
+				Weights:  SpeedWeights(),
+			})
 		}
 	}
 	return nil, fmt.Errorf("experiment: unknown policy %q", name)

@@ -1,0 +1,57 @@
+package placement
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWeightedSnapshot hammers the weighted snapshot codec shared by
+// the weight-aware strategies (rendezvous, weighted-static, power-of-d)
+// with arbitrary bytes: Decode must never panic, anything it accepts
+// must satisfy the strategy invariants, and — because the member codec
+// is canonical — must re-encode byte-identically.
+func FuzzWeightedSnapshot(f *testing.F) {
+	weights := map[ServerID]float64{0: 1, 1: 3, 2: 5, 3: 7}
+	for _, name := range []string{StrategyRendezvous, StrategyWeightedStatic, StrategyPowerOfD} {
+		s, err := New(name, []ServerID{0, 1, 2, 3}, Options{HashSeed: 9, Weights: weights})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(s.Encode())
+		if err := s.Fail(2); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := s.Tune([]Report{{Server: 0, Requests: 1200, Latency: 0.8}}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(s.Encode())
+	}
+	f.Add([]byte{})
+	f.Add(EncodeTagged(StrategyRendezvous, nil))
+	f.Add(EncodeTagged("never-registered", []byte{1, 2, 3}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data, Options{})
+		if err != nil {
+			return
+		}
+		switch dec.(type) {
+		case *Rendezvous, *WeightedStatic, *PowerOfD:
+		default:
+			return // ANU/chord snapshots have their own fuzzers
+		}
+		if err := dec.(Invariants).CheckInvariants(); err != nil {
+			t.Fatalf("accepted snapshot violates invariants: %v", err)
+		}
+		if !bytes.Equal(dec.Encode(), data) {
+			t.Fatal("accepted snapshot does not re-encode canonically")
+		}
+		// The accepted state must be servable: lookups succeed whenever
+		// any member is live, and never land on a failed member.
+		shares := dec.Shares()
+		id, ok := dec.Lookup("fuzz-probe")
+		if ok && shares[id] == 0 {
+			t.Fatalf("lookup placed on share-less server %d", id)
+		}
+	})
+}

@@ -145,6 +145,22 @@ type SoftStateResetter interface {
 	ResetSoftState()
 }
 
+// Reweigher is the optional capacity-knowledge capability: strategies
+// that place by per-server weight implement it so callers can install
+// updated speed estimates at runtime (the policy layer refreshes
+// weights from measured server speeds each tuning round). SetWeights is
+// a partial update — listed servers take the new weight, absent servers
+// keep theirs — and must validate before mutating, leaving the strategy
+// untouched on error. Like all mutators it is called on a clone under
+// the RCU discipline, never on a published instance.
+type Reweigher interface {
+	// Weights returns the current per-server capacity weights.
+	Weights() map[ServerID]float64
+	// SetWeights applies a partial weight update. Weights must be
+	// finite and > 0, and every listed server must be a member.
+	SetWeights(weights map[ServerID]float64) error
+}
+
 // Options carries construction-time configuration for strategies. Each
 // strategy reads the fields it understands and ignores the rest, so one
 // Options value can configure any registered strategy.
@@ -160,6 +176,19 @@ type Options struct {
 	// server should carry more than c times the mean per-server request
 	// rate. Zero means DefaultLoadBound; values must exceed 1.
 	LoadBound float64
+	// Weights carries per-server capacity weights — the paper's a-priori
+	// knowledge of relative server speeds — for the weight-aware
+	// strategies ("rendezvous", "weighted-static", "power-of-d"). The
+	// zero value means uniform capacity; absent servers default to
+	// weight 1. Weights are encoded into each weight-aware strategy's
+	// tagged snapshot, so they survive the journal, the wire frame, and
+	// live migration; a weight listed for a server outside the member
+	// set is a construction error. Strategies without capacity knowledge
+	// (anu, chord) ignore the field.
+	Weights map[ServerID]float64
+	// Choices is the d of the "power-of-d" sampler. Zero means
+	// DefaultChoices; values must lie in [1, MaxChoices].
+	Choices int
 }
 
 // DefaultLoadBound is the bounded-load factor used when Options leaves
@@ -184,11 +213,31 @@ var (
 	factories = make(map[string]Factory)
 )
 
-// Register adds a strategy to the registry under its tag. It panics on
-// a duplicate or empty name (registration is init-time programmer
-// input). Tags are bounded at 255 bytes by the container encoding.
-func Register(name string, f Factory) {
+// validTagName reports whether a strategy name can round-trip the
+// tagged container header: 1–255 bytes, every byte printable ASCII
+// (0x21–0x7e). The container stores the name as raw bytes behind a
+// uint8 length, so anything in that range round-trips; control bytes,
+// spaces, and non-ASCII are rejected because they make tags ambiguous
+// in logs, CLI flags, and golden-file names.
+func validTagName(name string) bool {
 	if name == "" || len(name) > 255 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x21 || name[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a strategy to the registry under its tag. It panics on
+// a duplicate, empty, over-long, or non-printable name (registration is
+// init-time programmer input). Tags are bounded at 255 bytes by the
+// container encoding and restricted to printable ASCII so they
+// round-trip the container header, CLI flags, and filenames.
+func Register(name string, f Factory) {
+	if !validTagName(name) {
 		panic(fmt.Sprintf("placement: invalid strategy name %q", name))
 	}
 	if f.New == nil || f.Decode == nil {
@@ -252,7 +301,7 @@ const anuMagic = 0x414e5531 // "ANU1"
 // EncodeTagged wraps a strategy payload in the tagged container.
 // Strategies other than ANU call it from their Encode.
 func EncodeTagged(name string, payload []byte) []byte {
-	if name == "" || len(name) > 255 {
+	if !validTagName(name) {
 		panic(fmt.Sprintf("placement: invalid tag %q", name))
 	}
 	buf := make([]byte, 0, 5+len(name)+len(payload))

@@ -1,0 +1,390 @@
+package placement
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the weight-aware core shared by the strategies that use
+// a-priori capacity knowledge (rendezvous, weighted-static, power-of-d):
+// a member table carrying each server's capacity weight and failure
+// flag, the derived structures their lookup paths binary-search at zero
+// allocations, and the one binary codec all of their snapshots embed —
+// so weights survive the journal, the wire frame, and live migration
+// the same way for every weight-aware scheme.
+
+// DefaultChoices is the d of the power-of-d sampler when Options leaves
+// Choices zero: two choices, the classic power-of-two-choices operating
+// point (Mitzenmacher; Mukhopadhyay et al. for heterogeneous servers).
+const DefaultChoices = 2
+
+// MaxChoices bounds Options.Choices: past a handful of probes the
+// sampler degenerates into scanning the cluster, and the hash family's
+// precomputed tweak table covers 64 rounds.
+const MaxChoices = 16
+
+// unitFrac53 converts the top 53 bits of a 64-bit hash into a float in
+// [0, 1): float64(h>>11) * unitFrac53.
+const unitFrac53 = 1.0 / (1 << 53)
+
+// memberTable is the replicated membership state of a weight-aware
+// strategy: ascending server ids with per-server capacity weights and
+// failure flags, plus the derived cumulative-weight arrays the lookup
+// paths search. Mutators rebuild the derived state wholesale (mutation
+// happens on clones at tuning cadence); readers never allocate.
+type memberTable struct {
+	ids    []ServerID // ascending, unique
+	weight []float64  // parallel: finite, > 0
+	failed []bool     // parallel
+
+	// Derived by reindex:
+	allCum  []float64 // cumulative weight over ALL members (static intervals)
+	liveIdx []int     // indices of live members, ascending
+	liveCum []float64 // cumulative weight over live members (weighted sampling)
+}
+
+// validWeight reports whether w is usable as a capacity weight.
+func validWeight(w float64) bool {
+	return !math.IsNaN(w) && !math.IsInf(w, 0) && w > 0
+}
+
+// newMemberTable builds the table over servers, all live, with weights
+// from the map (absent entries mean weight 1 — the uniform default).
+// Every weight listed for a server outside the set is an error: a typo
+// in an a-priori capacity table must not silently disappear.
+func newMemberTable(servers []ServerID, weights map[ServerID]float64) (*memberTable, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("placement: no servers")
+	}
+	ids := append([]ServerID(nil), servers...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if id < 0 {
+			return nil, fmt.Errorf("placement: negative server id %d", id)
+		}
+		if i > 0 && ids[i-1] == id {
+			return nil, fmt.Errorf("placement: duplicate server id %d", id)
+		}
+	}
+	known := make(map[ServerID]bool, len(ids))
+	for _, id := range ids {
+		known[id] = true
+	}
+	for id, w := range weights {
+		if !known[id] {
+			return nil, fmt.Errorf("placement: weight for unknown server %d", id)
+		}
+		if !validWeight(w) {
+			return nil, fmt.Errorf("placement: server %d has invalid weight %g", id, w)
+		}
+	}
+	t := &memberTable{
+		ids:    ids,
+		weight: make([]float64, len(ids)),
+		failed: make([]bool, len(ids)),
+	}
+	for i, id := range ids {
+		if w, ok := weights[id]; ok {
+			t.weight[i] = w
+		} else {
+			t.weight[i] = 1
+		}
+	}
+	t.reindex()
+	return t, nil
+}
+
+// reindex rebuilds the derived cumulative arrays from ids/weight/failed.
+func (t *memberTable) reindex() {
+	t.allCum = t.allCum[:0]
+	t.liveIdx = t.liveIdx[:0]
+	t.liveCum = t.liveCum[:0]
+	var all, live float64
+	for i := range t.ids {
+		all += t.weight[i]
+		t.allCum = append(t.allCum, all)
+		if !t.failed[i] {
+			live += t.weight[i]
+			t.liveIdx = append(t.liveIdx, i)
+			t.liveCum = append(t.liveCum, live)
+		}
+	}
+}
+
+func (t *memberTable) clone() *memberTable {
+	return &memberTable{
+		ids:     append([]ServerID(nil), t.ids...),
+		weight:  append([]float64(nil), t.weight...),
+		failed:  append([]bool(nil), t.failed...),
+		allCum:  append([]float64(nil), t.allCum...),
+		liveIdx: append([]int(nil), t.liveIdx...),
+		liveCum: append([]float64(nil), t.liveCum...),
+	}
+}
+
+// index returns the position of id in the ascending id array, or -1.
+func (t *memberTable) index(id ServerID) int {
+	lo, hi := 0, len(t.ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.ids) && t.ids[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+func (t *memberTable) has(id ServerID) bool { return t.index(id) >= 0 }
+
+func (t *memberTable) servers() []ServerID {
+	return append([]ServerID(nil), t.ids...)
+}
+
+// add commissions a new live member with the uniform weight 1; callers
+// with capacity knowledge follow up through SetWeights.
+func (t *memberTable) add(id ServerID) error {
+	if id < 0 {
+		return fmt.Errorf("placement: AddServer: negative server id %d", id)
+	}
+	if t.has(id) {
+		return fmt.Errorf("placement: AddServer: server %d already present", id)
+	}
+	t.ids = append(t.ids, id)
+	t.weight = append(t.weight, 1)
+	t.failed = append(t.failed, false)
+	// Re-sort the parallel arrays by id (one insertion, small k).
+	for i := len(t.ids) - 1; i > 0 && t.ids[i-1] > t.ids[i]; i-- {
+		t.ids[i-1], t.ids[i] = t.ids[i], t.ids[i-1]
+		t.weight[i-1], t.weight[i] = t.weight[i], t.weight[i-1]
+		t.failed[i-1], t.failed[i] = t.failed[i], t.failed[i-1]
+	}
+	t.reindex()
+	return nil
+}
+
+func (t *memberTable) remove(id ServerID) error {
+	i := t.index(id)
+	if i < 0 {
+		return fmt.Errorf("placement: RemoveServer: unknown server %d", id)
+	}
+	t.ids = append(t.ids[:i], t.ids[i+1:]...)
+	t.weight = append(t.weight[:i], t.weight[i+1:]...)
+	t.failed = append(t.failed[:i], t.failed[i+1:]...)
+	t.reindex()
+	return nil
+}
+
+// setFailed marks a member down or re-admits it; toggling to the
+// current state is a no-op, matching the ANU and chord strategies.
+func (t *memberTable) setFailed(id ServerID, failed bool) error {
+	i := t.index(id)
+	if i < 0 {
+		return fmt.Errorf("placement: unknown server %d", id)
+	}
+	if t.failed[i] == failed {
+		return nil
+	}
+	t.failed[i] = failed
+	t.reindex()
+	return nil
+}
+
+func (t *memberTable) isFailed(id ServerID) bool {
+	i := t.index(id)
+	return i >= 0 && t.failed[i]
+}
+
+// weightsMap materializes the per-server weights (the Reweigher getter).
+func (t *memberTable) weightsMap() map[ServerID]float64 {
+	out := make(map[ServerID]float64, len(t.ids))
+	for i, id := range t.ids {
+		out[id] = t.weight[i]
+	}
+	return out
+}
+
+// setWeights applies a partial weight update: listed servers take the
+// new weight, absent servers keep theirs. It reports whether anything
+// changed and validates before mutating, so a bad update leaves the
+// table untouched.
+func (t *memberTable) setWeights(weights map[ServerID]float64) (bool, error) {
+	for id, w := range weights {
+		if t.index(id) < 0 {
+			return false, fmt.Errorf("placement: SetWeights: unknown server %d", id)
+		}
+		if !validWeight(w) {
+			return false, fmt.Errorf("placement: SetWeights: server %d has invalid weight %g", id, w)
+		}
+	}
+	changed := false
+	for id, w := range weights {
+		i := t.index(id)
+		if t.weight[i] != w {
+			t.weight[i] = w
+			changed = true
+		}
+	}
+	if changed {
+		t.reindex()
+	}
+	return changed, nil
+}
+
+// shares returns each member's fraction of the live weight (failed
+// members report 0); live fractions sum to 1.
+func (t *memberTable) shares() map[ServerID]float64 {
+	out := make(map[ServerID]float64, len(t.ids))
+	var live float64
+	if n := len(t.liveCum); n > 0 {
+		live = t.liveCum[n-1]
+	}
+	for i, id := range t.ids {
+		if t.failed[i] || live == 0 {
+			out[id] = 0
+		} else {
+			out[id] = t.weight[i] / live
+		}
+	}
+	return out
+}
+
+// ownerAll maps a 64-bit hash onto the static weight-proportional
+// partition of ALL members (failed included — static boundaries never
+// move on failure) and returns the owning member index.
+func (t *memberTable) ownerAll(h uint64) int {
+	total := t.allCum[len(t.allCum)-1]
+	x := float64(h>>11) * unitFrac53 * total // in [0, total)
+	lo, hi := 0, len(t.allCum)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.allCum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(t.allCum) {
+		lo = len(t.allCum) - 1
+	}
+	return lo
+}
+
+// pickLive draws a live member index with probability proportional to
+// its weight, from a 64-bit hash. ok is false when every member failed.
+func (t *memberTable) pickLive(h uint64) (int, bool) {
+	n := len(t.liveCum)
+	if n == 0 {
+		return -1, false
+	}
+	total := t.liveCum[n-1]
+	x := float64(h>>11) * unitFrac53 * total
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.liveCum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= n {
+		lo = n - 1
+	}
+	return t.liveIdx[lo], true
+}
+
+func (t *memberTable) checkInvariants() error {
+	if len(t.ids) == 0 {
+		return fmt.Errorf("placement: member table empty")
+	}
+	for i, id := range t.ids {
+		if id < 0 {
+			return fmt.Errorf("placement: negative server id %d", id)
+		}
+		if i > 0 && t.ids[i-1] >= id {
+			return fmt.Errorf("placement: member ids not strictly ascending at %d", id)
+		}
+		if !validWeight(t.weight[i]) {
+			return fmt.Errorf("placement: server %d has invalid weight %g", id, t.weight[i])
+		}
+	}
+	return nil
+}
+
+// The weighted member codec, embedded in every weight-aware snapshot:
+//
+//	k uint32
+//	k × { id uint32 | failed uint8 | weight float64 bits }   (ascending id)
+//
+// Decoding validates everything — order, flags, weight domain — and the
+// encoding is canonical: decode(encode(t)) re-encodes byte-identically,
+// which FuzzWeightedSnapshot holds on arbitrary input.
+const memberRecSize = 13
+
+func (t *memberTable) appendEncoded(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.ids)))
+	for i, id := range t.ids {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		if t.failed[i] {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.weight[i]))
+	}
+	return buf
+}
+
+// decodeMemberTable parses the codec from the front of payload and
+// returns the table plus the remaining bytes.
+func decodeMemberTable(payload []byte) (*memberTable, []byte, error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("placement: member table truncated (%d bytes)", len(payload))
+	}
+	k := int(binary.LittleEndian.Uint32(payload))
+	if k == 0 {
+		return nil, nil, fmt.Errorf("placement: member table has no members")
+	}
+	rest := payload[4:]
+	if len(rest) < k*memberRecSize {
+		return nil, nil, fmt.Errorf("placement: %d bytes of member records for k=%d (want %d)", len(rest), k, k*memberRecSize)
+	}
+	t := &memberTable{
+		ids:    make([]ServerID, k),
+		weight: make([]float64, k),
+		failed: make([]bool, k),
+	}
+	for i := 0; i < k; i++ {
+		rec := rest[i*memberRecSize:]
+		id := ServerID(binary.LittleEndian.Uint32(rec))
+		if id < 0 {
+			return nil, nil, fmt.Errorf("placement: member id %d out of range", binary.LittleEndian.Uint32(rec))
+		}
+		if i > 0 && t.ids[i-1] >= id {
+			return nil, nil, fmt.Errorf("placement: member records not in strictly ascending id order")
+		}
+		switch rec[4] {
+		case 0:
+			t.failed[i] = false
+		case 1:
+			t.failed[i] = true
+		default:
+			return nil, nil, fmt.Errorf("placement: member %d has invalid failed flag %d", id, rec[4])
+		}
+		w := math.Float64frombits(binary.LittleEndian.Uint64(rec[5:]))
+		if !validWeight(w) {
+			return nil, nil, fmt.Errorf("placement: member %d has invalid weight %g", id, w)
+		}
+		t.ids[i] = id
+		t.weight[i] = w
+	}
+	t.reindex()
+	return t, rest[k*memberRecSize:], nil
+}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"testing"
@@ -514,5 +515,67 @@ func TestStrategyPlacerChordBounded(t *testing.T) {
 	}
 	if p.SharedStateSize() != len(p.Strategy().Encode()) {
 		t.Fatal("SharedStateSize disagrees with Encode length")
+	}
+}
+
+// TestStrategyPlacerReweighsFromSpeeds: for a weight-aware strategy the
+// simulator's server speeds are the source of capacity weights — every
+// Retune refreshes the strategy's weight table from the snapshot, so a
+// weight-aware scheme built without a-priori knowledge learns the
+// paper's speed vector after one tuning round.
+func TestStrategyPlacerReweighsFromSpeeds(t *testing.T) {
+	fs := testFileSets(400)
+	for _, tag := range []string{"rendezvous", "weighted-static", "power-of-d"} {
+		t.Run(tag, func(t *testing.T) {
+			// Built uniform: no Weights in the options.
+			p, err := NewStrategyPlacer(tag, fs, testServers(), placement.Options{HashSeed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rw, ok := p.Strategy().(placement.Reweigher)
+			if !ok {
+				t.Fatalf("%s does not implement Reweigher", tag)
+			}
+			for id, w := range rw.Weights() {
+				if w != 1 {
+					t.Fatalf("pre-retune weight[%d] = %g, want uniform 1", id, w)
+				}
+			}
+			env := paperEnv(fs)
+			for _, sv := range env.Servers {
+				env.Reports = append(env.Reports, anu.Report{Server: sv.ID, Requests: 100, Latency: 0.5})
+			}
+			if err := p.Retune(env); err != nil {
+				t.Fatal(err)
+			}
+			got := rw.Weights()
+			for i, want := range []float64{1, 3, 5, 7, 9} {
+				if got[ServerID(i)] != want {
+					t.Errorf("post-retune weight[%d] = %g, want %g (speed)", i, got[ServerID(i)], want)
+				}
+			}
+		})
+	}
+}
+
+// TestStrategyPlacerReweighIgnoresNonWeighted: strategies without the
+// Reweigher capability must retune exactly as before — the reweigh step
+// cannot perturb ANU or chord behavior.
+func TestStrategyPlacerReweighIgnoresNonWeighted(t *testing.T) {
+	fs := testFileSets(200)
+	p, err := NewStrategyPlacer("chord", fs, testServers(), placement.Options{HashSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Strategy().Encode()
+	env := paperEnv(fs)
+	for _, sv := range env.Servers {
+		env.Reports = append(env.Reports, anu.Report{Server: sv.ID, Requests: 100, Latency: 0.5})
+	}
+	if err := p.Retune(env); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Strategy().Encode(), before) {
+		t.Fatal("retune with speeds changed the unweighted chord placement")
 	}
 }

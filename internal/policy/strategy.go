@@ -79,8 +79,10 @@ func (p *StrategyPlacer) SharedStateSize() int { return p.s.SharedStateSize() }
 
 // retuneStrategy is the one simulator tuning round every strategy-backed
 // placer shares: commission servers the snapshot reports up but the
-// strategy does not know, re-admit recovered members, convert down
-// servers to Failed reports, and apply the strategy's own feedback step.
+// strategy does not know, re-admit recovered members, refresh capacity
+// weights on weight-aware strategies from the snapshot's server speeds,
+// convert down servers to Failed reports, and apply the strategy's own
+// feedback step.
 func retuneStrategy(s placement.Strategy, env *Env) error {
 	shares := s.Shares()
 	for _, sv := range env.Servers {
@@ -93,6 +95,19 @@ func retuneStrategy(s placement.Strategy, env *Env) error {
 			}
 		} else if shares[sv.ID] == 0 {
 			if err := s.Recover(sv.ID); err != nil {
+				return fmt.Errorf("policy: %s retune: %w", s.Name(), err)
+			}
+		}
+	}
+	if rw, ok := s.(placement.Reweigher); ok {
+		weights := make(map[placement.ServerID]float64)
+		for _, sv := range env.Servers {
+			if sv.Speed > 0 && s.Has(sv.ID) {
+				weights[sv.ID] = sv.Speed
+			}
+		}
+		if len(weights) > 0 {
+			if err := rw.SetWeights(weights); err != nil {
 				return fmt.Errorf("policy: %s retune: %w", s.Name(), err)
 			}
 		}
