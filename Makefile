@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all check build test race bench bench-lookup bench-figs bench-smoke bench-gate bench-gate-allocs bench-diff bench-scaling fuzz-smoke soak-migrate lint vet fmt figures examples clean
+.PHONY: all check build test race bench bench-lookup bench-figs bench-net bench-smoke bench-gate bench-gate-allocs bench-diff bench-scaling fuzz-smoke soak-migrate soak-scale soak-scale-short lint vet fmt figures examples clean
 
 all: check
 
@@ -28,7 +28,7 @@ race:
 # BENCH_lookup.json and the paper-figure benchmarks into
 # BENCH_figs.json. Intermediate text files (not pipes) so a go test
 # failure stops the recipe under plain POSIX sh.
-bench: bench-lookup bench-figs
+bench: bench-lookup bench-figs bench-net
 
 bench-lookup:
 	$(GO) test -run='^$$' -bench='Balancer|Hash|Lookup|SetWeights' -benchmem . ./internal/... > BENCH_lookup.txt
@@ -39,6 +39,14 @@ bench-figs:
 	$(GO) test -run='^$$' -bench='Fig' -benchtime=1x -benchmem . > BENCH_figs.txt
 	$(GO) run ./cmd/benchjson -o BENCH_figs.json < BENCH_figs.txt
 	rm -f BENCH_figs.txt
+
+# Record the wire-path baselines (frame encode/decode, end-to-end TCP
+# heartbeat, memnet broadcast fan-out) into BENCH_net.json. Every entry
+# is 0 allocs/op by design; the alloc gate below holds them there.
+bench-net:
+	$(GO) test -run='^$$' -bench='Frame|Heartbeat|Broadcast' -benchmem ./internal/cluster > BENCH_net.txt
+	$(GO) run ./cmd/benchjson -o BENCH_net.json < BENCH_net.txt
+	rm -f BENCH_net.txt
 
 # Cheap benchmark liveness check for the default gate: 10 iterations of
 # everything, output discarded — catches benchmarks that panic or fail,
@@ -66,6 +74,13 @@ BENCH_figs_current.txt:
 BENCH_figs_current.json: BENCH_figs_current.txt
 	$(GO) run ./cmd/benchjson -o $@ < BENCH_figs_current.txt
 
+# A fresh run of the wire-path benchmarks for the alloc gate.
+BENCH_net_current.txt:
+	$(GO) test -run='^$$' -bench='Frame|Heartbeat|Broadcast' -benchmem ./internal/cluster > $@
+
+BENCH_net_current.json: BENCH_net_current.txt
+	$(GO) run ./cmd/benchjson -o $@ < BENCH_net_current.txt
+
 # Compare a fresh micro-benchmark run against the committed baseline
 # and fail on >30% ns/op regressions. Meaningful on hardware comparable
 # to the machine that recorded BENCH_lookup.json.
@@ -80,9 +95,10 @@ bench-gate: BENCH_current.txt
 # figure suite pins the end-to-end simulator: an accidental
 # closure/boxing reintroduction anywhere on the hot path shows up as
 # hundreds of thousands of allocs in these totals.
-bench-gate-allocs: BENCH_current.txt BENCH_figs_current.txt
+bench-gate-allocs: BENCH_current.txt BENCH_figs_current.txt BENCH_net_current.txt
 	$(GO) run ./cmd/benchjson -gate BENCH_lookup.json -metric allocs/op -tolerance 0 < BENCH_current.txt > /dev/null
 	$(GO) run ./cmd/benchjson -gate BENCH_figs.json -metric allocs/op -tolerance 0 < BENCH_figs_current.txt > /dev/null
+	$(GO) run ./cmd/benchjson -gate BENCH_net.json -metric allocs/op -tolerance 0 < BENCH_net_current.txt > /dev/null
 
 # Full noise-aware diff of the fresh runs against the committed
 # baselines: every shared metric, per-metric tolerances and floors,
@@ -117,6 +133,16 @@ fuzz-smoke:
 soak-migrate:
 	$(GO) test -race -run='^TestMigrationChaosSoak$$' -count=1 -v ./internal/cluster
 
+# The scale soak: every placement strategy baked on 50/100/200-node
+# clusters over the pooled memnet fabric with light chaos, a coherence
+# monitor holding one-placement-per-round throughout. The short variant
+# (CI) keeps the 50-node cells and adds the race detector.
+soak-scale:
+	$(GO) test -run='^TestSoakScale$$' -count=1 -timeout=20m -v ./internal/cluster
+
+soak-scale-short:
+	$(GO) test -race -short -run='^TestSoakScale$$' -count=1 -timeout=15m -v ./internal/cluster
+
 # Static analysis: vet always; staticcheck when installed (the repo
 # stays pure-stdlib, so the tool is optional and skipped gracefully).
 lint: vet
@@ -147,6 +173,7 @@ examples:
 
 clean:
 	$(GO) clean -testcache
-	rm -f BENCH_lookup.txt BENCH_figs.txt BENCH_gate.txt
+	rm -f BENCH_lookup.txt BENCH_figs.txt BENCH_net.txt BENCH_gate.txt
 	rm -f BENCH_current.txt BENCH_current.json benchdiff-report.md
 	rm -f BENCH_figs_current.txt BENCH_figs_current.json benchdiff-figs-report.md
+	rm -f BENCH_net_current.txt BENCH_net_current.json

@@ -172,6 +172,15 @@ func (e *ChaosEndpoint) Send(msg delegate.Message) error {
 	return nil
 }
 
+// SendAsync implements AsyncTransport. Send never blocks on this
+// fabric (delayed copies ride timers, a full inbox is overflow loss),
+// so the async path is Send itself; true means the fabric accepted the
+// message, whatever it then did to it.
+func (e *ChaosEndpoint) SendAsync(msg delegate.Message) bool {
+	e.Send(msg)
+	return true
+}
+
 // Recv implements Transport.
 func (e *ChaosEndpoint) Recv() <-chan delegate.Message { return e.recv }
 

@@ -1,0 +1,11 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The scale soak keys its size ladder off it: 100/200-node
+// cells under the detector's 5–10× slowdown blow straight through
+// `go test`'s default timeout in `make race`, and the detector's
+// finding power doesn't grow with cluster size — every code path a
+// 200-node cluster exercises, a 50-node cluster exercises too.
+const raceEnabled = true

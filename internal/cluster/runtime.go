@@ -29,10 +29,21 @@ const maxMailbox = 4096
 // that survives re-elections: a new delegate continues from the
 // highest round it observed.
 type Runtime struct {
-	cfg  Config
-	tr   Transport
+	cfg Config
+	tr  Transport
+	// atr is tr's non-blocking fan-out path when it has one, nil
+	// otherwise; resolved once at Start. All runtime gossip prefers it:
+	// a broadcast becomes N bounded enqueues instead of N synchronous
+	// writes, so one slow or dead peer can never stall the rest of a
+	// round's fan-out.
+	atr  AsyncTransport
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// sendDrops counts messages the async fan-out path dropped
+	// (per-peer queue full or transport closed). Atomic: drops are
+	// noted on the send path, outside mu.
+	sendDrops atomic.Uint64
 
 	// placement is the node's data plane: an immutable snapshot of the
 	// installed placement strategy, republished whenever the protocol
@@ -127,6 +138,7 @@ func Start(cfg Config, tr Transport) (*Runtime, error) {
 		suspectUntil: make(map[delegate.NodeID]time.Time),
 		curDelegate:  -1,
 	}
+	r.atr, _ = tr.(AsyncTransport)
 	r.counters.InstallLatencyHist = latencyHistogram()
 	r.counters.SampleLatencyHist = latencyHistogram()
 	r.counters.MigratePhaseLatencyHist = latencyHistogram()
@@ -404,19 +416,15 @@ func (r *Runtime) heartbeatLoop() {
 	}
 }
 
-// sendHeartbeats emits one beacon per peer.
+// sendHeartbeats beacons one heartbeat to every peer through the
+// broadcast fan-out.
 func (r *Runtime) sendHeartbeats() {
 	r.mu.Lock()
 	epoch, round := r.epoch, r.round
 	flags := r.migFlagsLocked()
 	r.counters.HeartbeatsSent += uint64(len(r.cfg.Members) - 1)
 	r.mu.Unlock()
-	for _, id := range r.cfg.Members {
-		if id == r.cfg.ID {
-			continue
-		}
-		r.tr.Send(delegate.Message{Kind: MsgHeartbeat, Flags: flags, From: r.cfg.ID, To: id, Epoch: epoch, Round: round})
-	}
+	r.broadcast(delegate.Message{Kind: MsgHeartbeat, Flags: flags, From: r.cfg.ID, Epoch: epoch, Round: round})
 }
 
 // roundLoop drives the wall-clock tuning cadence.
@@ -621,13 +629,42 @@ func (r *Runtime) takeOutboxLocked() []delegate.Message {
 	return out
 }
 
-// sendAll pushes messages to the transport; failures are logged, not
-// fatal — an unreachable peer is indistinguishable from a lossy link.
+// broadcast fans one message template out to every other member,
+// stamping To per peer. On an AsyncTransport this is N bounded
+// enqueues — the whole fan-out completes without blocking on any
+// peer's socket.
+func (r *Runtime) broadcast(msg delegate.Message) {
+	for _, id := range r.cfg.Members {
+		if id == r.cfg.ID {
+			continue
+		}
+		msg.To = id
+		r.sendOne(msg)
+	}
+}
+
+// sendOne pushes one message to the transport: a non-blocking enqueue
+// when the transport has an async lane, a synchronous Send otherwise.
+// Failures are counted or logged, never fatal — an unreachable peer is
+// indistinguishable from a lossy link, and a queue-full drop is healed
+// by the protocol's own cadence (re-announced rounds, re-broadcast
+// maps, migration retries) exactly like wire loss.
+func (r *Runtime) sendOne(msg delegate.Message) {
+	if r.atr != nil {
+		if !r.atr.SendAsync(msg) {
+			r.sendDrops.Add(1)
+		}
+		return
+	}
+	if err := r.tr.Send(msg); err != nil {
+		r.cfg.logf("node %d: send to %d: %v", r.cfg.ID, msg.To, err)
+	}
+}
+
+// sendAll pushes staged messages to the transport via sendOne.
 func (r *Runtime) sendAll(msgs []delegate.Message) {
 	for _, msg := range msgs {
-		if err := r.tr.Send(msg); err != nil {
-			r.cfg.logf("node %d: send to %d: %v", r.cfg.ID, msg.To, err)
-		}
+		r.sendOne(msg)
 	}
 }
 
@@ -690,6 +727,17 @@ func (r *Runtime) MapRound() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.node.MapRound()
+}
+
+// MapState returns the installed map's identity — view epoch, round,
+// and fingerprint — as one atomic observation. Coherence monitors need
+// the triple under a single lock acquisition: reading the three
+// accessors separately can straddle an install and pair one map's
+// round with its successor's fingerprint.
+func (r *Runtime) MapState() (epoch, round, fingerprint uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.MapEpoch(), r.node.MapRound(), r.node.Fingerprint()
 }
 
 // publishPlacementLocked snapshots the node's current map into the

@@ -98,6 +98,12 @@ type Stats struct {
 	ReportsReceived    uint64
 	HeartbeatsSent     uint64
 	HeartbeatsReceived uint64
+	// SendDrops counts outbound messages the transport's async fan-out
+	// lane dropped (per-peer queue full or transport closed). Drops are
+	// bounded loss under backpressure, not errors: the gossip cadence
+	// re-sends, so a nonzero value means a peer lane saturated, not
+	// that state was lost.
+	SendDrops uint64
 
 	// MigrationPhase is the in-flight live migration's phase ("idle"
 	// when none), with its id and endpoints; DualTagInstalls counts
@@ -183,6 +189,7 @@ func (r *Runtime) Stats() Stats {
 		ReportsReceived:          r.counters.ReportsReceived,
 		HeartbeatsSent:           r.counters.HeartbeatsSent,
 		HeartbeatsReceived:       r.counters.HeartbeatsReceived,
+		SendDrops:                r.sendDrops.Load(),
 		JournalAppendErrors:      r.counters.JournalAppendErrors,
 		MigrationPhase:           migrate.Idle.String(),
 		DualTagInstalls:          r.node.DualTagInstalls(),
@@ -237,6 +244,9 @@ func (s Stats) String() string {
 	}
 	if s.DelegateMigrating {
 		out += " delegate-migrating"
+	}
+	if s.SendDrops > 0 {
+		out += fmt.Sprintf(" send-drops=%d", s.SendDrops)
 	}
 	if s.InstallLatencyHist != nil && s.InstallLatencyHist.Total() > 0 {
 		out += fmt.Sprintf(" install-hist(%s)", s.InstallLatencyHist)

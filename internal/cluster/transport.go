@@ -29,6 +29,20 @@ type Transport interface {
 	Close() error
 }
 
+// AsyncTransport is a Transport with a non-blocking fan-out path.
+// SendAsync enqueues the message for delivery and returns immediately:
+// true means the transport accepted it (delivery remains best-effort,
+// as with Send on a lossy fabric), false means it was dropped on the
+// floor — per-peer queue full or transport closed. The runtime prefers
+// this path for its gossip fan-out so one slow or dead peer can never
+// stall a round's broadcast to the others; drops are surfaced in Stats
+// and the protocol's retry cadence (re-announced rounds, re-broadcast
+// maps, migration retries) heals them exactly like wire loss.
+type AsyncTransport interface {
+	Transport
+	SendAsync(msg delegate.Message) bool
+}
+
 // AddressBook maps node ids to dialable addresses; it is safe for
 // concurrent use so listeners can register while dialers look up.
 type AddressBook struct {
@@ -96,27 +110,55 @@ const FlagMigrating uint8 = 1 << 0
 // cluster is an operator mistake worth its own counter.
 var errFrameVersion = fmt.Errorf("cluster: unsupported frame version")
 
-// writeFrame writes one framed message.
+// putFrameHeader encodes msg's header into dst, which must be at least
+// frameHeaderLen bytes. It never allocates — this is the wire hot path,
+// and at cluster scale every heartbeat to every peer passes through it.
+func putFrameHeader(dst []byte, msg delegate.Message) {
+	_ = dst[frameHeaderLen-1]
+	dst[0] = frameVersion
+	dst[1] = byte(msg.Kind)
+	dst[2] = msg.Flags
+	binary.LittleEndian.PutUint32(dst[3:7], uint32(msg.From))
+	binary.LittleEndian.PutUint32(dst[7:11], uint32(msg.To))
+	binary.LittleEndian.PutUint64(dst[11:19], msg.Epoch)
+	binary.LittleEndian.PutUint64(dst[19:27], msg.Round)
+	binary.LittleEndian.PutUint32(dst[27:31], uint32(len(msg.Payload)))
+}
+
+// appendFrame appends the complete wire frame for msg to dst and
+// returns the extended slice. With a caller-reused buffer of sufficient
+// capacity it is allocation-free.
+func appendFrame(dst []byte, msg delegate.Message) []byte {
+	off := len(dst)
+	need := off + frameHeaderLen + len(msg.Payload)
+	if cap(dst) < need {
+		grown := make([]byte, off, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+frameHeaderLen]
+	putFrameHeader(dst[off:], msg)
+	return append(dst, msg.Payload...)
+}
+
+// writeFrame writes one framed message. It allocates a fresh buffer per
+// call; the pooled transports use appendFrame / putFrameHeader with
+// per-connection buffers instead.
 func writeFrame(w io.Writer, msg delegate.Message) error {
-	buf := make([]byte, frameHeaderLen+len(msg.Payload))
-	buf[0] = frameVersion
-	buf[1] = byte(msg.Kind)
-	buf[2] = msg.Flags
-	binary.LittleEndian.PutUint32(buf[3:7], uint32(msg.From))
-	binary.LittleEndian.PutUint32(buf[7:11], uint32(msg.To))
-	binary.LittleEndian.PutUint64(buf[11:19], msg.Epoch)
-	binary.LittleEndian.PutUint64(buf[19:27], msg.Round)
-	binary.LittleEndian.PutUint32(buf[27:31], uint32(len(msg.Payload)))
-	copy(buf[frameHeaderLen:], msg.Payload)
+	buf := appendFrame(make([]byte, 0, frameHeaderLen+len(msg.Payload)), msg)
 	_, err := w.Write(buf)
 	return err
 }
 
-// readFrame reads one framed message, rejecting unknown frame versions
-// (errFrameVersion) and payloads larger than maxPayload so a corrupt
-// length field cannot exhaust memory.
-func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
-	head := make([]byte, frameHeaderLen)
+// readFrameBuf reads one framed message using the caller's header
+// scratch (at least frameHeaderLen bytes), rejecting unknown frame
+// versions (errFrameVersion) and payloads larger than maxPayload so a
+// corrupt length field cannot exhaust memory. An empty payload — the
+// dominant case: heartbeats — returns a nil Payload without allocating,
+// so a per-connection read loop holding its own scratch decodes
+// heartbeats at zero allocations.
+func readFrameBuf(r io.Reader, head []byte, maxPayload int) (delegate.Message, error) {
+	head = head[:frameHeaderLen]
 	if _, err := io.ReadFull(r, head); err != nil {
 		return delegate.Message{}, err
 	}
@@ -127,9 +169,12 @@ func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
 	if int(n) > maxPayload {
 		return delegate.Message{}, fmt.Errorf("cluster: frame payload %d exceeds limit %d", n, maxPayload)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return delegate.Message{}, err
+	var payload []byte
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return delegate.Message{}, err
+		}
 	}
 	return delegate.Message{
 		Kind:    delegate.MsgKind(head[1]),
@@ -140,4 +185,11 @@ func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
 		Round:   binary.LittleEndian.Uint64(head[19:27]),
 		Payload: payload,
 	}, nil
+}
+
+// readFrame is readFrameBuf with a throwaway header scratch, for tests
+// and fuzzing.
+func readFrame(r io.Reader, maxPayload int) (delegate.Message, error) {
+	var head [frameHeaderLen]byte
+	return readFrameBuf(r, head[:], maxPayload)
 }
